@@ -1,0 +1,124 @@
+// Figure 16 — CPU overhead and inference-service scalability, as
+// google-benchmark microbenchmarks:
+//   * per-MTP policy decision cost (distilled and MLP paths),
+//   * batched inference cost vs batch size (16a/16b: Astraea's shared batched
+//     service vs Orca's one-inference-per-flow design),
+//   * simulator event throughput (harness sanity number).
+
+#include <benchmark/benchmark.h>
+
+#include "src/core/astraea_controller.h"
+#include "src/core/inference_service.h"
+#include "src/core/training_config.h"
+#include "src/sim/network.h"
+
+namespace astraea {
+namespace {
+
+Mlp PaperActor(uint64_t seed = 1) {
+  // The paper's deployment model: 40 inputs (8 features x w=5), 256/128/64.
+  Rng rng(seed);
+  return Mlp({40, 256, 128, 64, 1}, OutputActivation::kTanh, &rng);
+}
+
+std::vector<float> RandomState(Rng* rng, size_t dim = 40) {
+  std::vector<float> s(dim);
+  for (auto& v : s) {
+    v = static_cast<float>(rng->Uniform(0.0, 2.0));
+  }
+  return s;
+}
+
+void BM_MlpPolicyInference(benchmark::State& state) {
+  Mlp actor = PaperActor();
+  Rng rng(2);
+  const std::vector<float> s = RandomState(&rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(actor.Infer(s));
+  }
+}
+BENCHMARK(BM_MlpPolicyInference);
+
+void BM_DistilledPolicyDecision(benchmark::State& state) {
+  DistilledPolicy policy;
+  MtpReport report;
+  report.cwnd_bytes = 150'000;
+  report.avg_rtt = Milliseconds(36);
+  report.min_rtt = Milliseconds(30);
+  report.acked_packets = 100;
+  std::vector<float> vec(40, 0.5f);
+  StateView view;
+  view.state_vector = vec;
+  view.report = &report;
+  view.lat_min = Milliseconds(30);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.Act(view));
+  }
+}
+BENCHMARK(BM_DistilledPolicyDecision);
+
+// Fig. 16b: batched service — total cost of serving N flows in one batch.
+// Per-flow cost (time/N) drops as N grows, the sublinear-scaling claim.
+void BM_BatchedInferenceService(benchmark::State& state) {
+  const size_t flows = static_cast<size_t>(state.range(0));
+  InferenceService service(PaperActor());
+  Rng rng(3);
+  std::vector<float> states;
+  for (size_t i = 0; i < flows; ++i) {
+    const auto s = RandomState(&rng);
+    states.insert(states.end(), s.begin(), s.end());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(service.InferBatch(states, flows));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(flows));
+}
+BENCHMARK(BM_BatchedInferenceService)->Arg(1)->Arg(10)->Arg(50)->Arg(100)->Arg(500)->Arg(1000);
+
+// The Orca-style counterfactual: one independent inference pass per flow
+// (what the paper's Fig. 16b shows scaling linearly and exhausting 80 cores).
+void BM_PerFlowInference(benchmark::State& state) {
+  const size_t flows = static_cast<size_t>(state.range(0));
+  Mlp actor = PaperActor();
+  Rng rng(4);
+  std::vector<std::vector<float>> states;
+  for (size_t i = 0; i < flows; ++i) {
+    states.push_back(RandomState(&rng));
+  }
+  for (auto _ : state) {
+    for (const auto& s : states) {
+      benchmark::DoNotOptimize(actor.Infer(s));
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(flows));
+}
+BENCHMARK(BM_PerFlowInference)->Arg(1)->Arg(10)->Arg(50)->Arg(100)->Arg(500)->Arg(1000);
+
+// Simulator speed: events per second on a saturated 100 Mbps bottleneck.
+void BM_SimulatorEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    Network net(1);
+    LinkConfig link;
+    link.rate = Mbps(100);
+    link.propagation_delay = Milliseconds(15);
+    link.buffer_bytes = 375'000;
+    net.AddLink(link);
+    FlowSpec spec;
+    spec.scheme = "astraea";
+    spec.make_cc = [] {
+      return std::make_unique<AstraeaController>(std::make_shared<DistilledPolicy>());
+    };
+    net.AddFlow(spec);
+    net.Run(Seconds(2.0));
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<int64_t>(net.events().executed()));
+  }
+}
+BENCHMARK(BM_SimulatorEventThroughput)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace astraea
+
+BENCHMARK_MAIN();

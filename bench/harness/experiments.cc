@@ -1,0 +1,126 @@
+#include "bench/harness/experiments.h"
+
+#include <algorithm>
+
+namespace astraea {
+
+StaggeredConfig DefaultStaggeredConfig() {
+  StaggeredConfig config;
+  config.link.bandwidth = Mbps(100);
+  config.link.base_rtt = Milliseconds(30);
+  config.link.buffer_bdp = 1.0;
+  return config;
+}
+
+std::unique_ptr<DumbbellScenario> RunStaggeredScenario(const std::string& scheme,
+                                                       const StaggeredConfig& config,
+                                                       uint64_t seed) {
+  DumbbellConfig link = config.link;
+  link.seed = seed;
+  auto scenario = std::make_unique<DumbbellScenario>(link);
+  for (int i = 0; i < config.flows; ++i) {
+    scenario->AddFlow(scheme, config.start_interval * i, config.flow_duration);
+  }
+  scenario->Run(config.until);
+  return scenario;
+}
+
+namespace {
+
+// All flow arrival/departure instants in the staggered schedule, except the
+// very first arrival (a lone flow "converging" to the link rate is measured
+// too, matching §5.2 which counts all flow events).
+struct FlowEvent {
+  TimeNs when;
+  int active_after;
+};
+
+std::vector<FlowEvent> EventsOf(const StaggeredConfig& config) {
+  std::vector<std::pair<TimeNs, int>> deltas;
+  for (int i = 0; i < config.flows; ++i) {
+    deltas.emplace_back(config.start_interval * i, +1);
+    deltas.emplace_back(config.start_interval * i + config.flow_duration, -1);
+  }
+  std::sort(deltas.begin(), deltas.end());
+  std::vector<FlowEvent> events;
+  int active = 0;
+  for (const auto& [when, delta] : deltas) {
+    active += delta;
+    if (when < config.until && active > 0) {
+      events.push_back({when, active});
+    }
+  }
+  return events;
+}
+
+bool FlowActiveDuring(const StaggeredConfig& config, int flow, TimeNs begin, TimeNs end) {
+  const TimeNs start = config.start_interval * flow;
+  const TimeNs stop = start + config.flow_duration;
+  return start <= begin && stop >= end;
+}
+
+}  // namespace
+
+SchemeConvergenceSummary MeasureStaggeredConvergence(const std::string& scheme,
+                                                     const StaggeredConfig& config, int reps,
+                                                     double tol) {
+  SchemeConvergenceSummary summary;
+  summary.scheme = scheme;
+  double convergence_acc = 0.0;
+  double stability_acc = 0.0;
+  int stability_n = 0;
+  double jain_acc = 0.0;
+  double util_acc = 0.0;
+
+  const std::vector<FlowEvent> events = EventsOf(config);
+
+  for (int rep = 0; rep < reps; ++rep) {
+    auto scenario = RunStaggeredScenario(scheme, config, 1000 + static_cast<uint64_t>(rep));
+    const Network& net = scenario->network();
+
+    for (size_t e = 0; e < events.size(); ++e) {
+      const FlowEvent& event = events[e];
+      const TimeNs next_event = e + 1 < events.size() ? events[e + 1].when : config.until;
+      const double fair_share = ToMbps(config.link.bandwidth) / event.active_after;
+      // Measure the youngest flow active across the whole inter-event window.
+      for (int flow = config.flows - 1; flow >= 0; --flow) {
+        if (!FlowActiveDuring(config, flow, event.when, next_event)) {
+          continue;
+        }
+        const ConvergenceMeasurement m = MeasureConvergence(
+            net, flow, event.when, fair_share, tol, Seconds(1.0), next_event);
+        ++summary.total_events;
+        if (m.convergence_time >= 0 && m.convergence_time < next_event - event.when) {
+          ++summary.converged_events;
+          convergence_acc += ToSeconds(m.convergence_time);
+          stability_acc += m.stability_mbps;
+          ++stability_n;
+        }
+        break;
+      }
+    }
+    jain_acc += AverageJain(net, 0, config.until, Milliseconds(500));
+    util_acc += LinkUtilization(net, 0, Seconds(1.0), config.until);
+  }
+
+  summary.avg_convergence_s =
+      summary.converged_events > 0 ? convergence_acc / summary.converged_events : -1.0;
+  summary.avg_stability_mbps = stability_n > 0 ? stability_acc / stability_n : -1.0;
+  summary.avg_jain = jain_acc / reps;
+  summary.utilization = util_acc / reps;
+  return summary;
+}
+
+std::vector<double> CollectJainSamples(const std::string& scheme, const StaggeredConfig& config,
+                                       int reps) {
+  std::vector<double> samples;
+  for (int rep = 0; rep < reps; ++rep) {
+    auto scenario = RunStaggeredScenario(scheme, config, 2000 + static_cast<uint64_t>(rep));
+    const auto jains =
+        JainPerTimeslot(scenario->network(), 0, config.until, Milliseconds(500));
+    samples.insert(samples.end(), jains.begin(), jains.end());
+  }
+  return samples;
+}
+
+}  // namespace astraea

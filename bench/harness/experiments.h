@@ -1,0 +1,58 @@
+// Canned experiment drivers shared by several benches: the §5.1.1 staggered
+// three-flow scenario (Figs. 6, 7, 12, Table 1) and its convergence /
+// stability summaries (the paper's Fig. 12 definitions).
+
+#ifndef BENCH_HARNESS_EXPERIMENTS_H_
+#define BENCH_HARNESS_EXPERIMENTS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/harness/metrics.h"
+#include "bench/harness/scenario.h"
+
+namespace astraea {
+
+struct StaggeredConfig {
+  DumbbellConfig link;            // bandwidth / RTT / buffer
+  int flows = 3;
+  TimeNs start_interval = Seconds(40.0);
+  TimeNs flow_duration = Seconds(120.0);
+  TimeNs until = Seconds(200.0);
+};
+
+// The paper's default §5.1.1 setup: 100 Mbps, 30 ms, 1 BDP; 3 flows starting
+// every 40 s, each running 120 s.
+StaggeredConfig DefaultStaggeredConfig();
+
+// Builds and runs the staggered scenario for `scheme`. Returns the scenario
+// (which owns the Network with all per-flow statistics).
+std::unique_ptr<DumbbellScenario> RunStaggeredScenario(const std::string& scheme,
+                                                       const StaggeredConfig& config,
+                                                       uint64_t seed);
+
+struct SchemeConvergenceSummary {
+  std::string scheme;
+  double avg_convergence_s = 0.0;   // over events that did converge
+  double avg_stability_mbps = 0.0;  // post-convergence stddev
+  double avg_jain = 0.0;            // over >=2-flow timeslots
+  double utilization = 0.0;
+  int converged_events = 0;
+  int total_events = 0;
+};
+
+// Runs `reps` staggered scenarios and aggregates the Fig. 12 metrics: after
+// each flow arrival/departure, every active flow should converge to the new
+// fair share within +-`tol`.
+SchemeConvergenceSummary MeasureStaggeredConvergence(const std::string& scheme,
+                                                     const StaggeredConfig& config, int reps,
+                                                     double tol = 0.10);
+
+// All per-timeslot Jain samples pooled over `reps` runs (Fig. 7's CDF input).
+std::vector<double> CollectJainSamples(const std::string& scheme,
+                                       const StaggeredConfig& config, int reps);
+
+}  // namespace astraea
+
+#endif  // BENCH_HARNESS_EXPERIMENTS_H_

@@ -1,0 +1,52 @@
+#include "bench/harness/scenario.h"
+
+#include <algorithm>
+
+namespace astraea {
+
+DumbbellScenario::DumbbellScenario(DumbbellConfig config) : config_(std::move(config)) {
+  network_ = std::make_unique<Network>(config_.seed);
+
+  RateBps nominal = config_.bandwidth;
+  if (config_.trace != nullptr) {
+    // Size the buffer from the trace's mean-ish level via its first slot; the
+    // cellular experiments use explicit deep buffers anyway.
+    nominal = config_.trace->RateAt(0);
+  }
+  buffer_bytes_ = std::max<uint64_t>(
+      static_cast<uint64_t>(config_.buffer_bdp *
+                            static_cast<double>(BdpBytes(nominal, config_.base_rtt))),
+      2 * 1500);
+
+  LinkConfig link;
+  link.name = "bottleneck";
+  link.rate = config_.bandwidth;
+  link.trace = config_.trace;
+  link.propagation_delay = config_.base_rtt / 2;  // symmetric path
+  link.buffer_bytes = buffer_bytes_;
+  link.random_loss = config_.random_loss;
+  link.queue_factory = config_.queue_factory;
+  network_->AddLink(link);
+}
+
+int DumbbellScenario::AddFlow(const std::string& scheme, TimeNs start, TimeNs duration,
+                              TimeNs extra_rtt) {
+  return AddFlowWithFactory(scheme, MakeSchemeFactory(scheme, &options_), start, duration,
+                            extra_rtt);
+}
+
+int DumbbellScenario::AddFlowWithFactory(const std::string& label, CcFactory factory,
+                                         TimeNs start, TimeNs duration, TimeNs extra_rtt) {
+  FlowSpec spec;
+  spec.scheme = label;
+  spec.make_cc = std::move(factory);
+  spec.start = start;
+  spec.duration = duration;
+  spec.extra_one_way_delay = extra_rtt;
+  spec.link_path = {0};
+  return network_->AddFlow(spec);
+}
+
+void DumbbellScenario::Run(TimeNs until) { network_->Run(until); }
+
+}  // namespace astraea

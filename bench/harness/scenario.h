@@ -1,0 +1,59 @@
+// Scenario harness shared by the benches, examples and the run_scenario CLI:
+// a single-bottleneck ("dumbbell") builder with the paper's parameterization
+// (bandwidth, base RTT, buffer in BDP multiples, optional random loss or a
+// rate trace), plus flow schedule helpers.
+
+#ifndef BENCH_HARNESS_SCENARIO_H_
+#define BENCH_HARNESS_SCENARIO_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/schemes.h"
+#include "src/sim/network.h"
+#include "src/sim/rate_provider.h"
+
+namespace astraea {
+
+struct DumbbellConfig {
+  RateBps bandwidth = Mbps(100);
+  TimeNs base_rtt = Milliseconds(30);   // full round trip (propagation)
+  double buffer_bdp = 1.0;              // bottleneck buffer as a BDP multiple
+  double random_loss = 0.0;
+  std::shared_ptr<RateProvider> trace;  // overrides bandwidth when set
+  QueueFactory queue_factory;           // AQM override (default DropTail)
+  uint64_t seed = 1;
+};
+
+class DumbbellScenario {
+ public:
+  explicit DumbbellScenario(DumbbellConfig config);
+
+  // Adds a flow of the named scheme; returns its flow id. `extra_rtt` adds
+  // one-way return delay for RTT-heterogeneity experiments.
+  int AddFlow(const std::string& scheme, TimeNs start, TimeNs duration = -1,
+              TimeNs extra_rtt = 0);
+  int AddFlowWithFactory(const std::string& label, CcFactory factory, TimeNs start,
+                         TimeNs duration = -1, TimeNs extra_rtt = 0);
+
+  void Run(TimeNs until);
+
+  Network& network() { return *network_; }
+  const Network& network() const { return *network_; }
+  const DumbbellConfig& config() const { return config_; }
+  SchemeOptions& scheme_options() { return options_; }
+  Link& bottleneck() { return network_->link(0); }
+
+  uint64_t BufferBytes() const { return buffer_bytes_; }
+
+ private:
+  DumbbellConfig config_;
+  SchemeOptions options_;
+  std::unique_ptr<Network> network_;
+  uint64_t buffer_bytes_ = 0;
+};
+
+}  // namespace astraea
+
+#endif  // BENCH_HARNESS_SCENARIO_H_

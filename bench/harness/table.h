@@ -1,0 +1,38 @@
+// Fixed-width console table printer for the bench binaries, so every bench
+// emits paper-style rows without hand-formatting.
+
+#ifndef BENCH_HARNESS_TABLE_H_
+#define BENCH_HARNESS_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace astraea {
+
+class ConsoleTable {
+ public:
+  explicit ConsoleTable(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  // Convenience: formats doubles with the given precision.
+  static std::string Num(double v, int precision = 2);
+
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Prints a bench banner: which paper artifact this binary regenerates.
+void PrintBenchHeader(const std::string& artifact, const std::string& description);
+
+// Bench repetition count: ASTRAEA_BENCH_REPS env var, default `fallback`.
+int BenchReps(int fallback = 3);
+
+// True when --quick was passed (benches shrink durations).
+bool QuickMode(int argc, char** argv);
+
+}  // namespace astraea
+
+#endif  // BENCH_HARNESS_TABLE_H_

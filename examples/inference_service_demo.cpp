@@ -1,0 +1,52 @@
+// Inference-service demo (§4): one shared model server answering many
+// senders' per-MTP requests in 5 ms batches. Shows how callers integrate the
+// Submit/Flush API and how batched scoring amortizes model cost.
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "src/core/inference_service.h"
+#include "src/core/training_config.h"
+#include "src/util/rng.h"
+
+int main() {
+  using namespace astraea;
+
+  // The paper's deployment model shape: 8 features x w=5 inputs, 256/128/64.
+  Rng rng(1);
+  Mlp actor({40, 256, 128, 64, 1}, OutputActivation::kTanh, &rng);
+  InferenceService service(std::move(actor));
+
+  constexpr int kFlows = 200;
+  std::vector<double> actions(kFlows, 0.0);
+
+  // Each "sender" submits its state; the service answers the whole MTP's
+  // worth of requests in one batched pass at the 5 ms window boundary.
+  const auto t0 = std::chrono::steady_clock::now();
+  Rng state_rng(2);
+  for (int round = 0; round < 10; ++round) {
+    for (int flow = 0; flow < kFlows; ++flow) {
+      std::vector<float> state(40);
+      for (auto& v : state) {
+        v = static_cast<float>(state_rng.Uniform(0.0, 2.0));
+      }
+      service.Submit(std::move(state), [&actions, flow](double a) { actions[flow] = a; });
+    }
+    service.Flush();
+  }
+  const auto elapsed = std::chrono::duration<double, std::micro>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+
+  std::printf("served %llu requests in %llu batches (max batch %zu)\n",
+              static_cast<unsigned long long>(service.total_requests()),
+              static_cast<unsigned long long>(service.total_batches()), service.max_batch());
+  std::printf("total %.1f us -> %.2f us per decision (amortized)\n", elapsed,
+              elapsed / static_cast<double>(service.total_requests()));
+  std::printf("sample actions: %.3f %.3f %.3f (all in [-1, 1])\n", actions[0], actions[1],
+              actions[2]);
+  std::printf("\nthis is the §4 mechanism behind Fig. 16b: one service instance scales to "
+              "hundreds of flows where per-flow inference processes cannot\n");
+  return 0;
+}

@@ -1,0 +1,146 @@
+#include "src/cc/bbr.h"
+
+#include <algorithm>
+
+namespace astraea {
+
+namespace {
+constexpr double kStartupGain = 2.885;        // 2/ln(2)
+constexpr double kDrainGain = 1.0 / 2.885;
+constexpr double kProbeBwGains[8] = {1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0};
+constexpr TimeNs kMinRttExpiry = Seconds(10.0);
+constexpr TimeNs kProbeRttDuration = Milliseconds(200);
+constexpr double kStartupGrowthTarget = 1.25;  // <25% growth for 3 rounds => full pipe
+}  // namespace
+
+Bbr::Bbr() = default;
+
+void Bbr::OnFlowStart(TimeNs now, uint32_t mss) {
+  mss_ = mss;
+  mode_ = Mode::kStartup;
+  pacing_gain_ = kStartupGain;
+  cwnd_gain_ = kStartupGain;
+  min_rtt_stamp_ = now;
+}
+
+uint64_t Bbr::BdpBytesNow() const {
+  if (bw_estimate_ <= 0.0 || min_rtt_ <= 0) {
+    return 10ULL * mss_;
+  }
+  return static_cast<uint64_t>(bw_estimate_ * ToSeconds(min_rtt_) / 8.0);
+}
+
+uint64_t Bbr::cwnd_bytes() const {
+  if (mode_ == Mode::kProbeRtt) {
+    return 4ULL * mss_;
+  }
+  const uint64_t bdp = BdpBytesNow();
+  return std::max<uint64_t>(static_cast<uint64_t>(cwnd_gain_ * static_cast<double>(bdp)),
+                            4ULL * mss_);
+}
+
+std::optional<double> Bbr::pacing_bps() const {
+  if (bw_estimate_ <= 0.0) {
+    // No bandwidth sample yet: pace at an arbitrary startup rate; the cwnd cap
+    // and the rapidly-updating filter take over within an RTT.
+    return Mbps(1.0) * kStartupGain;
+  }
+  return pacing_gain_ * bw_estimate_;
+}
+
+void Bbr::CheckStartupDone(const AckEvent& ev) {
+  // Declare the pipe full after 3 RTT rounds without 25% bandwidth growth.
+  // The round boundary matters: evaluating per ACK would exit startup after
+  // three back-to-back ACKs long before the pipe fills.
+  if (ev.now - round_start_ < std::max<TimeNs>(min_rtt_, Milliseconds(1))) {
+    return;
+  }
+  round_start_ = ev.now;
+  if (bw_estimate_ > full_bw_ * kStartupGrowthTarget) {
+    full_bw_ = bw_estimate_;
+    full_bw_rounds_ = 0;
+    return;
+  }
+  ++full_bw_rounds_;
+  if (full_bw_rounds_ >= 3) {
+    mode_ = Mode::kDrain;
+    pacing_gain_ = kDrainGain;
+    cwnd_gain_ = 2.0;
+  }
+}
+
+void Bbr::AdvanceProbeBwPhase(TimeNs now) {
+  if (now - cycle_stamp_ < std::max<TimeNs>(min_rtt_, Milliseconds(10))) {
+    return;
+  }
+  cycle_stamp_ = now;
+  cycle_index_ = (cycle_index_ + 1) % 8;
+  pacing_gain_ = kProbeBwGains[cycle_index_];
+}
+
+void Bbr::MaybeEnterProbeRtt(const AckEvent& ev) {
+  if (mode_ == Mode::kProbeRtt) {
+    if (ev.now >= probe_rtt_done_) {
+      min_rtt_stamp_ = ev.now;
+      mode_ = mode_before_probe_rtt_;
+      pacing_gain_ = mode_ == Mode::kStartup ? kStartupGain : kProbeBwGains[cycle_index_];
+    }
+    return;
+  }
+  if (ev.now - min_rtt_stamp_ > kMinRttExpiry) {
+    mode_before_probe_rtt_ = (mode_ == Mode::kDrain) ? Mode::kProbeBw : mode_;
+    mode_ = Mode::kProbeRtt;
+    probe_rtt_done_ = ev.now + kProbeRttDuration;
+  }
+}
+
+void Bbr::OnAck(const AckEvent& ev) {
+  inflight_hint_ = ev.inflight_bytes;
+
+  if (min_rtt_ == 0 || ev.rtt <= min_rtt_) {
+    min_rtt_ = ev.rtt;
+    min_rtt_stamp_ = ev.now;
+  }
+
+  // Bandwidth filter over ~10 RTTs.
+  bw_filter_.set_window(std::max<TimeNs>(10 * std::max<TimeNs>(min_rtt_, Milliseconds(1)),
+                                         Milliseconds(100)));
+  if (ev.delivery_rate_bps > 0.0) {
+    bw_filter_.Update(ev.now, ev.delivery_rate_bps);
+  }
+  bw_estimate_ = bw_filter_.Get(ev.now, bw_estimate_);
+
+  switch (mode_) {
+    case Mode::kStartup:
+      CheckStartupDone(ev);
+      break;
+    case Mode::kDrain:
+      if (ev.inflight_bytes <= BdpBytesNow()) {
+        mode_ = Mode::kProbeBw;
+        cycle_index_ = 0;
+        cycle_stamp_ = ev.now;
+        pacing_gain_ = kProbeBwGains[0];
+        cwnd_gain_ = 2.0;
+      }
+      break;
+    case Mode::kProbeBw:
+      AdvanceProbeBwPhase(ev.now);
+      break;
+    case Mode::kProbeRtt:
+      break;
+  }
+  MaybeEnterProbeRtt(ev);
+}
+
+void Bbr::OnLoss(const LossEvent& ev) {
+  // BBR v1 does not react to individual losses; an RTO resets the model.
+  if (ev.is_timeout) {
+    full_bw_ = 0.0;
+    full_bw_rounds_ = 0;
+    mode_ = Mode::kStartup;
+    pacing_gain_ = kStartupGain;
+    cwnd_gain_ = kStartupGain;
+  }
+}
+
+}  // namespace astraea

@@ -1,0 +1,65 @@
+// BBR v1 (Cardwell et al. 2016), simplified to the published state machine:
+// STARTUP / DRAIN / PROBE_BW (8-phase gain cycle) / PROBE_RTT, driven by a
+// windowed-max bandwidth filter and a windowed-min RTT filter. Pacing-based;
+// cwnd caps inflight at cwnd_gain x BDP.
+
+#ifndef SRC_CC_BBR_H_
+#define SRC_CC_BBR_H_
+
+#include "src/util/windowed_filter.h"
+#include "src/sim/congestion_controller.h"
+
+namespace astraea {
+
+class Bbr : public CongestionController {
+ public:
+  Bbr();
+
+  void OnFlowStart(TimeNs now, uint32_t mss) override;
+  void OnAck(const AckEvent& ev) override;
+  void OnLoss(const LossEvent& ev) override;
+
+  uint64_t cwnd_bytes() const override;
+  std::optional<double> pacing_bps() const override;
+  std::string name() const override { return "bbr"; }
+
+  enum class Mode { kStartup, kDrain, kProbeBw, kProbeRtt };
+  Mode mode() const { return mode_; }
+  double bw_estimate_bps() const { return bw_estimate_; }
+
+ private:
+  uint64_t BdpBytesNow() const;
+  void CheckStartupDone(const AckEvent& ev);
+  void AdvanceProbeBwPhase(TimeNs now);
+  void MaybeEnterProbeRtt(const AckEvent& ev);
+
+  uint32_t mss_ = 1500;
+  Mode mode_ = Mode::kStartup;
+
+  WindowedMax<double> bw_filter_{Seconds(1.0)};  // window reset per-RTT count below
+  double bw_estimate_ = 0.0;
+  TimeNs min_rtt_ = 0;
+  TimeNs min_rtt_stamp_ = 0;
+
+  double pacing_gain_ = 2.885;
+  double cwnd_gain_ = 2.885;
+
+  // STARTUP plateau detection (evaluated once per RTT-round, not per ACK).
+  double full_bw_ = 0.0;
+  int full_bw_rounds_ = 0;
+  TimeNs round_start_ = 0;
+
+  // PROBE_BW gain cycling.
+  int cycle_index_ = 0;
+  TimeNs cycle_stamp_ = 0;
+
+  // PROBE_RTT bookkeeping.
+  TimeNs probe_rtt_done_ = 0;
+  Mode mode_before_probe_rtt_ = Mode::kProbeBw;
+
+  uint64_t inflight_hint_ = 0;
+};
+
+}  // namespace astraea
+
+#endif  // SRC_CC_BBR_H_

@@ -1,0 +1,46 @@
+#include "src/cc/newreno.h"
+
+#include <algorithm>
+
+namespace astraea {
+
+void NewReno::OnFlowStart(TimeNs /*now*/, uint32_t mss) {
+  mss_ = mss;
+  cwnd_ = 10ULL * mss_;
+  ssthresh_ = UINT64_MAX;
+}
+
+void NewReno::OnAck(const AckEvent& ev) {
+  srtt_ = ev.srtt;
+  if (ev.now < recovery_until_) {
+    return;  // in recovery: hold the window
+  }
+  if (in_slow_start()) {
+    cwnd_ += ev.acked_bytes;
+    return;
+  }
+  // Congestion avoidance: one MSS per cwnd's worth of ACKed data.
+  ca_accumulator_ += static_cast<double>(ev.acked_bytes) * mss_ / static_cast<double>(cwnd_);
+  if (ca_accumulator_ >= mss_) {
+    cwnd_ += mss_;
+    ca_accumulator_ -= mss_;
+  }
+}
+
+void NewReno::OnLoss(const LossEvent& ev) {
+  if (ev.is_timeout) {
+    ssthresh_ = std::max<uint64_t>(cwnd_ / 2, 2ULL * mss_);
+    cwnd_ = 2ULL * mss_;
+    recovery_until_ = 0;
+    return;
+  }
+  if (ev.now < recovery_until_) {
+    return;  // one halving per window of data (per recovery episode)
+  }
+  ssthresh_ = std::max<uint64_t>(cwnd_ / 2, 2ULL * mss_);
+  cwnd_ = ssthresh_;
+  // Losses within roughly one RTT belong to the same congestion episode.
+  recovery_until_ = ev.now + srtt_;
+}
+
+}  // namespace astraea

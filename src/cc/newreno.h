@@ -1,0 +1,35 @@
+// TCP NewReno: slow start + AIMD congestion avoidance with fast-recovery-style
+// halving on packet loss (RFC 6582 behaviour at the granularity this simulator
+// models losses).
+
+#ifndef SRC_CC_NEWRENO_H_
+#define SRC_CC_NEWRENO_H_
+
+#include "src/sim/congestion_controller.h"
+
+namespace astraea {
+
+class NewReno : public CongestionController {
+ public:
+  void OnFlowStart(TimeNs now, uint32_t mss) override;
+  void OnAck(const AckEvent& ev) override;
+  void OnLoss(const LossEvent& ev) override;
+
+  uint64_t cwnd_bytes() const override { return cwnd_; }
+  std::string name() const override { return "newreno"; }
+
+  uint64_t ssthresh_bytes() const { return ssthresh_; }
+  bool in_slow_start() const { return cwnd_ < ssthresh_; }
+
+ private:
+  uint32_t mss_ = 1500;
+  uint64_t cwnd_ = 0;
+  uint64_t ssthresh_ = UINT64_MAX;
+  TimeNs recovery_until_ = 0;  // ignore further losses until this time passes
+  TimeNs srtt_ = Milliseconds(40);
+  double ca_accumulator_ = 0.0;
+};
+
+}  // namespace astraea
+
+#endif  // SRC_CC_NEWRENO_H_

@@ -1,0 +1,57 @@
+#include "src/cc/orca.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace astraea {
+
+Orca::Orca() : cubic_(std::make_unique<Cubic>()) {}
+
+void Orca::OnFlowStart(TimeNs now, uint32_t mss) {
+  mss_ = mss;
+  modulation_ = 1.0;
+  cubic_->OnFlowStart(now, mss);
+}
+
+void Orca::OnAck(const AckEvent& ev) { cubic_->OnAck(ev); }
+
+void Orca::OnLoss(const LossEvent& ev) { cubic_->OnLoss(ev); }
+
+void Orca::OnMtpTick(const MtpReport& report) {
+  // Performance-only agent: push the window up while latency is near the
+  // floor, pull it down once queueing builds. The target ratio (1.5x the
+  // minimum RTT) mirrors the latency/throughput trade Orca's reward strikes.
+  if (report.min_rtt > 0 && (lifetime_min_rtt_ == 0 || report.min_rtt < lifetime_min_rtt_)) {
+    lifetime_min_rtt_ = report.min_rtt;
+  }
+  const double min_rtt_ms = std::max(ToMillis(lifetime_min_rtt_), 0.1);
+  const double rtt_ms = report.avg_rtt > 0 ? ToMillis(report.avg_rtt) : min_rtt_ms;
+  const double latency_ratio = rtt_ms / min_rtt_ms;
+  latency_ratio_ewma_ = 0.6 * latency_ratio_ewma_ + 0.4 * latency_ratio;
+
+  double a = std::clamp(0.9 * (1.5 - latency_ratio_ewma_), -1.0, 1.0);
+  if (report.loss_ratio > 0.01) {
+    // Any sustained loss: stop boosting and let CUBIC's loss response rule
+    // (Orca inherits its loss behaviour from the underlying TCP).
+    a = std::min(a, report.loss_ratio > 0.05 ? -0.3 : 0.0);
+  }
+  modulation_ = std::pow(2.0, a);
+
+  // Orca applies cwnd = cwnd_cubic * 2^a and lets CUBIC continue from the
+  // applied window. This write-back is precisely what perturbs AIMD's loss
+  // clock and produces the residual instability §2/§5.2 describe. It is
+  // applied once per RTT: the agent must observe the previous application's
+  // effect before compounding another factor-of-two, or long-RTT paths blow
+  // up multiplicatively between feedback arrivals.
+  if (report.now - last_apply_ >= std::max<TimeNs>(report.srtt, report.mtp)) {
+    last_apply_ = report.now;
+    cubic_->SetCwndBytes(static_cast<uint64_t>(
+        static_cast<double>(cubic_->cwnd_bytes()) * modulation_));
+  }
+}
+
+uint64_t Orca::cwnd_bytes() const {
+  return std::max<uint64_t>(cubic_->cwnd_bytes(), 2ULL * mss_);
+}
+
+}  // namespace astraea

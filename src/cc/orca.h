@@ -1,0 +1,47 @@
+// Orca (Abbasloo et al., SIGCOMM 2020): "classic meets modern" — a DRL agent
+// periodically scales the congestion window computed by an underlying classic
+// TCP (CUBIC by default): cwnd = cwnd_cubic * 2^a, a in [-1, 1].
+//
+// The agent optimizes a *performance-only* objective (throughput vs latency/
+// loss; no fairness term), so the fairness Orca exhibits is inherited from
+// CUBIC's AIMD — and, as the paper observes, the RL modulation can suppress
+// the loss events AIMD's fairness proof relies on, producing the residual
+// instability the Fig. 6/12 experiments measure. The modulation policy here is
+// the performance-only distilled controller (see DESIGN.md substitutions).
+
+#ifndef SRC_CC_ORCA_H_
+#define SRC_CC_ORCA_H_
+
+#include <memory>
+
+#include "src/cc/cubic.h"
+#include "src/sim/congestion_controller.h"
+
+namespace astraea {
+
+class Orca : public CongestionController {
+ public:
+  Orca();
+
+  void OnFlowStart(TimeNs now, uint32_t mss) override;
+  void OnAck(const AckEvent& ev) override;
+  void OnLoss(const LossEvent& ev) override;
+  void OnMtpTick(const MtpReport& report) override;
+
+  uint64_t cwnd_bytes() const override;
+  std::string name() const override { return "orca"; }
+
+  double modulation() const { return modulation_; }  // the agent's 2^a factor
+
+ private:
+  std::unique_ptr<Cubic> cubic_;
+  uint32_t mss_ = 1500;
+  double modulation_ = 1.0;
+  double latency_ratio_ewma_ = 1.0;
+  TimeNs lifetime_min_rtt_ = 0;  // agent's latency floor (not the windowed min)
+  TimeNs last_apply_ = 0;        // modulation applied once per sRTT
+};
+
+}  // namespace astraea
+
+#endif  // SRC_CC_ORCA_H_

@@ -1,0 +1,143 @@
+#include "src/cc/vivace.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace astraea {
+
+Vivace::Vivace(VivaceConfig config) : config_(config) {}
+
+void Vivace::OnFlowStart(TimeNs now, uint32_t mss) {
+  mss_ = mss;
+  rate_ = config_.initial_rate;
+  phase_ = Phase::kStarting;
+  BeginMonitorInterval(now);
+}
+
+uint64_t Vivace::cwnd_bytes() const {
+  // A loose cap: two RTTs of data at the decision rate. Control is rate-based.
+  const double rtt = ToSeconds(std::max<TimeNs>(srtt_hint_, Milliseconds(1)));
+  return std::max<uint64_t>(static_cast<uint64_t>(2.0 * rate_ * rtt / 8.0), 4ULL * mss_);
+}
+
+std::optional<double> Vivace::pacing_bps() const { return ProbeRate(); }
+
+double Vivace::ProbeRate() const {
+  switch (phase_) {
+    case Phase::kProbeUp:
+      return rate_ * (1.0 + config_.epsilon);
+    case Phase::kProbeDown:
+      return rate_ * (1.0 - config_.epsilon);
+    default:
+      return rate_;
+  }
+}
+
+double Vivace::Utility(const MiStats& mi, double prev_rtt_ms) const {
+  const double x = mi.sent_mbps;
+  if (x <= 0.0) {
+    return 0.0;
+  }
+  double latency_gradient = 0.0;
+  if (prev_rtt_ms > 0.0 && mi.avg_rtt_ms > 0.0 && mi.duration_s > 0.0) {
+    latency_gradient = (mi.avg_rtt_ms - prev_rtt_ms) / 1000.0 / mi.duration_s;
+  }
+  return std::pow(x, config_.throughput_exponent) -
+         config_.latency_coeff * x * latency_gradient - config_.loss_coeff * x * mi.loss_ratio;
+}
+
+void Vivace::BeginMonitorInterval(TimeNs now) {
+  mi_start_ = now;
+  mi_settle_ = srtt_hint_ + Milliseconds(10);  // + loss-detection lag margin
+  mi_target_len_ = mi_settle_ + std::max<TimeNs>(srtt_hint_, Milliseconds(30));
+  mi_acked_bits_ = 0.0;
+  mi_rtt_sum_ms_ = 0.0;
+  mi_rtt_weight_ = 0.0;
+  mi_lost_bits_ = 0.0;
+}
+
+void Vivace::OnMtpTick(const MtpReport& report) {
+  srtt_hint_ = std::max<TimeNs>(report.srtt, Milliseconds(1));
+  if (report.now - mi_start_ > mi_settle_) {
+    const double dur_s = ToSeconds(report.mtp);
+    mi_acked_bits_ += report.thr_bps * dur_s;
+    mi_lost_bits_ += report.loss_bps * dur_s;
+    if (report.acked_packets > 0) {
+      mi_rtt_sum_ms_ += ToMillis(report.avg_rtt) * static_cast<double>(report.acked_packets);
+      mi_rtt_weight_ += static_cast<double>(report.acked_packets);
+    }
+  }
+  if (report.now - mi_start_ >= mi_target_len_) {
+    FinishMonitorInterval();
+    BeginMonitorInterval(report.now);
+  }
+}
+
+void Vivace::FinishMonitorInterval() {
+  MiStats mi;
+  mi.duration_s = ToSeconds(mi_target_len_ - mi_settle_);
+  const double total_bits = mi_acked_bits_ + mi_lost_bits_;
+  mi.sent_mbps = total_bits / mi.duration_s / 1e6;
+  mi.loss_ratio = total_bits > 0.0 ? mi_lost_bits_ / total_bits : 0.0;
+  mi.avg_rtt_ms = mi_rtt_weight_ > 0.0 ? mi_rtt_sum_ms_ / mi_rtt_weight_ : 0.0;
+  mi.valid = mi_rtt_weight_ > 0.0;
+  if (!mi.valid) {
+    return;  // nothing ACKed this MI; keep accumulating
+  }
+
+  const double u = Utility(mi, prev_mi_rtt_ms_);
+
+  switch (phase_) {
+    case Phase::kStarting:
+      if (u >= prev_utility_) {
+        prev_utility_ = u;
+        rate_ *= 2.0;
+      } else {
+        rate_ = std::max(rate_ / 2.0, config_.min_rate);
+        phase_ = Phase::kProbeUp;
+      }
+      break;
+    case Phase::kProbeUp:
+      utility_up_ = u;
+      phase_ = Phase::kProbeDown;
+      break;
+    case Phase::kProbeDown: {
+      utility_down_ = u;
+      const double rate_mbps = rate_ / 1e6;
+      const double grad =
+          (utility_up_ - utility_down_) / (2.0 * config_.epsilon * std::max(rate_mbps, 1e-3));
+      const double sign = grad > 0.0 ? 1.0 : (grad < 0.0 ? -1.0 : 0.0);
+      if (sign != 0.0 && sign == last_gradient_sign_) {
+        ++consecutive_same_sign_;
+      } else {
+        consecutive_same_sign_ = 0;
+      }
+      last_gradient_sign_ = sign;
+
+      const double theta = config_.theta0 * static_cast<double>(1 + consecutive_same_sign_);
+      double delta_mbps = theta * grad;
+      const double omega =
+          config_.omega_base + config_.omega_step * static_cast<double>(consecutive_same_sign_);
+      const double bound_mbps = omega * rate_mbps;
+      delta_mbps = std::clamp(delta_mbps, -bound_mbps, bound_mbps);
+      rate_ = std::max(rate_ + delta_mbps * 1e6, config_.min_rate);
+      phase_ = Phase::kProbeUp;
+      break;
+    }
+    case Phase::kDeciding:
+      phase_ = Phase::kProbeUp;
+      break;
+  }
+  prev_mi_rtt_ms_ = mi.avg_rtt_ms;
+}
+
+void Vivace::OnLoss(const LossEvent& ev) {
+  if (ev.is_timeout) {
+    rate_ = std::max(rate_ / 2.0, config_.min_rate);
+    phase_ = Phase::kProbeUp;
+    prev_utility_ = -1e18;
+  }
+  // Per-packet losses enter the utility via the MI loss ratio.
+}
+
+}  // namespace astraea

@@ -1,0 +1,103 @@
+// PCC Vivace (Dong et al., NSDI 2018): rate-based online learning.
+//
+// Vivace keeps no model of the network. Each monitor interval (MI, about one
+// RTT) it measures the utility
+//
+//   u(x) = x^0.9 - 900 * x * d(RTT)/dT - 11.25 * x * L        (paper Eq. 2)
+//
+// (x = sending rate in Mbps, d(RTT)/dT = latency gradient, L = loss ratio)
+// and performs gradient ascent: alternate probe MIs at r(1+eps) and r(1-eps),
+// estimate the utility gradient, then move the rate by theta * gradient with
+// a confidence amplifier (consecutive same-sign moves grow theta) and a
+// dynamic change boundary (omega) limiting each step.
+//
+// The initial conversion factor theta0 is exposed because the paper's Fig. 2
+// experiment enlarges it to trade stability for responsiveness.
+
+#ifndef SRC_CC_VIVACE_H_
+#define SRC_CC_VIVACE_H_
+
+#include "src/sim/congestion_controller.h"
+
+namespace astraea {
+
+struct VivaceConfig {
+  double epsilon = 0.05;          // probe amplitude
+  double theta0 = 0.8;            // initial conversion factor, Mbps per utility-gradient unit
+  double omega_base = 0.05;       // dynamic boundary start (fraction of rate)
+  double omega_step = 0.05;       // boundary growth per consecutive same-sign move
+  double initial_rate = 2e6;      // bps
+  double min_rate = 0.2e6;        // bps
+  double latency_coeff = 900.0;   // Eq. 2 "b"
+  double loss_coeff = 11.25;      // Eq. 2 "c"
+  double throughput_exponent = 0.9;
+};
+
+class Vivace : public CongestionController {
+ public:
+  explicit Vivace(VivaceConfig config = {});
+
+  void OnFlowStart(TimeNs now, uint32_t mss) override;
+  void OnMtpTick(const MtpReport& report) override;
+  void OnLoss(const LossEvent& ev) override;
+
+  uint64_t cwnd_bytes() const override;
+  std::optional<double> pacing_bps() const override;
+  std::string name() const override { return "vivace"; }
+
+  double rate_bps() const { return rate_; }
+
+  enum class Phase { kStarting, kProbeUp, kProbeDown, kDeciding };
+  Phase phase() const { return phase_; }
+
+ private:
+  struct MiStats {
+    double sent_mbps = 0.0;
+    double avg_rtt_ms = 0.0;
+    double loss_ratio = 0.0;
+    double duration_s = 0.0;
+    bool valid = false;
+  };
+
+  double Utility(const MiStats& mi, double prev_rtt_ms) const;
+  void FinishMonitorInterval();
+  void BeginMonitorInterval(TimeNs now);
+  double ProbeRate() const;
+
+  VivaceConfig config_;
+  uint32_t mss_ = 1500;
+  double rate_ = 0.0;      // decision rate (bps)
+  Phase phase_ = Phase::kStarting;
+
+  // Current MI accumulation. Each MI begins with a one-RTT settle period
+  // whose ACKs are excluded: they still reflect packets paced at the previous
+  // probe rate (PCC attributes statistics to packets by send time; the settle
+  // window is the equivalent at MTP granularity).
+  TimeNs mi_start_ = 0;
+  TimeNs mi_settle_ = 0;
+  TimeNs mi_target_len_ = Milliseconds(30);
+  double mi_acked_bits_ = 0.0;
+  double mi_rtt_sum_ms_ = 0.0;
+  double mi_rtt_weight_ = 0.0;
+  double mi_lost_bits_ = 0.0;
+
+  MiStats last_mi_;
+  double prev_mi_rtt_ms_ = 0.0;
+
+  // Starting-phase bookkeeping.
+  double prev_utility_ = -1e18;
+
+  // Probe-pair results.
+  double utility_up_ = 0.0;
+  double utility_down_ = 0.0;
+
+  // Gradient-move state.
+  int consecutive_same_sign_ = 0;
+  double last_gradient_sign_ = 0.0;
+
+  TimeNs srtt_hint_ = Milliseconds(40);
+};
+
+}  // namespace astraea
+
+#endif  // SRC_CC_VIVACE_H_

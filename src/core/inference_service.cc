@@ -1,0 +1,43 @@
+#include "src/core/inference_service.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace astraea {
+
+InferenceService::InferenceService(Mlp actor, TimeNs batch_window)
+    : actor_(std::move(actor)), batch_window_(batch_window) {}
+
+void InferenceService::Submit(std::vector<float> state, Callback callback) {
+  ASTRAEA_CHECK(state.size() == state_dim());
+  pending_states_.insert(pending_states_.end(), state.begin(), state.end());
+  pending_callbacks_.push_back(std::move(callback));
+  ++total_requests_;
+}
+
+size_t InferenceService::Flush() {
+  const size_t batch = pending_callbacks_.size();
+  if (batch == 0) {
+    return 0;
+  }
+  const std::vector<float> out = actor_.InferBatch(pending_states_, batch);
+  const size_t out_dim = static_cast<size_t>(actor_.output_size());
+  for (size_t i = 0; i < batch; ++i) {
+    if (pending_callbacks_[i]) {
+      pending_callbacks_[i](std::clamp<double>(out[i * out_dim], -1.0, 1.0));
+    }
+  }
+  pending_states_.clear();
+  pending_callbacks_.clear();
+  ++total_batches_;
+  max_batch_ = std::max(max_batch_, batch);
+  return batch;
+}
+
+std::vector<float> InferenceService::InferBatch(std::span<const float> states,
+                                                size_t batch) const {
+  return actor_.InferBatch(states, batch);
+}
+
+}  // namespace astraea

@@ -1,0 +1,62 @@
+// The Astraea inference service (paper §4): one model server shared by many
+// senders. Requests arriving within a batching window (default 5 ms) are
+// scored together with a single batched forward pass, which is what keeps
+// CPU cost sublinear in the number of concurrent flows (Fig. 16b) — unlike
+// Orca's one-inference-process-per-flow design.
+//
+// The production system speaks UNIX/UDP sockets; here the transport is a
+// direct call API (Submit + Flush), which is what both the Fig. 16 benchmark
+// and the examples drive. The batching semantics are identical.
+
+#ifndef SRC_CORE_INFERENCE_SERVICE_H_
+#define SRC_CORE_INFERENCE_SERVICE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/nn/mlp.h"
+#include "src/util/time.h"
+
+namespace astraea {
+
+class InferenceService {
+ public:
+  // The service owns its copy of the actor network.
+  explicit InferenceService(Mlp actor, TimeNs batch_window = Milliseconds(5));
+
+  using Callback = std::function<void(double action)>;
+
+  // Enqueues a request. Requests are answered on the next Flush().
+  void Submit(std::vector<float> state, Callback callback);
+
+  // Scores every pending request as one batch and invokes the callbacks.
+  // Returns the batch size served.
+  size_t Flush();
+
+  // Convenience synchronous path: score a whole batch at once (states is
+  // row-major [batch x state_dim]).
+  std::vector<float> InferBatch(std::span<const float> states, size_t batch) const;
+
+  TimeNs batch_window() const { return batch_window_; }
+  size_t pending() const { return pending_states_.size() / state_dim(); }
+  size_t state_dim() const { return static_cast<size_t>(actor_.input_size()); }
+
+  // Cumulative statistics for the overhead benchmarks.
+  uint64_t total_requests() const { return total_requests_; }
+  uint64_t total_batches() const { return total_batches_; }
+  size_t max_batch() const { return max_batch_; }
+
+ private:
+  Mlp actor_;
+  TimeNs batch_window_;
+  std::vector<float> pending_states_;  // row-major
+  std::vector<Callback> pending_callbacks_;
+  uint64_t total_requests_ = 0;
+  uint64_t total_batches_ = 0;
+  size_t max_batch_ = 0;
+};
+
+}  // namespace astraea
+
+#endif  // SRC_CORE_INFERENCE_SERVICE_H_

@@ -1,0 +1,107 @@
+#include "src/core/learner.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace astraea {
+
+Learner::Learner(LearnerConfig config) : config_(config), rng_(config.seed) {
+  Td3Config td3;
+  td3.local_state_dim = LocalStateDim(config_.hp);
+  td3.global_state_dim = kGlobalFeatures;
+  td3.action_dim = 1;
+  td3.actor_lr = static_cast<float>(config_.hp.learning_rate);
+  td3.critic_lr = static_cast<float>(config_.hp.learning_rate);
+  td3.gamma = static_cast<float>(config_.hp.gamma);
+  td3.batch_size = static_cast<size_t>(config_.hp.batch_size);
+  trainer_ = std::make_unique<Td3Trainer>(td3, &rng_);
+  buffer_ = std::make_unique<ReplayBuffer>(config_.replay_capacity);
+}
+
+void Learner::Train(int episodes,
+                    const std::function<void(const EpisodeDiagnostics&)>& on_episode) {
+  for (int e = 0; e < episodes; ++e) {
+    // Linear exploration decay across this call's episode budget.
+    const double frac = episodes > 1 ? static_cast<double>(e) / (episodes - 1) : 1.0;
+    const double noise = config_.exploration_noise +
+                         frac * (config_.exploration_noise_final - config_.exploration_noise);
+
+    // Appendix A: several environment instances share the networks and the
+    // replay buffer. Instance 0 drives the model-update cadence; the others
+    // contribute experience only (they are advanced in lockstep below).
+    const int instances = std::max(config_.env_instances, 1);
+    std::vector<std::unique_ptr<MultiFlowEnv>> extra_envs;
+    for (int i = 1; i < instances; ++i) {
+      EnvEpisodeConfig extra = SampleEpisode(config_.ranges, &rng_);
+      extra.episode_length = config_.episode_length;
+      extra_envs.push_back(std::make_unique<MultiFlowEnv>(extra, config_.hp, trainer_.get(),
+                                                          buffer_.get(), noise, &rng_));
+    }
+
+    EnvEpisodeConfig env_config = SampleEpisode(config_.ranges, &rng_);
+    env_config.episode_length = config_.episode_length;
+    MultiFlowEnv env(env_config, config_.hp, trainer_.get(), buffer_.get(), noise, &rng_);
+
+    Td3Diagnostics last_td3;
+    TimeNs extra_progress = 0;
+    const EpisodeStats stats = env.Run([this, &last_td3, &extra_envs, &extra_progress] {
+      extra_progress += config_.hp.model_update_interval;
+      for (auto& extra : extra_envs) {
+        extra->network().Run(extra_progress);
+      }
+      for (int step = 0; step < config_.hp.model_update_steps; ++step) {
+        last_td3 = trainer_->Update(*buffer_, &rng_);
+      }
+    });
+
+    ++episodes_done_;
+    EpisodeDiagnostics diag;
+    diag.episode = episodes_done_;
+    diag.env = stats;
+    diag.td3 = last_td3;
+    if (episodes_done_ % 10 == 0) {
+      diag.eval_jain = EvaluateFairness();
+    }
+    if (on_episode) {
+      on_episode(diag);
+    }
+  }
+}
+
+double Learner::EvaluateFairness() {
+  EnvEpisodeConfig config;
+  config.bandwidth = Mbps(100);
+  config.base_rtt = Milliseconds(40);
+  config.buffer_bdp = 1.0;
+  config.episode_length = Seconds(24.0);
+  config.seed = 42;
+  for (int i = 0; i < 3; ++i) {
+    FlowSchedule f;
+    f.start = Seconds(4.0 * i);
+    f.duration = -1;
+    config.flows.push_back(f);
+  }
+  // Evaluation uses the deterministic policy: no exploration noise, and a
+  // throwaway replay buffer so evaluation does not contaminate training.
+  ReplayBuffer scratch(1024);
+  MultiFlowEnv env(config, config_.hp, trainer_.get(), &scratch, /*noise_std=*/0.0, &rng_);
+  env.Run({});
+
+  // Average Jain over the three-flow window.
+  std::vector<double> rates;
+  const Network& net = env.network();
+  double jain_sum = 0.0;
+  int slots = 0;
+  for (TimeNs t = Seconds(9.0); t + Seconds(1.0) <= config.episode_length; t += Seconds(1.0)) {
+    rates.clear();
+    for (size_t i = 0; i < net.flow_count(); ++i) {
+      rates.push_back(net.flow_stats(static_cast<int>(i)).throughput_mbps.MeanOver(t, t + Seconds(1.0)));
+    }
+    jain_sum += JainIndex(rates);
+    ++slots;
+  }
+  return slots > 0 ? jain_sum / slots : 0.0;
+}
+
+}  // namespace astraea

@@ -1,0 +1,72 @@
+// The Learner (paper Fig. 3 / Algorithm 1 / Appendix A): owns the shared
+// actor-critic, the replay buffer, and the episode loop over randomized
+// environments. Every model_update_interval of environment time it performs
+// model_update_steps TD3 gradient updates; the updated policy is implicitly
+// "pushed" to all agents because they act through the trainer's actor.
+
+#ifndef SRC_CORE_LEARNER_H_
+#define SRC_CORE_LEARNER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/core/multi_flow_env.h"
+#include "src/core/training_config.h"
+#include "src/rl/replay_buffer.h"
+#include "src/rl/td3.h"
+#include "src/util/rng.h"
+
+namespace astraea {
+
+struct LearnerConfig {
+  AstraeaHyperparameters hp;
+  TrainingEnvRanges ranges;
+  size_t replay_capacity = 200'000;
+  double exploration_noise = 0.15;     // decayed over training
+  double exploration_noise_final = 0.03;
+  TimeNs episode_length = Seconds(30.0);
+  // Appendix A: training runs multiple environment instances that share the
+  // actor/critic and the replay buffer (the paper uses 4). Instances are
+  // stepped in lockstep per model-update interval; transitions from all of
+  // them land in the common buffer.
+  int env_instances = 1;
+  uint64_t seed = 7;
+};
+
+struct EpisodeDiagnostics {
+  int episode = 0;
+  EpisodeStats env;
+  Td3Diagnostics td3;
+  double eval_jain = -1.0;  // filled when an eval ran this episode
+};
+
+class Learner {
+ public:
+  explicit Learner(LearnerConfig config);
+
+  // Runs `episodes` training episodes; invokes `on_episode` after each.
+  void Train(int episodes, const std::function<void(const EpisodeDiagnostics&)>& on_episode);
+
+  // Deterministic evaluation: 3 staggered flows on a mid-range link; returns
+  // the average Jain index over the competition window.
+  double EvaluateFairness();
+
+  Td3Trainer& trainer() { return *trainer_; }
+  ReplayBuffer& buffer() { return *buffer_; }
+  const LearnerConfig& config() const { return config_; }
+
+  void SaveCheckpoint(const std::string& path) const { trainer_->SaveActor(path); }
+  void LoadCheckpoint(const std::string& path) { trainer_->LoadActor(path); }
+
+ private:
+  LearnerConfig config_;
+  Rng rng_;
+  std::unique_ptr<Td3Trainer> trainer_;
+  std::unique_ptr<ReplayBuffer> buffer_;
+  int episodes_done_ = 0;
+};
+
+}  // namespace astraea
+
+#endif  // SRC_CORE_LEARNER_H_

@@ -1,0 +1,109 @@
+// The multi-flow training environment (paper §3.2): Flow Generator + Runtime
+// + Controller (Observer/Enforcer) wired to the RL agents.
+//
+// Each Astraea flow is an AstraeaController whose ActionHook routes decisions
+// through this environment: the proposed action gets exploration noise, the
+// Observer assembles the Table-2 global state from every active flow's latest
+// MTP report, the reward block scores the elapsed interval for the whole
+// link, and the (g, s, a, r, g', s') transition is pushed into the shared
+// replay buffer. Policy parameters stay in the Td3Trainer — all agents share
+// them (centralized training, decentralized execution).
+
+#ifndef SRC_CORE_MULTI_FLOW_ENV_H_
+#define SRC_CORE_MULTI_FLOW_ENV_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/core/astraea_controller.h"
+#include "src/core/reward.h"
+#include "src/core/training_config.h"
+#include "src/rl/replay_buffer.h"
+#include "src/rl/td3.h"
+#include "src/sim/network.h"
+#include "src/util/rng.h"
+
+namespace astraea {
+
+struct FlowSchedule {
+  TimeNs start = 0;
+  TimeNs duration = -1;
+  TimeNs extra_one_way_delay = 0;
+};
+
+struct EnvEpisodeConfig {
+  RateBps bandwidth = Mbps(100);
+  TimeNs base_rtt = Milliseconds(30);
+  double buffer_bdp = 1.0;
+  std::vector<FlowSchedule> flows;
+  TimeNs episode_length = Seconds(30.0);
+  uint64_t seed = 1;
+};
+
+// Samples one training episode from the Table-3 ranges: uniform bandwidth /
+// RTT / buffer, 2-5 flows with heterogeneous extra delays and Poisson-spread
+// start times (§3.2's arrival randomization).
+EnvEpisodeConfig SampleEpisode(const TrainingEnvRanges& ranges, Rng* rng);
+
+struct EpisodeStats {
+  double mean_reward = 0.0;
+  double mean_r_fair = 0.0;
+  double mean_r_thr = 0.0;
+  int decisions = 0;
+};
+
+class MultiFlowEnv {
+ public:
+  // `trainer` provides the shared actor; `buffer` receives transitions.
+  // `noise_std` is the exploration noise added to each proposed action.
+  MultiFlowEnv(EnvEpisodeConfig config, const AstraeaHyperparameters& hp, Td3Trainer* trainer,
+               ReplayBuffer* buffer, double noise_std, Rng* rng);
+
+  // Runs the episode; `on_update` fires every hp.model_update_interval of
+  // environment time (the Learner performs its 20 gradient steps there).
+  EpisodeStats Run(const std::function<void()>& on_update);
+
+  Network& network() { return *network_; }
+
+ private:
+  struct PendingDecision {
+    bool valid = false;
+    std::vector<float> global_state;
+    std::vector<float> local_state;
+    float action = 0.0f;
+  };
+
+  double OnDecision(int flow_id, const StateView& view, double proposed);
+  std::vector<float> ObserveGlobalState() const;
+  RewardBreakdown ComputeGlobalReward() const;
+
+  EnvEpisodeConfig config_;
+  AstraeaHyperparameters hp_;
+  Td3Trainer* trainer_;
+  ReplayBuffer* buffer_;
+  double noise_std_;
+  Rng rng_;
+
+  std::unique_ptr<Network> network_;
+  std::vector<AstraeaController*> controllers_;  // index = flow id
+  std::vector<PendingDecision> pending_;
+  LinkInfo link_info_;
+  EpisodeStats stats_;
+};
+
+// Policy adapter exposing the trainer's current actor to AstraeaController.
+class TrainerActorPolicy : public Policy {
+ public:
+  explicit TrainerActorPolicy(const Td3Trainer* trainer) : trainer_(trainer) {}
+  double Act(const StateView& view) const override {
+    return trainer_->Act(view.state_vector)[0];
+  }
+  std::string name() const override { return "astraea-train"; }
+
+ private:
+  const Td3Trainer* trainer_;
+};
+
+}  // namespace astraea
+
+#endif  // SRC_CORE_MULTI_FLOW_ENV_H_

@@ -1,0 +1,106 @@
+#include "src/core/reward.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/core/state_block.h"
+
+namespace astraea {
+
+double RewardThroughput(std::span<const FlowRewardInput> flows, RateBps bandwidth) {
+  if (bandwidth <= 0.0) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (const auto& f : flows) {
+    sum += f.thr_bps;
+  }
+  return sum / bandwidth;
+}
+
+double RewardLoss(std::span<const FlowRewardInput> flows) {
+  if (flows.empty()) {
+    return 0.0;
+  }
+  double acc = 0.0;
+  for (const auto& f : flows) {
+    if (f.thr_bps > 0.0) {
+      acc += f.loss_bps / f.thr_bps;
+    } else if (f.loss_bps > 0.0) {
+      acc += 1.0;  // everything sent was lost
+    }
+  }
+  return acc / static_cast<double>(flows.size());
+}
+
+double RewardLatency(std::span<const FlowRewardInput> flows, TimeNs d0, double beta) {
+  if (flows.empty()) {
+    return 0.0;
+  }
+  double lat_sum = 0.0;
+  double pacing_sum = 0.0;
+  for (const auto& f : flows) {
+    lat_sum += ToSeconds(f.avg_lat);
+    pacing_sum += f.pacing_bps;
+  }
+  const double avg_lat = lat_sum / static_cast<double>(flows.size());
+  const double base_rtt = 2.0 * ToSeconds(d0);
+  const double threshold = (1.0 + beta) * base_rtt;
+  if (avg_lat <= threshold || base_rtt <= 0.0) {
+    return 0.0;  // small queues are free (Eq. 5's grace band)
+  }
+  // "Total increased latency of all sending packets": excess delay times the
+  // aggregate pacing rate. Normalized by base RTT and by the rate scale so the
+  // term's magnitude is comparable across network conditions (§3.3: "these
+  // metrics are all normalized").
+  const double excess = (avg_lat - threshold) / base_rtt;
+  const double pacing_norm = pacing_sum / kThrScaleBps;
+  return excess * pacing_norm;
+}
+
+double RewardFairness(std::span<const FlowRewardInput> flows) {
+  if (flows.size() < 2) {
+    return 0.0;
+  }
+  const double n = static_cast<double>(flows.size());
+  double sum = 0.0;
+  for (const auto& f : flows) {
+    sum += f.avg_thr_bps;
+  }
+  if (sum <= 0.0) {
+    return 0.0;
+  }
+  const double mean = sum / n;
+  double sq = 0.0;
+  for (const auto& f : flows) {
+    sq += (f.avg_thr_bps - mean) * (f.avg_thr_bps - mean);
+  }
+  return std::sqrt(sq / (n * sum * sum));
+}
+
+double RewardStability(std::span<const FlowRewardInput> flows) {
+  if (flows.empty()) {
+    return 0.0;
+  }
+  double acc = 0.0;
+  for (const auto& f : flows) {
+    acc += f.stability;
+  }
+  return acc / static_cast<double>(flows.size());
+}
+
+RewardBreakdown ComputeReward(std::span<const FlowRewardInput> flows, RateBps bandwidth,
+                              TimeNs d0, const RewardCoefficients& coeff) {
+  RewardBreakdown out;
+  out.r_thr = RewardThroughput(flows, bandwidth);
+  out.r_lat = RewardLatency(flows, d0, coeff.beta);
+  out.r_loss = RewardLoss(flows);
+  out.r_fair = RewardFairness(flows);
+  out.r_stab = RewardStability(flows);
+  const double raw = coeff.c0 * out.r_thr - coeff.c1 * out.r_lat - coeff.c2 * out.r_loss -
+                     coeff.c3 * out.r_fair - coeff.c4 * out.r_stab;
+  out.total = std::clamp(raw, -0.1, 0.1);
+  return out;
+}
+
+}  // namespace astraea

@@ -1,0 +1,62 @@
+// The reward block (paper §3.3, Eqs. 4-8): the global training signal that
+// encodes throughput, latency (with a grace band), loss, fairness and
+// stability. Pure functions over per-flow MTP statistics so every term is
+// independently testable (and so Fig. 4's Jain-saturation analysis can reuse
+// the exact production R_fair).
+
+#ifndef SRC_CORE_REWARD_H_
+#define SRC_CORE_REWARD_H_
+
+#include <span>
+#include <vector>
+
+#include "src/core/training_config.h"
+#include "src/util/time.h"
+
+namespace astraea {
+
+// Per-flow inputs for one reward evaluation.
+struct FlowRewardInput {
+  double thr_bps = 0.0;                 // current-MTP throughput
+  double avg_thr_bps = 0.0;             // avg over the last w MTPs (Eq. 7)
+  double stability = 0.0;               // normalized thr stddev over w (Eq. 6 inner term)
+  double loss_bps = 0.0;
+  TimeNs avg_lat = 0;                   // mean ACK RTT in the MTP
+  double pacing_bps = 0.0;
+};
+
+struct RewardBreakdown {
+  double r_thr = 0.0;
+  double r_lat = 0.0;
+  double r_loss = 0.0;
+  double r_fair = 0.0;
+  double r_stab = 0.0;
+  double total = 0.0;  // c0*r_thr - c1*r_lat - c2*r_loss - c3*r_fair - c4*r_stab, clamped
+};
+
+// Eq. 4, throughput term: sum(thr_i) / c.
+double RewardThroughput(std::span<const FlowRewardInput> flows, RateBps bandwidth);
+
+// Eq. 4, loss term: mean_i(loss_i / thr_i).
+double RewardLoss(std::span<const FlowRewardInput> flows);
+
+// Eq. 5, latency term with the (1+beta)*d0 grace band and pacing multiplier.
+// d0 is the base one-way delay; latencies are RTTs, compared against 2*d0
+// inflated by beta. Normalized so its magnitude is comparable to the other
+// terms across network scales.
+double RewardLatency(std::span<const FlowRewardInput> flows, TimeNs d0, double beta);
+
+// Eq. 6, fairness term: normalized stddev of the flows' w-averaged
+// throughputs. Zero iff all average throughputs are equal.
+double RewardFairness(std::span<const FlowRewardInput> flows);
+
+// Eq. 6, stability term: mean over flows of the per-flow normalized stddev.
+double RewardStability(std::span<const FlowRewardInput> flows);
+
+// Eq. 8 with the Table-4 coefficients, bounded to (-0.1, 0.1).
+RewardBreakdown ComputeReward(std::span<const FlowRewardInput> flows, RateBps bandwidth,
+                              TimeNs d0, const RewardCoefficients& coeff);
+
+}  // namespace astraea
+
+#endif  // SRC_CORE_REWARD_H_

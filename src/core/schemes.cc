@@ -1,0 +1,63 @@
+#include "src/core/schemes.h"
+
+#include "src/cc/aurora.h"
+#include "src/cc/bbr.h"
+#include "src/cc/copa.h"
+#include "src/cc/cubic.h"
+#include "src/cc/newreno.h"
+#include "src/cc/orca.h"
+#include "src/cc/remy.h"
+#include "src/cc/vegas.h"
+#include "src/core/astraea_controller.h"
+#include "src/util/logging.h"
+
+namespace astraea {
+
+CcFactory MakeSchemeFactory(const std::string& name, SchemeOptions* options) {
+  ASTRAEA_CHECK(options != nullptr);
+  if (name == "newreno") {
+    return [] { return std::make_unique<NewReno>(); };
+  }
+  if (name == "cubic") {
+    return [] { return std::make_unique<Cubic>(); };
+  }
+  if (name == "vegas") {
+    return [] { return std::make_unique<Vegas>(); };
+  }
+  if (name == "bbr") {
+    return [] { return std::make_unique<Bbr>(); };
+  }
+  if (name == "copa") {
+    return [] { return std::make_unique<Copa>(); };
+  }
+  if (name == "vivace") {
+    const VivaceConfig config = options->vivace;
+    return [config] { return std::make_unique<Vivace>(config); };
+  }
+  if (name == "aurora") {
+    return [] { return std::make_unique<Aurora>(); };
+  }
+  if (name == "orca") {
+    return [] { return std::make_unique<Orca>(); };
+  }
+  if (name == "remy") {
+    return [] { return std::make_unique<Remy>(); };
+  }
+  if (name == "astraea") {
+    if (options->astraea_policy == nullptr) {
+      options->astraea_policy = LoadDefaultPolicy();
+    }
+    auto policy = options->astraea_policy;
+    const AstraeaHyperparameters hp = options->astraea_hp;
+    return [policy, hp] { return std::make_unique<AstraeaController>(policy, hp); };
+  }
+  ASTRAEA_LOG(Error) << "unknown scheme: " << name;
+  std::abort();
+}
+
+std::vector<std::string> AllSchemeNames() {
+  return {"newreno", "cubic", "vegas",  "bbr",  "copa",
+          "vivace",  "aurora", "orca",  "remy", "astraea"};
+}
+
+}  // namespace astraea

@@ -1,0 +1,36 @@
+// Name -> CongestionController factory registry used by the benchmark
+// harness, the examples and the run_scenario CLI.
+
+#ifndef SRC_CORE_SCHEMES_H_
+#define SRC_CORE_SCHEMES_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cc/vivace.h"
+#include "src/core/policy.h"
+#include "src/sim/network.h"
+
+namespace astraea {
+
+struct SchemeOptions {
+  // Shared policy for all Astraea flows (loaded once). Defaults to
+  // LoadDefaultPolicy() on first use.
+  std::shared_ptr<const Policy> astraea_policy;
+  // Overrides for the tuned-Vivace experiments (Fig. 2).
+  VivaceConfig vivace;
+  AstraeaHyperparameters astraea_hp;
+};
+
+// Returns a factory for `name`; aborts on unknown names (listed below).
+// Known names: newreno, cubic, vegas, bbr, copa, vivace, aurora, orca, remy,
+// astraea.
+CcFactory MakeSchemeFactory(const std::string& name, SchemeOptions* options);
+
+// All scheme names in the paper's comparison order.
+std::vector<std::string> AllSchemeNames();
+
+}  // namespace astraea
+
+#endif  // SRC_CORE_SCHEMES_H_

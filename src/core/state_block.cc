@@ -1,0 +1,136 @@
+#include "src/core/state_block.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/logging.h"
+#include "src/util/stats.h"
+
+namespace astraea {
+
+LocalFeatures StateBlock::Update(const MtpReport& report, uint32_t mss) {
+  thr_max_bps_ = std::max(thr_max_bps_, report.thr_bps);
+  if (report.min_rtt > 0) {
+    // The sender already maintains min_rtt over a sliding window; track it
+    // directly so the latency floor can rise again after path changes.
+    lat_min_ = report.min_rtt;
+  }
+
+  LocalFeatures f;
+  const double thr_max = std::max(thr_max_bps_, 1.0);
+  const double lat_min_s = std::max(ToSeconds(lat_min_), 1e-4);
+  const double lat_s = report.avg_rtt > 0 ? ToSeconds(report.avg_rtt) : lat_min_s;
+
+  f.thr_ratio = report.thr_bps / thr_max;
+  f.thr_max_scaled = thr_max / kThrScaleBps;
+  f.lat_ratio = lat_s / lat_min_s;
+  f.lat_min_scaled = lat_min_s / kLatScaleSec;
+  // cwnd (bytes) relative to the historical BDP (thr_max in bytes/s * lat_min).
+  f.rel_cwnd = static_cast<double>(report.cwnd_bytes) / (thr_max / 8.0 * lat_min_s);
+  f.loss_ratio_thr = report.loss_bps / thr_max;
+  const double cwnd_pkts = std::max(static_cast<double>(report.cwnd_bytes) / mss, 1.0);
+  f.inflight_ratio = static_cast<double>(report.inflight_packets) / cwnd_pkts;
+  f.pacing_ratio = report.pacing_bps / thr_max;
+
+  history_.push_back(f);
+  while (static_cast<int>(history_.size()) > history_length_) {
+    history_.pop_front();
+  }
+  thr_history_bps_.push_back(report.thr_bps);
+  while (static_cast<int>(thr_history_bps_.size()) > history_length_) {
+    thr_history_bps_.pop_front();
+  }
+  return f;
+}
+
+std::vector<float> StateBlock::StateVector() const {
+  // Features are clamped to [0, 10]: most live in [0, ~2] by construction,
+  // but ratios against a tiny thr_max/lat_min can transiently explode, and
+  // unbounded network inputs destabilize critic training.
+  auto clamped = [](double v) { return static_cast<float>(std::clamp(v, 0.0, 10.0)); };
+  std::vector<float> state(static_cast<size_t>(history_length_) * kLocalFeatures, 0.0f);
+  size_t offset = (static_cast<size_t>(history_length_) - history_.size()) * kLocalFeatures;
+  for (const LocalFeatures& f : history_) {
+    state[offset + 0] = clamped(f.thr_ratio);
+    state[offset + 1] = clamped(f.thr_max_scaled);
+    state[offset + 2] = clamped(f.lat_ratio);
+    state[offset + 3] = clamped(f.lat_min_scaled);
+    state[offset + 4] = clamped(f.rel_cwnd);
+    state[offset + 5] = clamped(f.loss_ratio_thr);
+    state[offset + 6] = clamped(f.inflight_ratio);
+    state[offset + 7] = clamped(f.pacing_ratio);
+    offset += kLocalFeatures;
+  }
+  return state;
+}
+
+double StateBlock::AvgThroughputBps() const {
+  if (thr_history_bps_.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (double v : thr_history_bps_) {
+    sum += v;
+  }
+  return sum / static_cast<double>(thr_history_bps_.size());
+}
+
+double StateBlock::ThroughputStability() const {
+  const double avg = AvgThroughputBps();
+  if (avg <= 0.0 || thr_history_bps_.size() < 2) {
+    return 0.0;
+  }
+  double acc = 0.0;
+  for (double v : thr_history_bps_) {
+    acc += (v - avg) * (v - avg);
+  }
+  return std::sqrt(acc / static_cast<double>(thr_history_bps_.size())) / avg;
+}
+
+std::vector<float> BuildGlobalState(const std::vector<const MtpReport*>& reports,
+                                    const LinkInfo& link, uint32_t mss) {
+  std::vector<float> g(kGlobalFeatures, 0.0f);
+  if (reports.empty()) {
+    return g;
+  }
+  double ovr_thr = 0.0;
+  double min_thr = 1e300;
+  double max_thr = 0.0;
+  double lat_sum = 0.0;
+  double min_cwnd = 1e300;
+  double max_cwnd = 0.0;
+  double cwnd_sum = 0.0;
+  double loss_sum = 0.0;
+  for (const MtpReport* r : reports) {
+    ovr_thr += r->thr_bps;
+    min_thr = std::min(min_thr, r->thr_bps);
+    max_thr = std::max(max_thr, r->thr_bps);
+    lat_sum += r->avg_rtt > 0 ? ToSeconds(r->avg_rtt) : 0.0;
+    const double cwnd = static_cast<double>(r->cwnd_bytes);
+    min_cwnd = std::min(min_cwnd, cwnd);
+    max_cwnd = std::max(max_cwnd, cwnd);
+    cwnd_sum += cwnd;
+    loss_sum += r->loss_ratio;
+  }
+  const double n = static_cast<double>(reports.size());
+  const double c = std::max(static_cast<double>(link.bandwidth), 1.0);
+  const double bdp_bytes =
+      std::max(c / 8.0 * ToSeconds(2 * link.base_one_way_delay), static_cast<double>(mss));
+
+  auto clamped = [](double v) { return static_cast<float>(std::clamp(v, 0.0, 10.0)); };
+  g[0] = clamped(ovr_thr / c);
+  g[1] = clamped(min_thr / c);
+  g[2] = clamped(max_thr / c);
+  g[3] = clamped(lat_sum / n / kLatScaleSec);
+  g[4] = clamped(min_cwnd / bdp_bytes);
+  g[5] = clamped(max_cwnd / bdp_bytes);
+  g[6] = clamped(cwnd_sum / n / bdp_bytes);
+  g[7] = clamped(loss_sum / n);
+  g[8] = clamped(n / 8.0);
+  g[9] = clamped(ToSeconds(link.base_one_way_delay) / kLatScaleSec);
+  g[10] = clamped(static_cast<double>(link.buffer_bytes) / bdp_bytes / 16.0);
+  g[11] = clamped(c / kThrScaleBps);
+  return g;
+}
+
+}  // namespace astraea

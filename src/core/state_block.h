@@ -1,0 +1,80 @@
+// The state block (paper §3.3): turns per-MTP packet statistics into the
+// agent's local state — eight normalized features stacked over a history
+// window w — and, during training, the Table-2 global aggregate the critic
+// consumes.
+
+#ifndef SRC_CORE_STATE_BLOCK_H_
+#define SRC_CORE_STATE_BLOCK_H_
+
+#include <deque>
+#include <vector>
+
+#include "src/core/training_config.h"
+#include "src/sim/congestion_controller.h"
+
+namespace astraea {
+
+// Scales that map raw quantities into O(1) ranges for the network inputs. The
+// two un-normalized features (thr_max, lat_min) are divided by these so the
+// model still sees magnitude information on a bounded scale (§3.3).
+inline constexpr double kThrScaleBps = 200e6;    // 200 Mbps
+inline constexpr double kLatScaleSec = 0.2;      // 200 ms
+
+// One MTP's worth of features (the eight bullets of §3.3, in order).
+struct LocalFeatures {
+  double thr_ratio = 0.0;       // thr / thr_max
+  double thr_max_scaled = 0.0;  // thr_max / kThrScaleBps
+  double lat_ratio = 1.0;       // lat / lat_min
+  double lat_min_scaled = 0.0;  // lat_min / kLatScaleSec
+  double rel_cwnd = 0.0;        // cwnd / (thr_max * lat_min)
+  double loss_ratio_thr = 0.0;  // loss rate / thr_max
+  double inflight_ratio = 0.0;  // pkt_in_flight / cwnd_pkts
+  double pacing_ratio = 0.0;    // pacing rate / thr_max
+};
+
+// Per-flow tracker feeding the RL agent. Owns the flow's running extremes
+// (thr_max, lat_min) and the w-deep feature history.
+class StateBlock {
+ public:
+  explicit StateBlock(int history_length) : history_length_(history_length) {}
+
+  // Ingests one MTP report; returns the features just computed.
+  LocalFeatures Update(const MtpReport& report, uint32_t mss);
+
+  // Stacked state vector (w * kLocalFeatures floats, oldest first; zero-padded
+  // while the history is shorter than w).
+  std::vector<float> StateVector() const;
+
+  double thr_max_bps() const { return thr_max_bps_; }
+  TimeNs lat_min() const { return lat_min_; }
+  const std::deque<LocalFeatures>& history() const { return history_; }
+  int history_length() const { return history_length_; }
+  bool ready() const { return !history_.empty(); }
+
+  // Average throughput over the last w MTPs (Eq. 7's avg_thr_i), bps.
+  double AvgThroughputBps() const;
+  // Per-flow stability term: normalized stddev of the thr history (Eq. 6).
+  double ThroughputStability() const;
+
+ private:
+  int history_length_;
+  double thr_max_bps_ = 0.0;
+  TimeNs lat_min_ = 0;
+  std::deque<LocalFeatures> history_;
+  std::deque<double> thr_history_bps_;
+};
+
+// Inputs describing the link, needed only at training time (Table 2 tail).
+struct LinkInfo {
+  TimeNs base_one_way_delay = 0;  // d0
+  uint64_t buffer_bytes = 0;
+  RateBps bandwidth = 0;
+};
+
+// Builds the Table-2 global state from all active flows' latest reports.
+std::vector<float> BuildGlobalState(const std::vector<const MtpReport*>& reports,
+                                    const LinkInfo& link, uint32_t mss);
+
+}  // namespace astraea
+
+#endif  // SRC_CORE_STATE_BLOCK_H_

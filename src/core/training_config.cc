@@ -1,0 +1,31 @@
+#include "src/core/training_config.h"
+
+#include <sstream>
+
+namespace astraea {
+
+std::string DescribeConfig(const AstraeaHyperparameters& hp, const TrainingEnvRanges& ranges) {
+  std::ostringstream os;
+  os << "Astraea hyperparameters (paper Table 4)\n"
+     << "  learning rate            " << hp.learning_rate << "\n"
+     << "  history length (w)       " << hp.history_length << "\n"
+     << "  gamma                    " << hp.gamma << "\n"
+     << "  batch size               " << hp.batch_size << "\n"
+     << "  model update interval    " << FormatTime(hp.model_update_interval) << "\n"
+     << "  model update steps       " << hp.model_update_steps << "\n"
+     << "  action coefficient alpha " << hp.action_alpha << "\n"
+     << "  MTP                      " << FormatTime(hp.mtp) << "\n"
+     << "  reward c0..c4            " << hp.reward.c0 << " " << hp.reward.c1 << " "
+     << hp.reward.c2 << " " << hp.reward.c3 << " " << hp.reward.c4 << "\n"
+     << "Training environment (paper Table 3)\n"
+     << "  bandwidth                " << ToMbps(ranges.bandwidth_lo) << " - "
+     << ToMbps(ranges.bandwidth_hi) << " Mbps\n"
+     << "  base RTT                 " << ToMillis(ranges.rtt_lo) << " - " << ToMillis(ranges.rtt_hi)
+     << " ms\n"
+     << "  buffer size factor       " << ranges.buffer_bdp_lo << " - " << ranges.buffer_bdp_hi
+     << " x BDP\n"
+     << "  concurrent flows         " << ranges.flows_lo << " - " << ranges.flows_hi << "\n";
+  return os.str();
+}
+
+}  // namespace astraea

@@ -1,0 +1,70 @@
+// The paper's published hyperparameters (Table 4) and training-environment
+// characteristics (Table 3), kept in one place so the agent, reward block,
+// trainer and benches cannot drift apart.
+
+#ifndef SRC_CORE_TRAINING_CONFIG_H_
+#define SRC_CORE_TRAINING_CONFIG_H_
+
+#include <string>
+
+#include "src/util/time.h"
+
+namespace astraea {
+
+struct RewardCoefficients {
+  double c0 = 0.1;    // throughput
+  double c1 = 0.02;   // latency
+  double c2 = 1.0;    // loss
+  double c3 = 0.02;   // fairness
+  double c4 = 0.01;   // stability
+  double beta = 0.2;  // latency grace band: no penalty below (1+beta)*d0
+};
+
+struct AstraeaHyperparameters {
+  double learning_rate = 0.001;      // actor and critic (Table 4)
+  int history_length = 5;            // w
+  double gamma = 0.98;
+  int batch_size = 192;
+  TimeNs model_update_interval = Seconds(5.0);
+  int model_update_steps = 20;
+  double action_alpha = 0.025;       // Eq. 3 coefficient
+  TimeNs mtp = Milliseconds(30);
+  RewardCoefficients reward;
+
+  // Base-RTT probing: when a flow has not observed a near-floor RTT for one
+  // probe epoch, it briefly halves its window inside an epoch-aligned drain
+  // window so the bottleneck queue empties and every flow re-anchors its
+  // latency floor. This is the controller-level analogue of BBR's PROBE_RTT
+  // and is what lets late-arriving flows shed the incumbent queue from their
+  // min-RTT estimate (the classic delay-based-CC bias).
+  TimeNs probe_epoch = Seconds(2.5);
+  TimeNs drain_window = Milliseconds(150);
+};
+
+// Table 3: the environment ranges episodes are sampled from.
+struct TrainingEnvRanges {
+  RateBps bandwidth_lo = Mbps(40);
+  RateBps bandwidth_hi = Mbps(160);
+  TimeNs rtt_lo = Milliseconds(10);
+  TimeNs rtt_hi = Milliseconds(140);
+  double buffer_bdp_lo = 0.1;
+  double buffer_bdp_hi = 16.0;
+  int flows_lo = 2;
+  int flows_hi = 5;
+};
+
+// Number of scalar features per MTP in the local state (§3.3 list).
+inline constexpr int kLocalFeatures = 8;
+// Global state size (Table 2).
+inline constexpr int kGlobalFeatures = 12;
+
+inline int LocalStateDim(const AstraeaHyperparameters& hp) {
+  return kLocalFeatures * hp.history_length;
+}
+
+// Human-readable dump (tools/astraea_train --print-config).
+std::string DescribeConfig(const AstraeaHyperparameters& hp, const TrainingEnvRanges& ranges);
+
+}  // namespace astraea
+
+#endif  // SRC_CORE_TRAINING_CONFIG_H_

@@ -1,0 +1,267 @@
+#include "src/nn/mlp.h"
+
+#include <cmath>
+#include <utility>
+
+#include "src/util/logging.h"
+
+namespace astraea {
+
+namespace {
+constexpr uint32_t kCheckpointMagic = 0x41'53'4D'4C;  // "ASML"
+constexpr uint32_t kCheckpointVersion = 1;
+}  // namespace
+
+Mlp::Mlp(std::vector<int> dims, OutputActivation output_activation, Rng* rng)
+    : dims_(std::move(dims)), output_activation_(output_activation) {
+  ASTRAEA_CHECK(dims_.size() >= 3);  // input, >=1 hidden, output
+  for (int d : dims_) {
+    ASTRAEA_CHECK(d > 0);
+  }
+  BuildLayout();
+  InitParams(rng);
+}
+
+void Mlp::BuildLayout() {
+  size_t offset = 0;
+  layers_.clear();
+  for (size_t i = 0; i + 1 < dims_.size(); ++i) {
+    LayerView layer;
+    layer.in = dims_[i];
+    layer.out = dims_[i + 1];
+    layer.w_offset = offset;
+    offset += static_cast<size_t>(layer.in) * static_cast<size_t>(layer.out);
+    layer.b_offset = offset;
+    offset += static_cast<size_t>(layer.out);
+    layers_.push_back(layer);
+  }
+  params_.assign(offset, 0.0f);
+  grads_.assign(offset, 0.0f);
+}
+
+void Mlp::InitParams(Rng* rng) {
+  // Xavier/Glorot uniform: U(-sqrt(6/(in+out)), +sqrt(6/(in+out))); zero bias.
+  for (const LayerView& layer : layers_) {
+    const float bound = std::sqrt(6.0f / static_cast<float>(layer.in + layer.out));
+    for (size_t i = 0; i < static_cast<size_t>(layer.in) * layer.out; ++i) {
+      params_[layer.w_offset + i] = static_cast<float>(rng->Uniform(-bound, bound));
+    }
+  }
+}
+
+void Mlp::ForwardInto(std::span<const float> input, std::vector<std::vector<float>>* pre,
+                      std::vector<std::vector<float>>* post) const {
+  ASTRAEA_CHECK(static_cast<int>(input.size()) == dims_.front());
+  pre->resize(layers_.size());
+  post->resize(layers_.size());
+  const float* x = input.data();
+  size_t x_len = input.size();
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    const LayerView& layer = layers_[l];
+    auto& z = (*pre)[l];
+    z.assign(static_cast<size_t>(layer.out), 0.0f);
+    const float* w = params_.data() + layer.w_offset;
+    const float* b = params_.data() + layer.b_offset;
+    for (int o = 0; o < layer.out; ++o) {
+      float acc = b[o];
+      const float* row = w + static_cast<size_t>(o) * layer.in;
+      for (size_t i = 0; i < x_len; ++i) {
+        acc += row[i] * x[i];
+      }
+      z[static_cast<size_t>(o)] = acc;
+    }
+    auto& a = (*post)[l];
+    a = z;
+    const bool is_last = (l + 1 == layers_.size());
+    if (!is_last) {
+      for (float& v : a) {
+        v = v > 0.0f ? v : 0.0f;  // ReLU
+      }
+    } else if (output_activation_ == OutputActivation::kTanh) {
+      for (float& v : a) {
+        v = std::tanh(v);
+      }
+    }
+    x = a.data();
+    x_len = a.size();
+  }
+}
+
+std::vector<float> Mlp::Forward(std::span<const float> input) {
+  cached_input_.assign(input.begin(), input.end());
+  ForwardInto(input, &cached_pre_, &cached_post_);
+  return cached_post_.back();
+}
+
+std::vector<float> Mlp::Infer(std::span<const float> input) const {
+  std::vector<std::vector<float>> pre;
+  std::vector<std::vector<float>> post;
+  ForwardInto(input, &pre, &post);
+  return post.back();
+}
+
+std::vector<float> Mlp::InferBatch(std::span<const float> inputs, size_t batch) const {
+  ASTRAEA_CHECK(inputs.size() == batch * static_cast<size_t>(dims_.front()));
+  std::vector<float> x(inputs.begin(), inputs.end());
+  size_t x_cols = static_cast<size_t>(dims_.front());
+  std::vector<float> y;
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    const LayerView& layer = layers_[l];
+    y.assign(batch * static_cast<size_t>(layer.out), 0.0f);
+    const float* w = params_.data() + layer.w_offset;
+    const float* b = params_.data() + layer.b_offset;
+    for (size_t row = 0; row < batch; ++row) {
+      const float* xin = x.data() + row * x_cols;
+      float* yout = y.data() + row * static_cast<size_t>(layer.out);
+      for (int o = 0; o < layer.out; ++o) {
+        float acc = b[o];
+        const float* wrow = w + static_cast<size_t>(o) * layer.in;
+        for (int i = 0; i < layer.in; ++i) {
+          acc += wrow[i] * xin[i];
+        }
+        yout[o] = acc;
+      }
+    }
+    const bool is_last = (l + 1 == layers_.size());
+    if (!is_last) {
+      for (float& v : y) {
+        v = v > 0.0f ? v : 0.0f;
+      }
+    } else if (output_activation_ == OutputActivation::kTanh) {
+      for (float& v : y) {
+        v = std::tanh(v);
+      }
+    }
+    x = y;
+    x_cols = static_cast<size_t>(layer.out);
+  }
+  return x;
+}
+
+std::vector<float> Mlp::Backward(std::span<const float> output_grad) {
+  ASTRAEA_CHECK(!cached_post_.empty());
+  ASTRAEA_CHECK(output_grad.size() == cached_post_.back().size());
+
+  std::vector<float> delta(output_grad.begin(), output_grad.end());
+  // Chain through the output activation.
+  if (output_activation_ == OutputActivation::kTanh) {
+    const auto& y = cached_post_.back();
+    for (size_t i = 0; i < delta.size(); ++i) {
+      delta[i] *= 1.0f - y[i] * y[i];
+    }
+  }
+
+  for (size_t l = layers_.size(); l-- > 0;) {
+    const LayerView& layer = layers_[l];
+    const std::vector<float>& layer_input =
+        (l == 0) ? cached_input_ : cached_post_[l - 1];
+    float* gw = grads_.data() + layer.w_offset;
+    float* gb = grads_.data() + layer.b_offset;
+    const float* w = params_.data() + layer.w_offset;
+
+    // Parameter gradients.
+    for (int o = 0; o < layer.out; ++o) {
+      const float d = delta[static_cast<size_t>(o)];
+      gb[o] += d;
+      float* grow = gw + static_cast<size_t>(o) * layer.in;
+      for (int i = 0; i < layer.in; ++i) {
+        grow[i] += d * layer_input[static_cast<size_t>(i)];
+      }
+    }
+
+    // Input gradient for the layer below (or the caller, when l == 0).
+    std::vector<float> prev_delta(static_cast<size_t>(layer.in), 0.0f);
+    for (int o = 0; o < layer.out; ++o) {
+      const float d = delta[static_cast<size_t>(o)];
+      const float* row = w + static_cast<size_t>(o) * layer.in;
+      for (int i = 0; i < layer.in; ++i) {
+        prev_delta[static_cast<size_t>(i)] += d * row[i];
+      }
+    }
+    if (l > 0) {
+      // Chain through the ReLU of the layer below.
+      const auto& z = cached_pre_[l - 1];
+      for (size_t i = 0; i < prev_delta.size(); ++i) {
+        if (z[i] <= 0.0f) {
+          prev_delta[i] = 0.0f;
+        }
+      }
+    }
+    delta = std::move(prev_delta);
+  }
+  return delta;
+}
+
+void Mlp::ZeroGrad() { std::fill(grads_.begin(), grads_.end(), 0.0f); }
+
+void Mlp::CopyParamsFrom(const Mlp& other) {
+  ASTRAEA_CHECK(other.params_.size() == params_.size());
+  params_ = other.params_;
+}
+
+void Mlp::PolyakUpdateFrom(const Mlp& other, float tau) {
+  ASTRAEA_CHECK(other.params_.size() == params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    params_[i] = tau * other.params_[i] + (1.0f - tau) * params_[i];
+  }
+}
+
+void Mlp::Save(BinaryWriter* writer) const {
+  writer->WriteU32(kCheckpointMagic);
+  writer->WriteU32(kCheckpointVersion);
+  writer->WriteU32(static_cast<uint32_t>(output_activation_));
+  writer->WriteU64(dims_.size());
+  for (int d : dims_) {
+    writer->WriteU32(static_cast<uint32_t>(d));
+  }
+  writer->WriteFloatVec(params_);
+}
+
+Mlp Mlp::Load(BinaryReader* reader) {
+  if (reader->ReadU32() != kCheckpointMagic) {
+    throw SerializationError("bad MLP checkpoint magic");
+  }
+  if (reader->ReadU32() != kCheckpointVersion) {
+    throw SerializationError("unsupported MLP checkpoint version");
+  }
+  Mlp net;
+  net.output_activation_ = static_cast<OutputActivation>(reader->ReadU32());
+  const uint64_t ndims = reader->ReadU64();
+  if (ndims < 3 || ndims > 64) {
+    throw SerializationError("implausible MLP dimension count");
+  }
+  net.dims_.resize(ndims);
+  for (auto& d : net.dims_) {
+    d = static_cast<int>(reader->ReadU32());
+  }
+  net.BuildLayout();
+  std::vector<float> params = reader->ReadFloatVec();
+  if (params.size() != net.params_.size()) {
+    throw SerializationError("MLP checkpoint parameter count mismatch");
+  }
+  net.params_ = std::move(params);
+  return net;
+}
+
+Adam::Adam(size_t parameter_count, float lr, float beta1, float beta2, float eps)
+    : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps), m_(parameter_count, 0.0f),
+      v_(parameter_count, 0.0f) {}
+
+void Adam::Step(std::span<float> params, std::span<const float> grads, float scale) {
+  ASTRAEA_CHECK(params.size() == m_.size());
+  ASTRAEA_CHECK(grads.size() == m_.size());
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  const float inv_scale = 1.0f / scale;
+  for (size_t i = 0; i < params.size(); ++i) {
+    const float g = grads[i] * inv_scale;
+    m_[i] = beta1_ * m_[i] + (1.0f - beta1_) * g;
+    v_[i] = beta2_ * v_[i] + (1.0f - beta2_) * g * g;
+    const float m_hat = m_[i] / bc1;
+    const float v_hat = v_[i] / bc2;
+    params[i] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
+  }
+}
+
+}  // namespace astraea

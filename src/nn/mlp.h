@@ -1,0 +1,118 @@
+// A small fully-connected network with ReLU hidden layers and a configurable
+// output activation, storing all parameters in one flat array so the optimizer
+// can treat the model as a single vector.
+//
+// Backward() both accumulates parameter gradients and returns the gradient
+// with respect to the input — the latter is what lets the deterministic policy
+// gradient flow from the critic's output through its action input into the
+// actor (paper Eq. 9 / DDPG-style chain rule).
+
+#ifndef SRC_NN_MLP_H_
+#define SRC_NN_MLP_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/util/rng.h"
+#include "src/util/serialization.h"
+
+namespace astraea {
+
+enum class OutputActivation : uint32_t { kIdentity = 0, kTanh = 1 };
+
+class Mlp {
+ public:
+  // `dims` = {input, hidden..., output}; at least one hidden layer.
+  Mlp(std::vector<int> dims, OutputActivation output_activation, Rng* rng);
+
+  // Runs the network; caches activations for a subsequent Backward().
+  std::vector<float> Forward(std::span<const float> input);
+
+  // Inference-only forward (no caches touched); usable on a const model.
+  std::vector<float> Infer(std::span<const float> input) const;
+
+  // Batched inference: `inputs` is row-major [batch x input_size]; returns
+  // [batch x output_size]. Processes layer-by-layer across the whole batch so
+  // the weight matrices stay cache-resident — the mechanism behind the
+  // inference service's sublinear scaling (paper §4 / Fig. 16).
+  std::vector<float> InferBatch(std::span<const float> inputs, size_t batch) const;
+
+  // Backpropagates dL/d(output); accumulates into the gradient buffer and
+  // returns dL/d(input). Must follow a Forward() with the same input.
+  std::vector<float> Backward(std::span<const float> output_grad);
+
+  void ZeroGrad();
+
+  std::span<float> params() { return params_; }
+  std::span<const float> params() const { return params_; }
+  std::span<float> grads() { return grads_; }
+
+  int input_size() const { return dims_.front(); }
+  int output_size() const { return dims_.back(); }
+  const std::vector<int>& dims() const { return dims_; }
+  size_t parameter_count() const { return params_.size(); }
+
+  // Hard copy of parameters from a same-shaped network.
+  void CopyParamsFrom(const Mlp& other);
+  // Polyak averaging: params = tau * other + (1 - tau) * params.
+  void PolyakUpdateFrom(const Mlp& other, float tau);
+
+  void Save(BinaryWriter* writer) const;
+  static Mlp Load(BinaryReader* reader);
+
+ private:
+  Mlp() = default;  // for Load
+
+  struct LayerView {
+    size_t w_offset;  // row-major [out x in]
+    size_t b_offset;
+    int in;
+    int out;
+  };
+
+  void BuildLayout();
+  void InitParams(Rng* rng);
+  void ForwardInto(std::span<const float> input, std::vector<std::vector<float>>* pre,
+                   std::vector<std::vector<float>>* post) const;
+
+  std::vector<int> dims_;
+  OutputActivation output_activation_ = OutputActivation::kIdentity;
+  std::vector<LayerView> layers_;
+  std::vector<float> params_;
+  std::vector<float> grads_;
+
+  // Caches from the last Forward() (input copy + per-layer pre/post activations).
+  std::vector<float> cached_input_;
+  std::vector<std::vector<float>> cached_pre_;
+  std::vector<std::vector<float>> cached_post_;
+};
+
+// Adam optimizer over a flat parameter vector.
+class Adam {
+ public:
+  Adam(size_t parameter_count, float lr, float beta1 = 0.9f, float beta2 = 0.999f,
+       float eps = 1e-8f);
+
+  // Applies one step using `grads` (same length as params), scaled by 1/scale
+  // (pass the batch size when gradients were accumulated over a batch).
+  void Step(std::span<float> params, std::span<const float> grads, float scale = 1.0f);
+
+  float lr() const { return lr_; }
+  void set_lr(float lr) { lr_ = lr; }
+  int64_t steps() const { return t_; }
+
+ private:
+  float lr_;
+  float beta1_;
+  float beta2_;
+  float eps_;
+  int64_t t_ = 0;
+  std::vector<float> m_;
+  std::vector<float> v_;
+};
+
+}  // namespace astraea
+
+#endif  // SRC_NN_MLP_H_

@@ -1,0 +1,71 @@
+// Uniform-sampling experience replay for the multi-agent trainer.
+//
+// One transition per (flow, MTP): the flow's local state s, the aggregated
+// global state g (critic-only input, Table 2), the action a, the shared global
+// reward r, and the successor states. All flow agents share this buffer —
+// that is the "centralized training" half of the paper's CTDE design.
+
+#ifndef SRC_RL_REPLAY_BUFFER_H_
+#define SRC_RL_REPLAY_BUFFER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/util/logging.h"
+#include "src/util/rng.h"
+
+namespace astraea {
+
+struct Transition {
+  std::vector<float> global_state;
+  std::vector<float> local_state;
+  std::vector<float> action;
+  float reward = 0.0f;
+  std::vector<float> next_global_state;
+  std::vector<float> next_local_state;
+  bool terminal = false;
+};
+
+class ReplayBuffer {
+ public:
+  explicit ReplayBuffer(size_t capacity) : capacity_(capacity) {
+    ASTRAEA_CHECK(capacity_ > 0);
+  }
+
+  void Add(Transition t) {
+    if (entries_.size() < capacity_) {
+      entries_.push_back(std::move(t));
+    } else {
+      entries_[write_pos_] = std::move(t);
+    }
+    write_pos_ = (write_pos_ + 1) % capacity_;
+    ++total_added_;
+  }
+
+  size_t size() const { return entries_.size(); }
+  size_t capacity() const { return capacity_; }
+  uint64_t total_added() const { return total_added_; }
+  bool empty() const { return entries_.empty(); }
+
+  const Transition& at(size_t i) const { return entries_[i]; }
+
+  // Uniformly samples `n` indices (with replacement).
+  std::vector<size_t> SampleIndices(size_t n, Rng* rng) const {
+    ASTRAEA_CHECK(!entries_.empty());
+    std::vector<size_t> out(n);
+    for (auto& idx : out) {
+      idx = static_cast<size_t>(rng->UniformInt(0, static_cast<int64_t>(entries_.size()) - 1));
+    }
+    return out;
+  }
+
+ private:
+  size_t capacity_;
+  size_t write_pos_ = 0;
+  uint64_t total_added_ = 0;
+  std::vector<Transition> entries_;
+};
+
+}  // namespace astraea
+
+#endif  // SRC_RL_REPLAY_BUFFER_H_

@@ -1,0 +1,188 @@
+#include "src/rl/td3.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace astraea {
+
+namespace {
+
+// Scales `grads` in place so its global L2 norm is at most `max_norm`
+// (after dividing by `scale`, the batch size).
+void ClipGradNorm(std::span<float> grads, float max_norm, float scale) {
+  double sq = 0.0;
+  for (float g : grads) {
+    const double v = g / scale;
+    sq += v * v;
+  }
+  const double norm = std::sqrt(sq);
+  if (norm > max_norm) {
+    const float factor = static_cast<float>(max_norm / norm);
+    for (float& g : grads) {
+      g *= factor;
+    }
+  }
+}
+
+std::vector<int> WithEndpoints(int in, const std::vector<int>& hidden, int out) {
+  std::vector<int> dims;
+  dims.push_back(in);
+  dims.insert(dims.end(), hidden.begin(), hidden.end());
+  dims.push_back(out);
+  return dims;
+}
+
+}  // namespace
+
+Td3Trainer::Td3Trainer(Td3Config config, Rng* rng) : config_(config) {
+  ASTRAEA_CHECK(config_.local_state_dim > 0);
+  ASTRAEA_CHECK(config_.global_state_dim >= 0);
+  ASTRAEA_CHECK(config_.action_dim > 0);
+
+  const auto actor_dims =
+      WithEndpoints(config_.local_state_dim, config_.hidden, config_.action_dim);
+  const int critic_in = config_.global_state_dim + config_.local_state_dim + config_.action_dim;
+  const auto critic_dims = WithEndpoints(critic_in, config_.hidden, 1);
+
+  actor_ = std::make_unique<Mlp>(actor_dims, OutputActivation::kTanh, rng);
+  critic1_ = std::make_unique<Mlp>(critic_dims, OutputActivation::kIdentity, rng);
+  critic2_ = std::make_unique<Mlp>(critic_dims, OutputActivation::kIdentity, rng);
+  target_actor_ = std::make_unique<Mlp>(actor_dims, OutputActivation::kTanh, rng);
+  target_critic1_ = std::make_unique<Mlp>(critic_dims, OutputActivation::kIdentity, rng);
+  target_critic2_ = std::make_unique<Mlp>(critic_dims, OutputActivation::kIdentity, rng);
+  target_actor_->CopyParamsFrom(*actor_);
+  target_critic1_->CopyParamsFrom(*critic1_);
+  target_critic2_->CopyParamsFrom(*critic2_);
+
+  actor_opt_ = std::make_unique<Adam>(actor_->parameter_count(), config_.actor_lr);
+  critic1_opt_ = std::make_unique<Adam>(critic1_->parameter_count(), config_.critic_lr);
+  critic2_opt_ = std::make_unique<Adam>(critic2_->parameter_count(), config_.critic_lr);
+}
+
+std::vector<float> Td3Trainer::CriticInput(const std::vector<float>& g,
+                                           const std::vector<float>& s,
+                                           std::span<const float> a) const {
+  std::vector<float> in;
+  in.reserve(g.size() + s.size() + a.size());
+  in.insert(in.end(), g.begin(), g.end());
+  in.insert(in.end(), s.begin(), s.end());
+  in.insert(in.end(), a.begin(), a.end());
+  ASTRAEA_CHECK(static_cast<int>(in.size()) ==
+                config_.global_state_dim + config_.local_state_dim + config_.action_dim);
+  return in;
+}
+
+std::vector<float> Td3Trainer::Act(std::span<const float> local_state) const {
+  return actor_->Infer(local_state);
+}
+
+std::vector<float> Td3Trainer::ActWithNoise(std::span<const float> local_state, float noise_std,
+                                            Rng* rng) const {
+  std::vector<float> action = Act(local_state);
+  for (float& a : action) {
+    a = std::clamp(a + static_cast<float>(rng->Normal(0.0, noise_std)), -1.0f, 1.0f);
+  }
+  return action;
+}
+
+Td3Diagnostics Td3Trainer::Update(const ReplayBuffer& buffer, Rng* rng) {
+  Td3Diagnostics diag;
+  if (buffer.size() < config_.batch_size) {
+    return diag;
+  }
+  const std::vector<size_t> batch = buffer.SampleIndices(config_.batch_size, rng);
+
+  // ---- Critic update: y = r + gamma * (1 - done) * min(Q1', Q2')(g', s', a~).
+  critic1_->ZeroGrad();
+  critic2_->ZeroGrad();
+  double loss_acc = 0.0;
+  for (size_t idx : batch) {
+    const Transition& t = buffer.at(idx);
+
+    std::vector<float> next_action = target_actor_->Infer(t.next_local_state);
+    for (float& a : next_action) {
+      const float noise =
+          std::clamp(static_cast<float>(rng->Normal(0.0, config_.target_noise_std)),
+                     -config_.target_noise_clip, config_.target_noise_clip);
+      a = std::clamp(a + noise, -1.0f, 1.0f);
+    }
+    const std::vector<float> next_in =
+        CriticInput(t.next_global_state, t.next_local_state, next_action);
+    const float q1_next = target_critic1_->Infer(next_in)[0];
+    const float q2_next = target_critic2_->Infer(next_in)[0];
+    const float y =
+        t.reward + (t.terminal ? 0.0f : config_.gamma * std::min(q1_next, q2_next));
+
+    const std::vector<float> in = CriticInput(t.global_state, t.local_state, t.action);
+    const float q1 = critic1_->Forward(in)[0];
+    {
+      const float dq1[1] = {2.0f * (q1 - y)};
+      critic1_->Backward(dq1);
+    }
+    const float q2 = critic2_->Forward(in)[0];
+    {
+      const float dq2[1] = {2.0f * (q2 - y)};
+      critic2_->Backward(dq2);
+    }
+    loss_acc += 0.5 * ((q1 - y) * (q1 - y) + (q2 - y) * (q2 - y));
+  }
+  const float batch_scale = static_cast<float>(config_.batch_size);
+  ClipGradNorm(critic1_->grads(), config_.grad_clip_norm, batch_scale);
+  ClipGradNorm(critic2_->grads(), config_.grad_clip_norm, batch_scale);
+  critic1_opt_->Step(critic1_->params(), critic1_->grads(), batch_scale);
+  critic2_opt_->Step(critic2_->params(), critic2_->grads(), batch_scale);
+  diag.critic_loss = loss_acc / config_.batch_size;
+
+  ++update_count_;
+  diag.updates = update_count_;
+
+  // ---- Delayed actor update + target sync (TD3).
+  if (update_count_ % config_.policy_delay == 0) {
+    actor_->ZeroGrad();
+    double q_acc = 0.0;
+    for (size_t idx : batch) {
+      const Transition& t = buffer.at(idx);
+      const std::vector<float> action = actor_->Forward(t.local_state);
+      const std::vector<float> in = CriticInput(t.global_state, t.local_state, action);
+      const float q = critic1_->Forward(in)[0];
+      q_acc += q;
+
+      // dQ/d(input) of the critic; the action slice drives the actor update.
+      // We maximize Q, so the actor receives -dQ/da as its loss gradient.
+      critic1_->ZeroGrad();  // discard critic grads from this probe
+      const float dq[1] = {1.0f};
+      const std::vector<float> dq_din = critic1_->Backward(dq);
+      std::vector<float> dq_da(
+          dq_din.begin() + config_.global_state_dim + config_.local_state_dim, dq_din.end());
+      ASTRAEA_CHECK(static_cast<int>(dq_da.size()) == config_.action_dim);
+      for (float& g : dq_da) {
+        g = -g;
+      }
+      actor_->Backward(dq_da);
+    }
+    ClipGradNorm(actor_->grads(), config_.grad_clip_norm, batch_scale);
+    actor_opt_->Step(actor_->params(), actor_->grads(), batch_scale);
+    diag.actor_objective = q_acc / config_.batch_size;
+
+    target_actor_->PolyakUpdateFrom(*actor_, config_.tau);
+    target_critic1_->PolyakUpdateFrom(*critic1_, config_.tau);
+    target_critic2_->PolyakUpdateFrom(*critic2_, config_.tau);
+  }
+  return diag;
+}
+
+void Td3Trainer::SaveActor(const std::string& path) const {
+  BinaryWriter writer(path);
+  actor_->Save(&writer);
+}
+
+void Td3Trainer::LoadActor(const std::string& path) {
+  BinaryReader reader(path);
+  Mlp loaded = Mlp::Load(&reader);
+  actor_->CopyParamsFrom(loaded);
+  target_actor_->CopyParamsFrom(loaded);
+}
+
+}  // namespace astraea

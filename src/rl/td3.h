@@ -1,0 +1,90 @@
+// TD3-style actor–critic trainer, the learning core of Astraea's Learner.
+//
+// This implements Algorithm 1 of the paper plus the Appendix-A optimizations
+// borrowed from TD3 (Fujimoto et al.): target networks with Polyak averaging,
+// clipped double-Q learning, delayed policy updates and target-policy
+// smoothing. The multi-agent (MADDPG-style) aspect is in the inputs, not the
+// update rule: the critic consumes the *global* state g aggregated over all
+// active flows while the actor sees only the flow-local state s, and all flow
+// agents share one set of parameters and one replay buffer.
+
+#ifndef SRC_RL_TD3_H_
+#define SRC_RL_TD3_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/nn/mlp.h"
+#include "src/rl/replay_buffer.h"
+#include "src/util/rng.h"
+
+namespace astraea {
+
+struct Td3Config {
+  int local_state_dim = 0;
+  int global_state_dim = 0;
+  int action_dim = 1;
+  std::vector<int> hidden = {256, 128, 64};  // paper §4
+  float actor_lr = 1e-3f;                    // Table 4 (α)
+  float critic_lr = 1e-3f;
+  float gamma = 0.98f;                       // Table 4 (γ)
+  float tau = 0.01f;                         // Polyak factor
+  int policy_delay = 2;                      // TD3 delayed actor updates
+  float target_noise_std = 0.1f;             // target policy smoothing
+  float target_noise_clip = 0.3f;
+  size_t batch_size = 192;                   // Table 4
+  float grad_clip_norm = 5.0f;               // global-norm gradient clipping
+};
+
+struct Td3Diagnostics {
+  double critic_loss = 0.0;
+  double actor_objective = 0.0;  // mean Q under the current policy
+  int64_t updates = 0;
+};
+
+class Td3Trainer {
+ public:
+  Td3Trainer(Td3Config config, Rng* rng);
+
+  // One gradient update (Algorithm 1, lines 3-6). No-op when the buffer has
+  // fewer than batch_size transitions.
+  Td3Diagnostics Update(const ReplayBuffer& buffer, Rng* rng);
+
+  // Deterministic action from the current policy (deployment path).
+  std::vector<float> Act(std::span<const float> local_state) const;
+
+  // Exploratory action: policy output + clipped Gaussian noise.
+  std::vector<float> ActWithNoise(std::span<const float> local_state, float noise_std,
+                                  Rng* rng) const;
+
+  const Mlp& actor() const { return *actor_; }
+  Mlp& mutable_actor() { return *actor_; }
+  const Mlp& critic1() const { return *critic1_; }
+
+  void SaveActor(const std::string& path) const;
+  void LoadActor(const std::string& path);
+
+  int64_t update_count() const { return update_count_; }
+
+ private:
+  std::vector<float> CriticInput(const std::vector<float>& g, const std::vector<float>& s,
+                                 std::span<const float> a) const;
+
+  Td3Config config_;
+  std::unique_ptr<Mlp> actor_;
+  std::unique_ptr<Mlp> critic1_;
+  std::unique_ptr<Mlp> critic2_;
+  std::unique_ptr<Mlp> target_actor_;
+  std::unique_ptr<Mlp> target_critic1_;
+  std::unique_ptr<Mlp> target_critic2_;
+  std::unique_ptr<Adam> actor_opt_;
+  std::unique_ptr<Adam> critic1_opt_;
+  std::unique_ptr<Adam> critic2_opt_;
+  int64_t update_count_ = 0;
+};
+
+}  // namespace astraea
+
+#endif  // SRC_RL_TD3_H_

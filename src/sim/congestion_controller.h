@@ -1,0 +1,79 @@
+// The congestion-control interface every scheme in the comparison set
+// implements. The simulator's sender drives it with three kinds of events:
+//
+//  * OnAck    — one call per acknowledged data packet (loss-/delay-based TCPs).
+//  * OnLoss   — a batch of packets declared lost (dup-ACK gap or RTO).
+//  * OnMtpTick — once per Monitoring Time Period with aggregated statistics
+//                (the interval-driven learning schemes: Vivace, Aurora, Orca,
+//                Astraea; see paper §3.3).
+//
+// The sender reads back cwnd_bytes() after every event, and pacing_bps() to
+// decide packet spacing (ACK-clocked when absent).
+
+#ifndef SRC_SIM_CONGESTION_CONTROLLER_H_
+#define SRC_SIM_CONGESTION_CONTROLLER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "src/util/time.h"
+
+namespace astraea {
+
+struct AckEvent {
+  TimeNs now = 0;
+  TimeNs rtt = 0;              // sample from this ACK
+  TimeNs srtt = 0;             // sender's smoothed RTT
+  TimeNs min_rtt = 0;          // lowest RTT ever observed by this flow
+  uint64_t acked_bytes = 0;
+  uint64_t inflight_bytes = 0;  // after this ACK was processed
+  double delivery_rate_bps = 0.0;  // recent goodput estimate (BBR-style)
+};
+
+struct LossEvent {
+  TimeNs now = 0;
+  uint64_t lost_bytes = 0;
+  bool is_timeout = false;     // RTO (vs. dup-ACK-style gap detection)
+  uint64_t inflight_bytes = 0;
+};
+
+// Aggregated per-MTP statistics, matching the packet statistics the paper's
+// state block consumes (§3.3).
+struct MtpReport {
+  TimeNs now = 0;
+  TimeNs mtp = 0;               // interval length
+  double thr_bps = 0.0;         // delivered (ACKed) rate over the interval
+  double loss_bps = 0.0;        // rate of bytes declared lost over the interval
+  double loss_ratio = 0.0;      // lost / (lost + acked), 0 when idle
+  TimeNs avg_rtt = 0;           // mean RTT of ACKs in the interval (0 if none)
+  TimeNs srtt = 0;
+  TimeNs min_rtt = 0;           // lowest RTT ever observed
+  uint64_t inflight_bytes = 0;
+  uint64_t inflight_packets = 0;
+  uint64_t cwnd_bytes = 0;
+  double pacing_bps = 0.0;      // pacing rate in force during the interval
+  uint64_t acked_packets = 0;
+};
+
+class CongestionController {
+ public:
+  virtual ~CongestionController() = default;
+
+  virtual void OnFlowStart(TimeNs /*now*/, uint32_t /*mss*/) {}
+  virtual void OnAck(const AckEvent& /*ev*/) {}
+  virtual void OnLoss(const LossEvent& /*ev*/) {}
+  virtual void OnMtpTick(const MtpReport& /*report*/) {}
+
+  // Current congestion window. The sender never lets inflight exceed this.
+  virtual uint64_t cwnd_bytes() const = 0;
+
+  // When set, the sender paces packets at this rate (subject to cwnd).
+  virtual std::optional<double> pacing_bps() const { return std::nullopt; }
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace astraea
+
+#endif  // SRC_SIM_CONGESTION_CONTROLLER_H_

@@ -1,0 +1,329 @@
+#include "src/sim/endpoint.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+
+#include "src/util/logging.h"
+
+namespace astraea {
+
+void Receiver::Accept(Packet pkt) {
+  received_bytes_ += pkt.size_bytes;
+  // The reverse path is uncongested: deliver the ACK after a pure delay.
+  const uint64_t seq = pkt.seq;
+  const TimeNs sent = pkt.sent_time;
+  const uint32_t size = pkt.size_bytes;
+  Sender* sender = sender_;
+  events_->ScheduleAfter(ack_return_delay_, [sender, seq, sent, size] {
+    sender->OnAckArrival(seq, sent, size);
+  });
+}
+
+Sender::Sender(EventQueue* events, int flow_id, Route data_route,
+               std::unique_ptr<CongestionController> cc, SenderConfig config)
+    : events_(events),
+      flow_id_(flow_id),
+      route_(std::move(data_route)),
+      cc_(std::move(cc)),
+      config_(config) {
+  ASTRAEA_CHECK(!route_.empty());
+  ASTRAEA_CHECK(cc_ != nullptr);
+}
+
+Sender::~Sender() = default;
+
+void Sender::Start() {
+  ASTRAEA_CHECK(!running_);
+  running_ = true;
+  stats_.started_at = events_->now();
+  last_ack_time_ = events_->now();
+  cc_->OnFlowStart(events_->now(), config_.mss);
+  next_send_time_ = events_->now();
+
+  // Arm the MTP clock.
+  const uint64_t gen = ++mtp_generation_;
+  events_->ScheduleAfter(config_.mtp, [this, gen] {
+    if (gen == mtp_generation_ && running_) {
+      MtpTick();
+    }
+  });
+
+  if (cc_->pacing_bps().has_value()) {
+    SchedulePacedSend();
+  } else {
+    TrySend();
+  }
+  ArmRtoTimer();
+}
+
+void Sender::Stop() {
+  if (!running_) {
+    return;
+  }
+  running_ = false;
+  stats_.stopped_at = events_->now();
+  ++mtp_generation_;  // disarm MTP clock
+  ++rto_generation_;  // disarm RTO
+}
+
+uint64_t Sender::EffectiveCwnd() const {
+  // Never let the controller deadlock the flow: at least 2 MSS in flight.
+  return std::max<uint64_t>(cc_->cwnd_bytes(), 2ULL * config_.mss);
+}
+
+void Sender::TrySend() {
+  while (running_ && inflight_bytes_ + config_.mss <= EffectiveCwnd()) {
+    SendPacket();
+  }
+}
+
+void Sender::SchedulePacedSend() {
+  if (!running_ || pace_pending_) {
+    return;
+  }
+  if (inflight_bytes_ + config_.mss > EffectiveCwnd()) {
+    return;  // cwnd-limited; resumed by the next ACK/loss/MTP event
+  }
+  const TimeNs now = events_->now();
+  next_send_time_ = std::max(next_send_time_, now);
+  pace_pending_ = true;
+  events_->Schedule(next_send_time_, [this] {
+    pace_pending_ = false;
+    if (!running_ || inflight_bytes_ + config_.mss > EffectiveCwnd()) {
+      return;
+    }
+    SendPacket();
+    const double rate = cc_->pacing_bps().value_or(0.0);
+    if (rate > 0.0) {
+      next_send_time_ += TransmissionDelay(config_.mss, rate);
+    }
+    SchedulePacedSend();
+  });
+}
+
+void Sender::SendPacket() {
+  Packet pkt;
+  pkt.flow_id = flow_id_;
+  pkt.seq = next_seq_++;
+  pkt.size_bytes = config_.mss;
+  pkt.sent_time = events_->now();
+  pkt.route = &route_;
+  pkt.hop = 0;
+  outstanding_.push_back({pkt.seq, pkt.sent_time, pkt.size_bytes});
+  inflight_bytes_ += pkt.size_bytes;
+  stats_.bytes_sent += pkt.size_bytes;
+  mtp_sent_bytes_ += pkt.size_bytes;
+  route_[0]->Accept(pkt);
+}
+
+void Sender::UpdateRttEstimators(TimeNs rtt) {
+  min_rtt_filter_.set_window(config_.min_rtt_window);
+  min_rtt_filter_.Update(events_->now(), rtt);
+  min_rtt_ = min_rtt_filter_.Get(events_->now(), rtt);
+  if (srtt_ == 0) {
+    srtt_ = rtt;
+    rttvar_ = rtt / 2;
+  } else {
+    const TimeNs err = rtt > srtt_ ? rtt - srtt_ : srtt_ - rtt;
+    rttvar_ = (3 * rttvar_ + err) / 4;
+    srtt_ = (7 * srtt_ + rtt) / 8;
+  }
+}
+
+void Sender::DetectGapLosses(uint64_t acked_seq) {
+  // FIFO network: every still-outstanding packet older than the ACKed one was
+  // dropped (congestive or wire loss).
+  uint64_t lost = 0;
+  while (!outstanding_.empty() && outstanding_.front().seq < acked_seq) {
+    lost += outstanding_.front().size_bytes;
+    outstanding_.pop_front();
+  }
+  if (lost > 0) {
+    ASTRAEA_CHECK(inflight_bytes_ >= lost);
+    inflight_bytes_ -= lost;
+    stats_.bytes_lost += lost;
+    mtp_lost_bytes_ += lost;
+    LossEvent ev;
+    ev.now = events_->now();
+    ev.lost_bytes = lost;
+    ev.is_timeout = false;
+    ev.inflight_bytes = inflight_bytes_;
+    cc_->OnLoss(ev);
+  }
+}
+
+double Sender::WindowedDeliveryRate() const {
+  if (delivered_window_.empty()) {
+    return 0.0;
+  }
+  const TimeNs span = events_->now() - delivered_window_.front().first;
+  if (span <= 0) {
+    return 0.0;
+  }
+  return static_cast<double>(delivered_window_bytes_) * 8.0 / ToSeconds(span);
+}
+
+void Sender::OnAckArrival(uint64_t seq, TimeNs data_sent_time, uint32_t size_bytes) {
+  // ACKs arriving after Stop() still update accounting so inflight drains.
+  const TimeNs now = events_->now();
+  DetectGapLosses(seq);
+  if (outstanding_.empty() || outstanding_.front().seq != seq) {
+    return;  // already written off by an RTO; ignore the late ACK
+  }
+  outstanding_.pop_front();
+  ASTRAEA_CHECK(inflight_bytes_ >= size_bytes);
+  inflight_bytes_ -= size_bytes;
+  stats_.bytes_acked += size_bytes;
+  last_ack_time_ = now;
+
+  const TimeNs rtt = now - data_sent_time;
+  UpdateRttEstimators(rtt);
+
+  // Maintain the windowed goodput estimate (window = max(srtt, 50ms)).
+  delivered_window_.emplace_back(now, size_bytes);
+  delivered_window_bytes_ += size_bytes;
+  const TimeNs window = std::max<TimeNs>(srtt_, Milliseconds(50));
+  while (!delivered_window_.empty() && delivered_window_.front().first < now - window) {
+    delivered_window_bytes_ -= delivered_window_.front().second;
+    delivered_window_.pop_front();
+  }
+
+  mtp_acked_bytes_ += size_bytes;
+  mtp_acked_packets_ += 1;
+  mtp_rtt_sum_ms_ += ToMillis(rtt);
+
+  if (running_) {
+    AckEvent ev;
+    ev.now = now;
+    ev.rtt = rtt;
+    ev.srtt = srtt_;
+    ev.min_rtt = min_rtt_;
+    ev.acked_bytes = size_bytes;
+    ev.inflight_bytes = inflight_bytes_;
+    ev.delivery_rate_bps = WindowedDeliveryRate();
+    cc_->OnAck(ev);
+
+    if (cc_->pacing_bps().has_value()) {
+      SchedulePacedSend();
+    } else {
+      TrySend();
+    }
+    ArmRtoTimer();
+  }
+}
+
+TimeNs Sender::CurrentRto() const {
+  if (srtt_ == 0) {
+    // No RTT sample yet: RFC 6298's conservative initial RTO, so long-RTT
+    // paths (satellite: 800ms) are not written off before the first ACK.
+    return Seconds(1.0);
+  }
+  return std::max(config_.min_rto, srtt_ + 4 * rttvar_);
+}
+
+void Sender::ArmRtoTimer() {
+  const uint64_t gen = ++rto_generation_;
+  events_->ScheduleAfter(CurrentRto(), [this, gen] { OnRtoCheck(gen); });
+}
+
+void Sender::OnRtoCheck(uint64_t generation) {
+  if (generation != rto_generation_ || !running_) {
+    return;
+  }
+  if (outstanding_.empty()) {
+    return;  // nothing in flight; next send re-arms the timer via its ACK
+  }
+  if (events_->now() - last_ack_time_ < CurrentRto()) {
+    ArmRtoTimer();
+    return;
+  }
+  if (std::getenv("ASTRAEA_DEBUG_RTO") != nullptr) {
+    std::fprintf(stderr, "RTO fire t=%.3f last_ack=%.3f rto=%.3f srtt=%.1fms outstanding=%zu\n",
+                 ToSeconds(events_->now()), ToSeconds(last_ack_time_),
+                 ToSeconds(CurrentRto()), ToMillis(srtt_), outstanding_.size());
+  }
+  // Timeout: write off everything outstanding.
+  uint64_t lost = 0;
+  for (const Outstanding& o : outstanding_) {
+    lost += o.size_bytes;
+  }
+  outstanding_.clear();
+  inflight_bytes_ = 0;
+  stats_.bytes_lost += lost;
+  mtp_lost_bytes_ += lost;
+
+  LossEvent ev;
+  ev.now = events_->now();
+  ev.lost_bytes = lost;
+  ev.is_timeout = true;
+  ev.inflight_bytes = 0;
+  cc_->OnLoss(ev);
+
+  last_ack_time_ = events_->now();
+  if (cc_->pacing_bps().has_value()) {
+    SchedulePacedSend();
+  } else {
+    TrySend();
+  }
+  ArmRtoTimer();
+}
+
+void Sender::MtpTick() {
+  const TimeNs now = events_->now();
+
+  MtpReport report;
+  report.now = now;
+  report.mtp = config_.mtp;
+  report.thr_bps = static_cast<double>(mtp_acked_bytes_) * 8.0 / ToSeconds(config_.mtp);
+  report.loss_bps = static_cast<double>(mtp_lost_bytes_) * 8.0 / ToSeconds(config_.mtp);
+  const uint64_t acked_plus_lost = mtp_acked_bytes_ + mtp_lost_bytes_;
+  report.loss_ratio =
+      acked_plus_lost == 0 ? 0.0
+                           : static_cast<double>(mtp_lost_bytes_) / static_cast<double>(acked_plus_lost);
+  report.avg_rtt =
+      mtp_acked_packets_ == 0
+          ? srtt_
+          : static_cast<TimeNs>(mtp_rtt_sum_ms_ / static_cast<double>(mtp_acked_packets_) *
+                                static_cast<double>(kNanosPerMilli));
+  report.srtt = srtt_;
+  report.min_rtt = min_rtt_;
+  report.inflight_bytes = inflight_bytes_;
+  report.inflight_packets = outstanding_.size();
+  report.cwnd_bytes = cc_->cwnd_bytes();
+  report.pacing_bps = cc_->pacing_bps().value_or(0.0);
+  report.acked_packets = mtp_acked_packets_;
+  last_report_ = report;
+
+  stats_.throughput_mbps.Add(now, ToMbps(report.thr_bps));
+  if (mtp_acked_packets_ > 0) {
+    stats_.rtt_ms.Add(now, mtp_rtt_sum_ms_ / static_cast<double>(mtp_acked_packets_));
+  }
+  stats_.cwnd_packets.Add(now, static_cast<double>(report.cwnd_bytes) / config_.mss);
+  stats_.sending_mbps.Add(now, ToMbps(static_cast<double>(mtp_sent_bytes_) * 8.0 /
+                                      ToSeconds(config_.mtp)));
+
+  mtp_acked_bytes_ = 0;
+  mtp_sent_bytes_ = 0;
+  mtp_lost_bytes_ = 0;
+  mtp_acked_packets_ = 0;
+  mtp_rtt_sum_ms_ = 0.0;
+
+  cc_->OnMtpTick(report);
+
+  // The controller may have changed cwnd/pacing: give it a chance to send.
+  if (cc_->pacing_bps().has_value()) {
+    SchedulePacedSend();
+  } else {
+    TrySend();
+  }
+
+  const uint64_t gen = mtp_generation_;
+  events_->ScheduleAfter(config_.mtp, [this, gen] {
+    if (gen == mtp_generation_ && running_) {
+      MtpTick();
+    }
+  });
+}
+
+}  // namespace astraea

@@ -1,0 +1,164 @@
+// Flow endpoints: a bulk-transfer Sender driven by a CongestionController and
+// its paired Receiver. The receiver acknowledges every data packet; ACKs
+// return over an uncongested reverse path modelled as a pure delay (the
+// Mahimahi/Pantheon-tunnel setup the paper trains and evaluates in).
+//
+// Loss detection: queues are FIFO and there is a single path, so a gap in the
+// acknowledged sequence space reliably identifies drops (perfect-SACK
+// equivalent of 3-dup-ACK detection); an RTO fallback covers tail losses.
+
+#ifndef SRC_SIM_ENDPOINT_H_
+#define SRC_SIM_ENDPOINT_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+
+#include "src/sim/congestion_controller.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/packet.h"
+#include "src/util/stats.h"
+#include "src/util/time.h"
+#include "src/util/windowed_filter.h"
+
+namespace astraea {
+
+class Sender;
+
+// Terminal sink of a data route: acknowledges each packet back to the sender
+// after the configured reverse-path delay.
+class Receiver : public PacketSink {
+ public:
+  Receiver(EventQueue* events, Sender* sender, TimeNs ack_return_delay)
+      : events_(events), sender_(sender), ack_return_delay_(ack_return_delay) {}
+
+  void Accept(Packet pkt) override;
+
+  // Late binding used by Network: the receiver must exist before the sender
+  // (the data route ends with the receiver), so the back-pointer is set after
+  // both are constructed.
+  void set_sender(Sender* sender) { sender_ = sender; }
+
+  uint64_t received_bytes() const { return received_bytes_; }
+
+ private:
+  EventQueue* events_;
+  Sender* sender_;
+  TimeNs ack_return_delay_;
+  uint64_t received_bytes_ = 0;
+};
+
+struct SenderConfig {
+  uint32_t mss = 1500;
+  uint32_t initial_cwnd_packets = 10;
+  TimeNs mtp = Milliseconds(30);      // Monitoring Time Period (Table 4)
+  TimeNs min_rto = Milliseconds(200);
+  // min-RTT is maintained over a sliding window (kernel-style) so routing
+  // changes do not pin a stale floor forever. The window is long (the kernel
+  // uses minutes) because controllers re-anchor it with explicit drain
+  // probes; a short window lets a standing queue corrupt the floor, which
+  // turns delay-based control into a positive feedback loop.
+  TimeNs min_rtt_window = Seconds(60.0);
+};
+
+// Per-flow measurements collected at MTP granularity.
+struct FlowStats {
+  TimeSeries throughput_mbps;  // ACKed rate per MTP
+  TimeSeries rtt_ms;           // mean ACK RTT per MTP (skipped when idle)
+  TimeSeries cwnd_packets;
+  TimeSeries sending_mbps;     // transmitted rate per MTP
+  uint64_t bytes_sent = 0;
+  uint64_t bytes_acked = 0;
+  uint64_t bytes_lost = 0;
+  TimeNs started_at = -1;
+  TimeNs stopped_at = -1;
+};
+
+class Sender {
+ public:
+  // `data_route` must end with this flow's Receiver. The route is copied and
+  // owned by the sender.
+  Sender(EventQueue* events, int flow_id, Route data_route,
+         std::unique_ptr<CongestionController> cc, SenderConfig config);
+  ~Sender();
+
+  Sender(const Sender&) = delete;
+  Sender& operator=(const Sender&) = delete;
+
+  void Start();             // begins transmitting now
+  void Stop();              // stops transmitting now (inflight drains silently)
+  bool running() const { return running_; }
+
+  // Called by the Receiver when an ACK arrives back.
+  void OnAckArrival(uint64_t seq, TimeNs data_sent_time, uint32_t size_bytes);
+
+  int flow_id() const { return flow_id_; }
+  const FlowStats& stats() const { return stats_; }
+  CongestionController& cc() { return *cc_; }
+  const CongestionController& cc() const { return *cc_; }
+
+  uint64_t inflight_bytes() const { return inflight_bytes_; }
+  TimeNs srtt() const { return srtt_; }
+  TimeNs min_rtt() const { return min_rtt_; }
+  const MtpReport& last_report() const { return last_report_; }
+
+ private:
+  struct Outstanding {
+    uint64_t seq;
+    TimeNs sent_time;
+    uint32_t size_bytes;
+  };
+
+  uint64_t EffectiveCwnd() const;
+  void TrySend();                    // ACK-clocked burst send
+  void SchedulePacedSend();          // paced send loop
+  void SendPacket();
+  void UpdateRttEstimators(TimeNs rtt);
+  void DetectGapLosses(uint64_t acked_seq);
+  TimeNs CurrentRto() const;
+  void ArmRtoTimer();
+  void OnRtoCheck(uint64_t generation);
+  void MtpTick();
+  double WindowedDeliveryRate() const;
+
+  EventQueue* events_;
+  int flow_id_;
+  Route route_;
+  std::unique_ptr<CongestionController> cc_;
+  SenderConfig config_;
+
+  bool running_ = false;
+  uint64_t next_seq_ = 0;
+  std::deque<Outstanding> outstanding_;
+  uint64_t inflight_bytes_ = 0;
+
+  TimeNs srtt_ = 0;
+  TimeNs rttvar_ = 0;
+  TimeNs min_rtt_ = 0;  // windowed (see SenderConfig::min_rtt_window)
+  WindowedMin<TimeNs> min_rtt_filter_{Seconds(60.0)};
+  TimeNs last_ack_time_ = 0;
+  uint64_t rto_generation_ = 0;
+
+  // Paced-mode bookkeeping.
+  bool pace_pending_ = false;
+  TimeNs next_send_time_ = 0;
+
+  // Windowed goodput estimator (for AckEvent::delivery_rate_bps).
+  std::deque<std::pair<TimeNs, uint64_t>> delivered_window_;
+  uint64_t delivered_window_bytes_ = 0;
+
+  // Per-MTP accumulators.
+  uint64_t mtp_acked_bytes_ = 0;
+  uint64_t mtp_sent_bytes_ = 0;
+  uint64_t mtp_lost_bytes_ = 0;
+  uint64_t mtp_acked_packets_ = 0;
+  double mtp_rtt_sum_ms_ = 0.0;
+  uint64_t mtp_generation_ = 0;
+  MtpReport last_report_;
+
+  FlowStats stats_;
+};
+
+}  // namespace astraea
+
+#endif  // SRC_SIM_ENDPOINT_H_

@@ -1,0 +1,46 @@
+#include "src/sim/event_queue.h"
+
+#include <algorithm>
+
+namespace astraea {
+
+uint64_t EventQueue::Schedule(TimeNs when, Callback fn) {
+  ASTRAEA_CHECK(when >= now_);
+  const uint64_t seq = next_seq_++;
+  heap_.push(Entry{when, seq, std::move(fn)});
+  return seq;
+}
+
+void EventQueue::Cancel(uint64_t id) {
+  cancelled_.push_back(id);
+  ++cancelled_count_;
+}
+
+bool EventQueue::IsCancelled(uint64_t seq) const {
+  return std::find(cancelled_.begin(), cancelled_.end(), seq) != cancelled_.end();
+}
+
+void EventQueue::RunUntil(TimeNs until) {
+  while (!heap_.empty() && heap_.top().when <= until) {
+    Entry entry = std::move(const_cast<Entry&>(heap_.top()));
+    heap_.pop();
+    if (!cancelled_.empty() && IsCancelled(entry.seq)) {
+      cancelled_.erase(std::remove(cancelled_.begin(), cancelled_.end(), entry.seq),
+                       cancelled_.end());
+      --cancelled_count_;
+      continue;
+    }
+    now_ = entry.when;
+    ++executed_;
+    entry.fn();
+  }
+  now_ = std::max(now_, until);
+}
+
+void EventQueue::RunAll() {
+  while (!heap_.empty()) {
+    RunUntil(heap_.top().when);
+  }
+}
+
+}  // namespace astraea

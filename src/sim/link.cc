@@ -1,0 +1,54 @@
+#include "src/sim/link.h"
+
+#include <utility>
+
+namespace astraea {
+
+Link::Link(EventQueue* events, LinkConfig config, Rng rng)
+    : events_(events), config_(std::move(config)), rng_(rng) {
+  if (config_.trace != nullptr) {
+    provider_ = config_.trace;
+  } else {
+    provider_ = std::make_shared<ConstantRate>(config_.rate);
+  }
+  if (config_.queue_factory) {
+    queue_ = config_.queue_factory(rng_.Fork());
+  } else {
+    queue_ = std::make_unique<DropTailQueue>(config_.buffer_bytes);
+  }
+}
+
+void Link::Accept(Packet pkt) {
+  accepted_bytes_ += pkt.size_bytes;
+  if (!busy_) {
+    StartService(pkt);
+    return;
+  }
+  // Enqueue (or drop, per the discipline): dropped packets silently vanish;
+  // senders infer the loss from the ACK gap.
+  queue_->Enqueue(pkt, events_->now());
+}
+
+void Link::StartService(Packet pkt) {
+  busy_ = true;
+  const RateBps rate = provider_->RateAt(events_->now());
+  const TimeNs tx = TransmissionDelay(pkt.size_bytes, rate);
+  events_->ScheduleAfter(tx, [this, pkt] { FinishService(pkt); });
+}
+
+void Link::FinishService(Packet pkt) {
+  delivered_bytes_ += pkt.size_bytes;
+  if (config_.random_loss > 0.0 && rng_.Bernoulli(config_.random_loss)) {
+    wire_lost_bytes_ += pkt.size_bytes;
+  } else {
+    events_->ScheduleAfter(config_.propagation_delay, [pkt] { ForwardToNextHop(pkt); });
+  }
+  std::optional<Packet> next = queue_->Dequeue(events_->now());
+  if (next.has_value()) {
+    StartService(*next);
+  } else {
+    busy_ = false;
+  }
+}
+
+}  // namespace astraea

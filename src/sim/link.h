@@ -1,0 +1,72 @@
+// A unidirectional bottleneck link: DropTail byte-capacity queue, a service
+// process at a (possibly time-varying) rate, fixed propagation delay and
+// optional iid non-congestive loss applied on the wire.
+
+#ifndef SRC_SIM_LINK_H_
+#define SRC_SIM_LINK_H_
+
+#include <memory>
+#include <string>
+
+#include "src/sim/event_queue.h"
+#include "src/sim/packet.h"
+#include "src/sim/queue_disc.h"
+#include "src/sim/rate_provider.h"
+#include "src/util/rng.h"
+#include "src/util/time.h"
+
+namespace astraea {
+
+struct LinkConfig {
+  std::string name = "link";
+  RateBps rate = Mbps(100);                   // used when `trace` is null
+  TimeNs propagation_delay = Milliseconds(10);  // one-way
+  uint64_t buffer_bytes = 375'000;            // DropTail capacity (excl. pkt in service)
+  double random_loss = 0.0;                   // iid wire-loss probability
+  std::shared_ptr<RateProvider> trace;        // overrides `rate` when set
+  // Custom AQM (RED, CoDel, ...). Defaults to DropTail(buffer_bytes).
+  QueueFactory queue_factory;
+};
+
+class Link : public PacketSink {
+ public:
+  Link(EventQueue* events, LinkConfig config, Rng rng);
+
+  // PacketSink: enqueue (or DropTail-drop) an arriving packet.
+  void Accept(Packet pkt) override;
+
+  // Instantaneous state.
+  uint64_t queue_bytes() const { return queue_->queued_bytes(); }
+  size_t queue_packets() const { return queue_->queued_packets(); }
+  RateBps current_rate() const { return provider_->RateAt(events_->now()); }
+
+  // Cumulative counters.
+  uint64_t delivered_bytes() const { return delivered_bytes_; }
+  uint64_t dropped_bytes() const { return queue_->dropped_bytes(); }  // AQM drops
+  uint64_t wire_lost_bytes() const { return wire_lost_bytes_; }       // random loss
+  uint64_t accepted_bytes() const { return accepted_bytes_; }
+
+  const LinkConfig& config() const { return config_; }
+  const RateProvider& provider() const { return *provider_; }
+  const QueueDiscipline& queue() const { return *queue_; }
+
+ private:
+  void StartService(Packet pkt);
+  void FinishService(Packet pkt);
+
+  EventQueue* events_;
+  LinkConfig config_;
+  std::shared_ptr<RateProvider> provider_;
+  Rng rng_;
+
+  std::unique_ptr<QueueDiscipline> queue_;
+  bool busy_ = false;
+
+  uint64_t accepted_bytes_ = 0;
+  uint64_t delivered_bytes_ = 0;
+  uint64_t wire_lost_bytes_ = 0;
+};
+
+}  // namespace astraea
+
+#endif  // SRC_SIM_LINK_H_

@@ -1,0 +1,110 @@
+#include "src/sim/network.h"
+
+#include <utility>
+
+#include "src/util/logging.h"
+
+namespace astraea {
+
+Network::Network(uint64_t seed) : rng_(seed) {}
+
+Network::~Network() = default;
+
+size_t Network::AddLink(LinkConfig config) {
+  ASTRAEA_CHECK(!started_);
+  links_.push_back(std::make_unique<Link>(&events_, std::move(config), rng_.Fork()));
+  link_traces_.emplace_back();
+  link_prev_delivered_.push_back(0);
+  return links_.size() - 1;
+}
+
+int Network::AddFlow(FlowSpec spec) {
+  ASTRAEA_CHECK(!started_);
+  ASTRAEA_CHECK(spec.make_cc != nullptr);
+  ASTRAEA_CHECK(!spec.link_path.empty());
+
+  const int flow_id = static_cast<int>(flows_.size());
+  FlowRecord record;
+  record.spec = spec;
+
+  // ACK return delay: one-way propagation back over the same distance plus
+  // the flow's heterogeneity delay. Queuing happens only on the data path.
+  TimeNs return_delay = spec.extra_one_way_delay;
+  for (size_t idx : spec.link_path) {
+    ASTRAEA_CHECK(idx < links_.size());
+    return_delay += links_[idx]->config().propagation_delay;
+  }
+
+  // Receiver is created first (without its sender), so the data route can end
+  // with it; the back-pointer is wired up right after the sender exists.
+  record.receiver = std::make_unique<Receiver>(&events_, nullptr, return_delay);
+
+  Route route;
+  for (size_t idx : spec.link_path) {
+    route.push_back(links_[idx].get());
+  }
+  route.push_back(record.receiver.get());
+
+  record.sender =
+      std::make_unique<Sender>(&events_, flow_id, std::move(route), spec.make_cc(), spec.sender);
+  record.receiver->set_sender(record.sender.get());
+  flows_.push_back(std::move(record));
+  return flow_id;
+}
+
+void Network::EnableLinkSampling(TimeNs interval) {
+  ASTRAEA_CHECK(!started_);
+  sample_interval_ = interval;
+}
+
+void Network::SampleLinks() {
+  const TimeNs now = events_.now();
+  for (size_t i = 0; i < links_.size(); ++i) {
+    link_traces_[i].queue_packets.Add(now, static_cast<double>(links_[i]->queue_packets()));
+    const uint64_t delivered = links_[i]->delivered_bytes();
+    const double mbps = ToMbps(static_cast<double>(delivered - link_prev_delivered_[i]) * 8.0 /
+                               ToSeconds(sample_interval_));
+    link_traces_[i].delivered_mbps.Add(now, mbps);
+    link_prev_delivered_[i] = delivered;
+  }
+  events_.ScheduleAfter(sample_interval_, [this] { SampleLinks(); });
+}
+
+void Network::Run(TimeNs until) {
+  if (!started_) {
+    started_ = true;
+    for (auto& record : flows_) {
+      Sender* sender = record.sender.get();
+      events_.Schedule(record.spec.start, [sender] { sender->Start(); });
+      if (record.spec.duration >= 0) {
+        events_.Schedule(record.spec.start + record.spec.duration, [sender] { sender->Stop(); });
+      }
+    }
+    if (sample_interval_ > 0) {
+      events_.ScheduleAfter(sample_interval_, [this] { SampleLinks(); });
+    }
+  }
+  events_.RunUntil(until);
+}
+
+std::vector<int> Network::ActiveFlowIds() const {
+  std::vector<int> ids;
+  for (size_t i = 0; i < flows_.size(); ++i) {
+    if (flows_[i].sender->running()) {
+      ids.push_back(static_cast<int>(i));
+    }
+  }
+  return ids;
+}
+
+TimeNs Network::BaseRtt(int flow_id) const {
+  const FlowRecord& record = flows_[flow_id];
+  TimeNs prop = 0;
+  for (size_t idx : record.spec.link_path) {
+    prop += links_[idx]->config().propagation_delay;
+  }
+  // Data path propagation + (propagation + heterogeneity delay) on the return.
+  return 2 * prop + record.spec.extra_one_way_delay;
+}
+
+}  // namespace astraea

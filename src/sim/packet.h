@@ -1,0 +1,45 @@
+// Packet representation and the hop-to-hop delivery interface.
+
+#ifndef SRC_SIM_PACKET_H_
+#define SRC_SIM_PACKET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/time.h"
+
+namespace astraea {
+
+class PacketSink;
+
+// A route is an ordered list of sinks (links, then the receiving endpoint).
+// The route object is owned by the flow and outlives all its packets.
+using Route = std::vector<PacketSink*>;
+
+struct Packet {
+  int flow_id = 0;
+  uint64_t seq = 0;           // per-flow data sequence number (in packets)
+  uint32_t size_bytes = 0;
+  TimeNs sent_time = 0;       // when the data packet left the sender
+  const Route* route = nullptr;
+  size_t hop = 0;             // index of the sink currently holding the packet
+};
+
+// Anything that can accept a packet: a link or a receiving endpoint.
+class PacketSink {
+ public:
+  virtual ~PacketSink() = default;
+  virtual void Accept(Packet pkt) = 0;
+};
+
+// Forwards `pkt` to the next sink on its route. Called by links after the
+// propagation delay elapses.
+inline void ForwardToNextHop(Packet pkt) {
+  pkt.hop += 1;
+  PacketSink* next = (*pkt.route)[pkt.hop];
+  next->Accept(pkt);
+}
+
+}  // namespace astraea
+
+#endif  // SRC_SIM_PACKET_H_

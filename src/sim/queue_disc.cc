@@ -1,0 +1,139 @@
+#include "src/sim/queue_disc.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace astraea {
+
+// ---------------------------------------------------------------- DropTail
+
+bool DropTailQueue::Enqueue(Packet pkt, TimeNs /*now*/) {
+  if (bytes_ + pkt.size_bytes > capacity_) {
+    dropped_ += pkt.size_bytes;
+    return false;
+  }
+  bytes_ += pkt.size_bytes;
+  queue_.push_back(pkt);
+  return true;
+}
+
+std::optional<Packet> DropTailQueue::Dequeue(TimeNs /*now*/) {
+  if (queue_.empty()) {
+    return std::nullopt;
+  }
+  Packet pkt = queue_.front();
+  queue_.pop_front();
+  bytes_ -= pkt.size_bytes;
+  return pkt;
+}
+
+// --------------------------------------------------------------------- RED
+
+bool RedQueue::Enqueue(Packet pkt, TimeNs /*now*/) {
+  // EWMA of the instantaneous queue size (per arriving packet).
+  avg_ = (1.0 - config_.ewma_weight) * avg_ + config_.ewma_weight * static_cast<double>(bytes_);
+
+  const double min_th = config_.min_threshold_frac * static_cast<double>(config_.capacity_bytes);
+  const double max_th = config_.max_threshold_frac * static_cast<double>(config_.capacity_bytes);
+
+  bool drop = false;
+  if (bytes_ + pkt.size_bytes > config_.capacity_bytes) {
+    drop = true;  // hard limit
+  } else if (avg_ >= max_th) {
+    drop = true;
+  } else if (avg_ > min_th) {
+    // Linear ramp of drop probability, amplified by the packets accepted
+    // since the last drop (the Floyd/Jacobson "count" correction).
+    const double base_p = config_.max_drop_probability * (avg_ - min_th) / (max_th - min_th);
+    const double p = std::min(1.0, base_p / std::max(1e-9, 1.0 - count_since_drop_ * base_p));
+    drop = rng_.Bernoulli(p);
+  }
+  if (drop) {
+    dropped_ += pkt.size_bytes;
+    count_since_drop_ = 0;
+    return false;
+  }
+  ++count_since_drop_;
+  bytes_ += pkt.size_bytes;
+  queue_.push_back(pkt);
+  return true;
+}
+
+std::optional<Packet> RedQueue::Dequeue(TimeNs /*now*/) {
+  if (queue_.empty()) {
+    return std::nullopt;
+  }
+  Packet pkt = queue_.front();
+  queue_.pop_front();
+  bytes_ -= pkt.size_bytes;
+  return pkt;
+}
+
+// ------------------------------------------------------------------- CoDel
+
+bool CoDelQueue::Enqueue(Packet pkt, TimeNs now) {
+  if (bytes_ + pkt.size_bytes > config_.capacity_bytes) {
+    dropped_ += pkt.size_bytes;
+    return false;
+  }
+  bytes_ += pkt.size_bytes;
+  queue_.push_back({pkt, now});
+  return true;
+}
+
+bool CoDelQueue::OkToDrop(TimeNs now) {
+  if (queue_.empty()) {
+    first_above_time_ = 0;
+    return false;
+  }
+  const TimeNs sojourn = now - queue_.front().enqueued_at;
+  if (sojourn < config_.target || bytes_ <= 1500) {
+    first_above_time_ = 0;
+    return false;
+  }
+  if (first_above_time_ == 0) {
+    first_above_time_ = now + config_.interval;
+    return false;
+  }
+  return now >= first_above_time_;
+}
+
+std::optional<Packet> CoDelQueue::Dequeue(TimeNs now) {
+  while (!queue_.empty()) {
+    const bool ok_to_drop = OkToDrop(now);
+    if (dropping_) {
+      if (!ok_to_drop) {
+        dropping_ = false;
+      } else if (now >= drop_next_) {
+        // Drop the head and stay in dropping state with sqrt-spaced schedule.
+        Entry victim = queue_.front();
+        queue_.pop_front();
+        bytes_ -= victim.pkt.size_bytes;
+        dropped_ += victim.pkt.size_bytes;
+        ++drop_count_;
+        drop_next_ = now + static_cast<TimeNs>(static_cast<double>(config_.interval) /
+                                               std::sqrt(static_cast<double>(drop_count_)));
+        continue;
+      }
+    } else if (ok_to_drop) {
+      // Enter dropping state: drop one packet now.
+      Entry victim = queue_.front();
+      queue_.pop_front();
+      bytes_ -= victim.pkt.size_bytes;
+      dropped_ += victim.pkt.size_bytes;
+      dropping_ = true;
+      // Restart the schedule, faster if we were dropping recently.
+      drop_count_ = drop_count_ > 2 ? drop_count_ - 2 : 1;
+      drop_next_ = now + static_cast<TimeNs>(static_cast<double>(config_.interval) /
+                                             std::sqrt(static_cast<double>(drop_count_)));
+      continue;
+    }
+    Entry entry = queue_.front();
+    queue_.pop_front();
+    bytes_ -= entry.pkt.size_bytes;
+    return entry.pkt;
+  }
+  return std::nullopt;
+}
+
+}  // namespace astraea

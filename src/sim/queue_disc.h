@@ -1,0 +1,128 @@
+// Queue disciplines for the bottleneck link. The paper's environment supports
+// "user-defined queuing policies" (§3.2); this is that extension point.
+//
+//  * DropTail — the default FIFO with a byte capacity.
+//  * RED      — random early detection on the EWMA queue size (Floyd/Jacobson
+//               1993), probabilistic drops between min/max thresholds.
+//  * CoDel    — controlled delay (Nichols/Jacobson 2012): drops at dequeue
+//               when sojourn time stays above `target` for an `interval`,
+//               with the sqrt-spaced drop schedule.
+
+#ifndef SRC_SIM_QUEUE_DISC_H_
+#define SRC_SIM_QUEUE_DISC_H_
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "src/sim/packet.h"
+#include "src/util/rng.h"
+#include "src/util/time.h"
+
+namespace astraea {
+
+class QueueDiscipline {
+ public:
+  virtual ~QueueDiscipline() = default;
+
+  // Attempts to enqueue; returns false if the packet was dropped.
+  virtual bool Enqueue(Packet pkt, TimeNs now) = 0;
+  // Pops the next packet to serve; may drop packets internally (CoDel) and
+  // returns nullopt when empty.
+  virtual std::optional<Packet> Dequeue(TimeNs now) = 0;
+
+  virtual uint64_t queued_bytes() const = 0;
+  virtual size_t queued_packets() const = 0;
+  // Bytes dropped by the discipline (at enqueue or dequeue).
+  virtual uint64_t dropped_bytes() const = 0;
+};
+
+using QueueFactory = std::function<std::unique_ptr<QueueDiscipline>(Rng rng)>;
+
+class DropTailQueue : public QueueDiscipline {
+ public:
+  explicit DropTailQueue(uint64_t capacity_bytes) : capacity_(capacity_bytes) {}
+
+  bool Enqueue(Packet pkt, TimeNs now) override;
+  std::optional<Packet> Dequeue(TimeNs now) override;
+  uint64_t queued_bytes() const override { return bytes_; }
+  size_t queued_packets() const override { return queue_.size(); }
+  uint64_t dropped_bytes() const override { return dropped_; }
+
+ private:
+  uint64_t capacity_;
+  std::deque<Packet> queue_;
+  uint64_t bytes_ = 0;
+  uint64_t dropped_ = 0;
+};
+
+struct RedConfig {
+  uint64_t capacity_bytes = 375'000;  // hard limit
+  double min_threshold_frac = 0.2;    // of capacity
+  double max_threshold_frac = 0.6;
+  double max_drop_probability = 0.1;
+  double ewma_weight = 0.002;
+};
+
+class RedQueue : public QueueDiscipline {
+ public:
+  RedQueue(RedConfig config, Rng rng) : config_(config), rng_(rng) {}
+
+  bool Enqueue(Packet pkt, TimeNs now) override;
+  std::optional<Packet> Dequeue(TimeNs now) override;
+  uint64_t queued_bytes() const override { return bytes_; }
+  size_t queued_packets() const override { return queue_.size(); }
+  uint64_t dropped_bytes() const override { return dropped_; }
+  double average_queue_bytes() const { return avg_; }
+
+ private:
+  RedConfig config_;
+  Rng rng_;
+  std::deque<Packet> queue_;
+  uint64_t bytes_ = 0;
+  uint64_t dropped_ = 0;
+  double avg_ = 0.0;
+  int count_since_drop_ = 0;
+};
+
+struct CoDelConfig {
+  uint64_t capacity_bytes = 1'500'000;  // hard limit (CoDel still needs one)
+  TimeNs target = Milliseconds(5);
+  TimeNs interval = Milliseconds(100);
+};
+
+class CoDelQueue : public QueueDiscipline {
+ public:
+  explicit CoDelQueue(CoDelConfig config) : config_(config) {}
+
+  bool Enqueue(Packet pkt, TimeNs now) override;
+  std::optional<Packet> Dequeue(TimeNs now) override;
+  uint64_t queued_bytes() const override { return bytes_; }
+  size_t queued_packets() const override { return queue_.size(); }
+  uint64_t dropped_bytes() const override { return dropped_; }
+  bool dropping() const { return dropping_; }
+
+ private:
+  struct Entry {
+    Packet pkt;
+    TimeNs enqueued_at;
+  };
+
+  // Returns true when the head packet's sojourn says we should drop.
+  bool OkToDrop(TimeNs now);
+
+  CoDelConfig config_;
+  std::deque<Entry> queue_;
+  uint64_t bytes_ = 0;
+  uint64_t dropped_ = 0;
+
+  TimeNs first_above_time_ = 0;
+  bool dropping_ = false;
+  TimeNs drop_next_ = 0;
+  int drop_count_ = 0;
+};
+
+}  // namespace astraea
+
+#endif  // SRC_SIM_QUEUE_DISC_H_

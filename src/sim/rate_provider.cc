@@ -1,0 +1,139 @@
+#include "src/sim/rate_provider.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <map>
+
+#include "src/util/logging.h"
+#include "src/util/serialization.h"
+
+namespace astraea {
+
+RateTrace::RateTrace(std::vector<std::pair<TimeNs, RateBps>> steps) : steps_(std::move(steps)) {
+  ASTRAEA_CHECK(!steps_.empty());
+  ASTRAEA_CHECK(std::is_sorted(steps_.begin(), steps_.end(),
+                               [](const auto& a, const auto& b) { return a.first < b.first; }));
+  slot_ = steps_.size() >= 2 ? steps_[1].first - steps_[0].first : Milliseconds(1);
+  if (slot_ <= 0) {
+    slot_ = Milliseconds(1);
+  }
+  duration_ = steps_.back().first + slot_;
+}
+
+RateBps RateTrace::RateAtWrapped(TimeNs t) const {
+  // Binary search for the last step with start <= t.
+  auto it = std::upper_bound(steps_.begin(), steps_.end(), t,
+                             [](TimeNs v, const auto& s) { return v < s.first; });
+  if (it == steps_.begin()) {
+    return steps_.front().second;
+  }
+  return std::prev(it)->second;
+}
+
+RateBps RateTrace::RateAt(TimeNs t) const {
+  if (t < 0) {
+    return steps_.front().second;
+  }
+  return RateAtWrapped(t % duration_);
+}
+
+double RateTrace::CapacityBits(TimeNs begin, TimeNs end) const {
+  // Step through slot boundaries; traces are coarse (>= 1ms slots) so this is
+  // cheap relative to the interval lengths used for utilization accounting.
+  double bits = 0.0;
+  TimeNs t = begin;
+  while (t < end) {
+    const TimeNs slot_end = std::min(end, ((t / slot_) + 1) * slot_);
+    bits += RateAt(t) * ToSeconds(slot_end - t);
+    t = slot_end;
+  }
+  return bits;
+}
+
+RateTrace MakeLteLikeTrace(TimeNs duration, TimeNs granularity, RateBps floor, RateBps ceil,
+                           Rng* rng) {
+  ASTRAEA_CHECK(granularity > 0 && duration >= granularity);
+  std::vector<std::pair<TimeNs, RateBps>> steps;
+  double log_rate = std::log(std::sqrt(floor * ceil));
+  const double log_floor = std::log(floor);
+  const double log_ceil = std::log(ceil);
+  for (TimeNs t = 0; t < duration; t += granularity) {
+    // Mean-reverting multiplicative walk: sigma chosen so capacity commonly
+    // moves tens of percent within a few slots, like the Sprout LTE traces.
+    const double mid = (log_floor + log_ceil) / 2.0;
+    log_rate += 0.05 * (mid - log_rate) + rng->Normal(0.0, 0.15);
+    if (rng->Bernoulli(0.01)) {
+      // Abrupt jump: handover or deep fade.
+      log_rate = rng->Uniform(log_floor, log_ceil);
+    }
+    log_rate = std::clamp(log_rate, log_floor, log_ceil);
+    steps.emplace_back(t, std::exp(log_rate));
+  }
+  return RateTrace(std::move(steps));
+}
+
+RateTrace MakeSquareWaveTrace(TimeNs duration, TimeNs period, RateBps low, RateBps high) {
+  ASTRAEA_CHECK(period > 0 && duration >= period);
+  std::vector<std::pair<TimeNs, RateBps>> steps;
+  bool is_high = true;
+  for (TimeNs t = 0; t < duration; t += period) {
+    steps.emplace_back(t, is_high ? high : low);
+    is_high = !is_high;
+  }
+  return RateTrace(std::move(steps));
+}
+
+RateTrace LoadMahimahiTrace(const std::string& path, uint32_t mtu_bytes, TimeNs granularity) {
+  std::ifstream in(path);
+  if (!in) {
+    throw SerializationError("cannot open trace file: " + path);
+  }
+  // Count delivery opportunities per granularity slot.
+  std::map<int64_t, int64_t> slot_counts;
+  int64_t max_ms = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    const int64_t ms = std::strtoll(line.c_str(), nullptr, 10);
+    max_ms = std::max(max_ms, ms);
+    slot_counts[Milliseconds(ms) / granularity] += 1;
+  }
+  if (slot_counts.empty()) {
+    throw SerializationError("empty trace file: " + path);
+  }
+  const int64_t slots = Milliseconds(max_ms) / granularity + 1;
+  std::vector<std::pair<TimeNs, RateBps>> steps;
+  steps.reserve(static_cast<size_t>(slots));
+  const double slot_seconds = ToSeconds(granularity);
+  for (int64_t s = 0; s < slots; ++s) {
+    const auto it = slot_counts.find(s);
+    const double pkts = it != slot_counts.end() ? static_cast<double>(it->second) : 0.0;
+    // Clamp to a tiny positive floor so service time stays finite in outages.
+    const double bps = std::max(pkts * mtu_bytes * 8.0 / slot_seconds, Kbps(1.0));
+    steps.emplace_back(s * granularity, bps);
+  }
+  return RateTrace(std::move(steps));
+}
+
+void SaveMahimahiTrace(const RateTrace& trace, const std::string& path, TimeNs duration,
+                       uint32_t mtu_bytes) {
+  std::ofstream out(path);
+  if (!out) {
+    throw SerializationError("cannot open trace file for writing: " + path);
+  }
+  // Walk in 1ms steps, emitting one line per accumulated MTU of capacity.
+  double credit_bits = 0.0;
+  for (TimeNs t = 0; t < duration; t += Milliseconds(1)) {
+    credit_bits += trace.RateAt(t) * ToSeconds(Milliseconds(1));
+    const double bits_per_pkt = mtu_bytes * 8.0;
+    while (credit_bits >= bits_per_pkt) {
+      out << (t / kNanosPerMilli) << "\n";
+      credit_bits -= bits_per_pkt;
+    }
+  }
+}
+
+}  // namespace astraea

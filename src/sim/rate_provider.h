@@ -1,0 +1,81 @@
+// Link service-rate models: constant rate and trace-driven (piecewise
+// constant) rate, plus a synthetic LTE-like trace generator used by the
+// cellular experiments (substitute for the Verizon traces, see DESIGN.md).
+
+#ifndef SRC_SIM_RATE_PROVIDER_H_
+#define SRC_SIM_RATE_PROVIDER_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/util/rng.h"
+#include "src/util/time.h"
+
+namespace astraea {
+
+class RateProvider {
+ public:
+  virtual ~RateProvider() = default;
+  virtual RateBps RateAt(TimeNs t) const = 0;
+  // Integral of the rate over [begin, end), in bits. Used for utilization
+  // accounting on time-varying links.
+  virtual double CapacityBits(TimeNs begin, TimeNs end) const = 0;
+};
+
+class ConstantRate : public RateProvider {
+ public:
+  explicit ConstantRate(RateBps rate) : rate_(rate) {}
+  RateBps RateAt(TimeNs) const override { return rate_; }
+  double CapacityBits(TimeNs begin, TimeNs end) const override {
+    return rate_ * ToSeconds(end - begin);
+  }
+
+ private:
+  RateBps rate_;
+};
+
+// Piecewise-constant rate trace. Steps are (start_time, rate) pairs sorted by
+// time; the rate before the first step is the first step's rate, and the trace
+// repeats from the beginning once exhausted (standard Mahimahi behaviour).
+class RateTrace : public RateProvider {
+ public:
+  explicit RateTrace(std::vector<std::pair<TimeNs, RateBps>> steps);
+
+  RateBps RateAt(TimeNs t) const override;
+  double CapacityBits(TimeNs begin, TimeNs end) const override;
+
+  TimeNs duration() const { return duration_; }
+  const std::vector<std::pair<TimeNs, RateBps>>& steps() const { return steps_; }
+
+ private:
+  RateBps RateAtWrapped(TimeNs t) const;
+
+  std::vector<std::pair<TimeNs, RateBps>> steps_;
+  TimeNs duration_ = 0;  // wrap period (last step start + one slot)
+  TimeNs slot_ = 0;      // inferred step granularity
+};
+
+// Generates an LTE-like capacity trace: a bounded multiplicative random walk
+// with occasional abrupt capacity jumps (handover / fading events), matching
+// the "drastic variation within milliseconds" the paper evaluates against.
+RateTrace MakeLteLikeTrace(TimeNs duration, TimeNs granularity, RateBps floor, RateBps ceil,
+                           Rng* rng);
+
+// Deterministic square-wave trace alternating between `low` and `high` every
+// `period` — handy for responsiveness tests.
+RateTrace MakeSquareWaveTrace(TimeNs duration, TimeNs period, RateBps low, RateBps high);
+
+// Mahimahi trace-file interoperability. The format is one integer millisecond
+// timestamp per line; each line grants one MTU-sized (default 1500 B) packet
+// delivery opportunity at that time. Loading buckets opportunities into
+// per-`granularity` rate slots; saving emits opportunities matching the
+// trace's rate integral.
+RateTrace LoadMahimahiTrace(const std::string& path, uint32_t mtu_bytes = 1500,
+                            TimeNs granularity = Milliseconds(20));
+void SaveMahimahiTrace(const RateTrace& trace, const std::string& path, TimeNs duration,
+                       uint32_t mtu_bytes = 1500);
+
+}  // namespace astraea
+
+#endif  // SRC_SIM_RATE_PROVIDER_H_

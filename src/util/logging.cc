@@ -1,0 +1,58 @@
+#include "src/util/logging.h"
+
+#include <cstring>
+
+namespace astraea {
+
+namespace {
+
+LogLevel ParseEnvLevel() {
+  const char* env = std::getenv("ASTRAEA_LOG");
+  if (env == nullptr) {
+    return LogLevel::kWarning;
+  }
+  if (std::strcmp(env, "debug") == 0) {
+    return LogLevel::kDebug;
+  }
+  if (std::strcmp(env, "info") == 0) {
+    return LogLevel::kInfo;
+  }
+  if (std::strcmp(env, "error") == 0) {
+    return LogLevel::kError;
+  }
+  return LogLevel::kWarning;
+}
+
+LogLevel g_level = ParseEnvLevel();
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel GlobalLogLevel() { return g_level; }
+void SetGlobalLogLevel(LogLevel level) { g_level = level; }
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+  const char* base = std::strrchr(file, '/');
+  stream_ << "[" << LevelName(level) << " " << (base != nullptr ? base + 1 : file) << ":" << line
+          << "] ";
+}
+
+LogMessage::~LogMessage() {
+  std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  (void)level_;
+}
+
+}  // namespace astraea

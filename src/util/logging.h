@@ -1,0 +1,50 @@
+// Minimal leveled logging. Defaults to WARNING so simulations stay quiet;
+// set ASTRAEA_LOG=info|debug for more. Not thread-safe by design: the
+// simulator and trainer are single-threaded event loops.
+
+#ifndef SRC_UTIL_LOGGING_H_
+#define SRC_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace astraea {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Process-wide minimum level (initialized from ASTRAEA_LOG on first use).
+LogLevel GlobalLogLevel();
+void SetGlobalLogLevel(LogLevel level);
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace astraea
+
+#define ASTRAEA_LOG(level)                                                     \
+  if (::astraea::LogLevel::k##level < ::astraea::GlobalLogLevel()) {           \
+  } else                                                                       \
+    ::astraea::LogMessage(::astraea::LogLevel::k##level, __FILE__, __LINE__).stream()
+
+// Fatal invariant check, active in all build modes. The simulator relies on
+// these to catch conservation violations early in development.
+#define ASTRAEA_CHECK(cond)                                                    \
+  do {                                                                         \
+    if (!(cond)) {                                                             \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__, __LINE__, #cond); \
+      std::abort();                                                            \
+    }                                                                          \
+  } while (0)
+
+#endif  // SRC_UTIL_LOGGING_H_

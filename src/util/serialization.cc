@@ -1,0 +1,93 @@
+#include "src/util/serialization.h"
+
+namespace astraea {
+
+BinaryWriter::BinaryWriter(const std::string& path) : out_(path, std::ios::binary) {
+  if (!out_) {
+    throw SerializationError("cannot open for writing: " + path);
+  }
+}
+
+void BinaryWriter::WriteU32(uint32_t v) { out_.write(reinterpret_cast<const char*>(&v), sizeof(v)); }
+void BinaryWriter::WriteU64(uint64_t v) { out_.write(reinterpret_cast<const char*>(&v), sizeof(v)); }
+void BinaryWriter::WriteF32(float v) { out_.write(reinterpret_cast<const char*>(&v), sizeof(v)); }
+void BinaryWriter::WriteF64(double v) { out_.write(reinterpret_cast<const char*>(&v), sizeof(v)); }
+
+void BinaryWriter::WriteString(const std::string& s) {
+  WriteU64(s.size());
+  out_.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+void BinaryWriter::WriteFloatVec(const std::vector<float>& v) {
+  WriteU64(v.size());
+  out_.write(reinterpret_cast<const char*>(v.data()),
+             static_cast<std::streamsize>(v.size() * sizeof(float)));
+}
+
+void BinaryWriter::WriteDoubleVec(const std::vector<double>& v) {
+  WriteU64(v.size());
+  out_.write(reinterpret_cast<const char*>(v.data()),
+             static_cast<std::streamsize>(v.size() * sizeof(double)));
+}
+
+BinaryReader::BinaryReader(const std::string& path) : in_(path, std::ios::binary) {
+  if (!in_) {
+    throw SerializationError("cannot open for reading: " + path);
+  }
+}
+
+template <typename T>
+T BinaryReader::ReadPod() {
+  T v{};
+  in_.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!in_) {
+    throw SerializationError("unexpected end of checkpoint");
+  }
+  return v;
+}
+
+uint32_t BinaryReader::ReadU32() { return ReadPod<uint32_t>(); }
+uint64_t BinaryReader::ReadU64() { return ReadPod<uint64_t>(); }
+float BinaryReader::ReadF32() { return ReadPod<float>(); }
+double BinaryReader::ReadF64() { return ReadPod<double>(); }
+
+std::string BinaryReader::ReadString() {
+  const uint64_t n = ReadU64();
+  if (n > (1ULL << 30)) {
+    throw SerializationError("implausible string length in checkpoint");
+  }
+  std::string s(n, '\0');
+  in_.read(s.data(), static_cast<std::streamsize>(n));
+  if (!in_) {
+    throw SerializationError("unexpected end of checkpoint");
+  }
+  return s;
+}
+
+std::vector<float> BinaryReader::ReadFloatVec() {
+  const uint64_t n = ReadU64();
+  if (n > (1ULL << 30)) {
+    throw SerializationError("implausible vector length in checkpoint");
+  }
+  std::vector<float> v(n);
+  in_.read(reinterpret_cast<char*>(v.data()), static_cast<std::streamsize>(n * sizeof(float)));
+  if (!in_) {
+    throw SerializationError("unexpected end of checkpoint");
+  }
+  return v;
+}
+
+std::vector<double> BinaryReader::ReadDoubleVec() {
+  const uint64_t n = ReadU64();
+  if (n > (1ULL << 30)) {
+    throw SerializationError("implausible vector length in checkpoint");
+  }
+  std::vector<double> v(n);
+  in_.read(reinterpret_cast<char*>(v.data()), static_cast<std::streamsize>(n * sizeof(double)));
+  if (!in_) {
+    throw SerializationError("unexpected end of checkpoint");
+  }
+  return v;
+}
+
+}  // namespace astraea

@@ -1,0 +1,66 @@
+// Tiny binary (de)serialization for model checkpoints.
+//
+// Format: little-endian PODs written in call order, preceded by a caller
+// supplied magic + version pair so checkpoints fail loudly when the layout
+// changes. No compression, no alignment games — checkpoints are small (a few
+// hundred KB of float32 weights).
+
+#ifndef SRC_UTIL_SERIALIZATION_H_
+#define SRC_UTIL_SERIALIZATION_H_
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace astraea {
+
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(const std::string& path);
+
+  void WriteU32(uint32_t v);
+  void WriteU64(uint64_t v);
+  void WriteF32(float v);
+  void WriteF64(double v);
+  void WriteString(const std::string& s);
+  void WriteFloatVec(const std::vector<float>& v);
+  void WriteDoubleVec(const std::vector<double>& v);
+
+  bool ok() const { return out_.good(); }
+
+ private:
+  std::ofstream out_;
+};
+
+class BinaryReader {
+ public:
+  explicit BinaryReader(const std::string& path);
+
+  uint32_t ReadU32();
+  uint64_t ReadU64();
+  float ReadF32();
+  double ReadF64();
+  std::string ReadString();
+  std::vector<float> ReadFloatVec();
+  std::vector<double> ReadDoubleVec();
+
+  bool ok() const { return in_.good(); }
+
+ private:
+  template <typename T>
+  T ReadPod();
+
+  std::ifstream in_;
+};
+
+// Thrown on checkpoint corruption / magic mismatch.
+class SerializationError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+}  // namespace astraea
+
+#endif  // SRC_UTIL_SERIALIZATION_H_

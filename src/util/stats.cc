@@ -1,0 +1,168 @@
+#include "src/util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace astraea {
+
+double JainIndex(std::span<const double> values) {
+  if (values.empty()) {
+    return 1.0;
+  }
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double v : values) {
+    sum += v;
+    sum_sq += v * v;
+  }
+  if (sum_sq <= 0.0) {
+    return 1.0;
+  }
+  const double n = static_cast<double>(values.size());
+  return (sum * sum) / (n * sum_sq);
+}
+
+double Mean(std::span<const double> values) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (double v : values) {
+    sum += v;
+  }
+  return sum / static_cast<double>(values.size());
+}
+
+double StdDev(std::span<const double> values) {
+  if (values.size() < 2) {
+    return 0.0;
+  }
+  const double mean = Mean(values);
+  double acc = 0.0;
+  for (double v : values) {
+    acc += (v - mean) * (v - mean);
+  }
+  return std::sqrt(acc / static_cast<double>(values.size()));
+}
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  std::sort(values.begin(), values.end());
+  const double rank = (p / 100.0) * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+void RunningStat::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> samples) : sorted_(std::move(samples)) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double EmpiricalCdf::Fraction(double x) const {
+  if (sorted_.empty()) {
+    return 0.0;
+  }
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) / static_cast<double>(sorted_.size());
+}
+
+double EmpiricalCdf::Quantile(double q) const {
+  if (sorted_.empty()) {
+    return 0.0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(sorted_.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+void TimeSeries::Add(TimeNs t, double v) { points_.emplace_back(t, v); }
+
+double TimeSeries::MeanOver(TimeNs begin, TimeNs end) const {
+  double sum = 0.0;
+  size_t n = 0;
+  for (const auto& [t, v] : points_) {
+    if (t >= begin && t < end) {
+      sum += v;
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+double TimeSeries::StdDevOver(TimeNs begin, TimeNs end) const {
+  std::vector<double> window;
+  for (const auto& [t, v] : points_) {
+    if (t >= begin && t < end) {
+      window.push_back(v);
+    }
+  }
+  return StdDev(window);
+}
+
+double TimeSeries::ValueAt(TimeNs t) const {
+  double last = 0.0;
+  for (const auto& [pt, v] : points_) {
+    if (pt > t) {
+      break;
+    }
+    last = v;
+  }
+  return last;
+}
+
+TimeNs TimeSeries::FirstStableEntry(TimeNs from, double target, double tol, TimeNs hold) const {
+  const double lo = target * (1.0 - tol);
+  const double hi = target * (1.0 + tol);
+  TimeNs candidate = -1;
+  for (const auto& [t, v] : points_) {
+    if (t < from) {
+      continue;
+    }
+    const bool inside = (v >= lo && v <= hi);
+    if (inside) {
+      if (candidate < 0) {
+        candidate = t;
+      }
+      if (t - candidate >= hold) {
+        return candidate;
+      }
+    } else {
+      candidate = -1;
+    }
+  }
+  // A run that stays inside until the end of the series also counts as
+  // converged, even if shorter than `hold` (the flow simply ended).
+  return candidate;
+}
+
+}  // namespace astraea

@@ -1,0 +1,90 @@
+// Statistics helpers used by the reward block, the benchmark harness and tests:
+// Jain's fairness index, running moments, percentiles, CDFs and time-weighted
+// averages over (timestamp, value) series.
+
+#ifndef SRC_UTIL_STATS_H_
+#define SRC_UTIL_STATS_H_
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "src/util/time.h"
+
+namespace astraea {
+
+// Jain's fairness index: (sum x)^2 / (n * sum x^2). Returns 1.0 for an empty or
+// all-zero allocation (degenerate but conventional: nothing is unfair about
+// nothing).
+double JainIndex(std::span<const double> values);
+
+double Mean(std::span<const double> values);
+double StdDev(std::span<const double> values);  // population stddev
+
+// Linear-interpolation percentile, p in [0, 100]. Input need not be sorted.
+double Percentile(std::vector<double> values, double p);
+
+// Welford online mean/variance accumulator.
+class RunningStat {
+ public:
+  void Add(double x);
+  size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  double variance() const;  // population variance
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Empirical CDF: sorted samples with query helpers. Used by the Fig. 7 bench.
+class EmpiricalCdf {
+ public:
+  explicit EmpiricalCdf(std::vector<double> samples);
+
+  // Fraction of samples <= x.
+  double Fraction(double x) const;
+  // Value at quantile q in [0, 1].
+  double Quantile(double q) const;
+  size_t size() const { return sorted_.size(); }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+// A (time, value) series, e.g. a flow's throughput sampled per MTP. Provides
+// the windowed statistics the evaluation section needs (convergence time,
+// post-convergence stability, time-sliced Jain indices).
+class TimeSeries {
+ public:
+  void Add(TimeNs t, double v);
+
+  const std::vector<std::pair<TimeNs, double>>& points() const { return points_; }
+  bool empty() const { return points_.empty(); }
+
+  // Mean of samples with t in [begin, end).
+  double MeanOver(TimeNs begin, TimeNs end) const;
+  // Population stddev of samples with t in [begin, end).
+  double StdDevOver(TimeNs begin, TimeNs end) const;
+  // Value of the last sample at or before t (0.0 if none).
+  double ValueAt(TimeNs t) const;
+
+  // First time >= `from` at which every subsequent sample within `hold` stays
+  // inside [target*(1-tol), target*(1+tol)]. Returns -1 if never. This is the
+  // paper's convergence-time definition (rate within +-10% of fair share).
+  TimeNs FirstStableEntry(TimeNs from, double target, double tol, TimeNs hold) const;
+
+ private:
+  std::vector<std::pair<TimeNs, double>> points_;  // sorted by construction
+};
+
+}  // namespace astraea
+
+#endif  // SRC_UTIL_STATS_H_

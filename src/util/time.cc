@@ -1,0 +1,13 @@
+#include "src/util/time.h"
+
+#include <cstdio>
+
+namespace astraea {
+
+std::string FormatTime(TimeNs t) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3fs", ToSeconds(t));
+  return buf;
+}
+
+}  // namespace astraea

@@ -1,0 +1,60 @@
+// Time and rate value types shared across the simulator, agents and benches.
+//
+// The simulator is a deterministic discrete-event system: all times are integer
+// nanoseconds since simulation start. Using integers (rather than doubles)
+// guarantees reproducible event ordering regardless of accumulated rounding.
+
+#ifndef SRC_UTIL_TIME_H_
+#define SRC_UTIL_TIME_H_
+
+#include <cstdint>
+#include <string>
+
+namespace astraea {
+
+// Simulation timestamp / duration, in nanoseconds. A plain alias keeps
+// arithmetic natural; helpers below build values from human units.
+using TimeNs = int64_t;
+
+constexpr TimeNs kNanosPerMicro = 1'000;
+constexpr TimeNs kNanosPerMilli = 1'000'000;
+constexpr TimeNs kNanosPerSec = 1'000'000'000;
+
+constexpr TimeNs Nanoseconds(int64_t ns) { return ns; }
+constexpr TimeNs Microseconds(int64_t us) { return us * kNanosPerMicro; }
+constexpr TimeNs Milliseconds(int64_t ms) { return ms * kNanosPerMilli; }
+constexpr TimeNs Seconds(double s) { return static_cast<TimeNs>(s * static_cast<double>(kNanosPerSec)); }
+
+constexpr double ToSeconds(TimeNs t) { return static_cast<double>(t) / static_cast<double>(kNanosPerSec); }
+constexpr double ToMillis(TimeNs t) { return static_cast<double>(t) / static_cast<double>(kNanosPerMilli); }
+
+// Link / sending rates are doubles in bits per second. They are inputs to the
+// simulator, never used for event ordering, so floating point is fine.
+using RateBps = double;
+
+constexpr RateBps Kbps(double v) { return v * 1e3; }
+constexpr RateBps Mbps(double v) { return v * 1e6; }
+constexpr RateBps Gbps(double v) { return v * 1e9; }
+
+constexpr double ToMbps(RateBps r) { return r / 1e6; }
+
+// Transmission (serialization) delay of `bytes` at `rate`. Rounds up to a whole
+// nanosecond so zero-length service never happens for nonzero payloads.
+constexpr TimeNs TransmissionDelay(uint64_t bytes, RateBps rate) {
+  const double seconds = static_cast<double>(bytes) * 8.0 / rate;
+  const double ns = seconds * static_cast<double>(kNanosPerSec);
+  const TimeNs whole = static_cast<TimeNs>(ns);
+  return (static_cast<double>(whole) < ns) ? whole + 1 : whole;
+}
+
+// Bandwidth-delay product in bytes for a rate and a round-trip time.
+constexpr uint64_t BdpBytes(RateBps rate, TimeNs rtt) {
+  return static_cast<uint64_t>(rate * ToSeconds(rtt) / 8.0);
+}
+
+// Formats a time as "12.345s" (benchmark output helper).
+std::string FormatTime(TimeNs t);
+
+}  // namespace astraea
+
+#endif  // SRC_UTIL_TIME_H_

@@ -1,0 +1,57 @@
+// Sliding-window min/max filter (monotonic deque), used by BBR's bandwidth
+// and RTT filters and Copa's standing-RTT estimator.
+
+#ifndef SRC_UTIL_WINDOWED_FILTER_H_
+#define SRC_UTIL_WINDOWED_FILTER_H_
+
+#include <deque>
+#include <utility>
+
+#include "src/util/time.h"
+
+namespace astraea {
+
+// Compare = std::less<T> keeps the window minimum, std::greater<T> the maximum.
+template <typename T, typename Compare>
+class WindowedFilter {
+ public:
+  explicit WindowedFilter(TimeNs window) : window_(window) {}
+
+  void Update(TimeNs now, T value) {
+    const Compare better;
+    while (!samples_.empty() && !better(samples_.back().second, value)) {
+      samples_.pop_back();
+    }
+    samples_.emplace_back(now, value);
+    Expire(now);
+  }
+
+  // Best (min or max) value within the window; `fallback` when empty.
+  T Get(TimeNs now, T fallback) {
+    Expire(now);
+    return samples_.empty() ? fallback : samples_.front().second;
+  }
+
+  bool empty() const { return samples_.empty(); }
+  void set_window(TimeNs window) { window_ = window; }
+  void Clear() { samples_.clear(); }
+
+ private:
+  void Expire(TimeNs now) {
+    while (!samples_.empty() && samples_.front().first < now - window_) {
+      samples_.pop_front();
+    }
+  }
+
+  TimeNs window_;
+  std::deque<std::pair<TimeNs, T>> samples_;
+};
+
+template <typename T>
+using WindowedMin = WindowedFilter<T, std::less<T>>;
+template <typename T>
+using WindowedMax = WindowedFilter<T, std::greater<T>>;
+
+}  // namespace astraea
+
+#endif  // SRC_UTIL_WINDOWED_FILTER_H_

@@ -1,0 +1,269 @@
+#include <gtest/gtest.h>
+
+#include "src/cc/bbr.h"
+#include "src/cc/copa.h"
+#include "src/cc/cubic.h"
+#include "src/cc/newreno.h"
+#include "src/cc/vegas.h"
+#include "src/sim/network.h"
+
+namespace astraea {
+namespace {
+
+AckEvent MakeAck(TimeNs now, TimeNs rtt, TimeNs min_rtt, uint64_t bytes = 1500,
+                 double delivery_bps = 0.0) {
+  AckEvent ev;
+  ev.now = now;
+  ev.rtt = rtt;
+  ev.srtt = rtt;
+  ev.min_rtt = min_rtt;
+  ev.acked_bytes = bytes;
+  ev.delivery_rate_bps = delivery_bps;
+  return ev;
+}
+
+// ---------- NewReno unit behaviour ----------
+
+TEST(NewRenoTest, SlowStartDoublesPerWindow) {
+  NewReno cc;
+  cc.OnFlowStart(0, 1500);
+  const uint64_t w0 = cc.cwnd_bytes();
+  // ACK one full window: slow start adds acked bytes -> doubles.
+  for (uint64_t acked = 0; acked < w0; acked += 1500) {
+    cc.OnAck(MakeAck(Milliseconds(10), Milliseconds(30), Milliseconds(30)));
+  }
+  EXPECT_EQ(cc.cwnd_bytes(), 2 * w0);
+}
+
+TEST(NewRenoTest, LossHalvesWindowOncePerEpisode) {
+  NewReno cc;
+  cc.OnFlowStart(0, 1500);
+  cc.OnAck(MakeAck(Milliseconds(1), Milliseconds(30), Milliseconds(30)));
+  const uint64_t before = cc.cwnd_bytes();
+  LossEvent loss;
+  loss.now = Milliseconds(10);
+  loss.lost_bytes = 1500;
+  cc.OnLoss(loss);
+  EXPECT_EQ(cc.cwnd_bytes(), before / 2);
+  // Second loss in the same RTT is part of the same episode: no extra halving.
+  loss.now = Milliseconds(12);
+  cc.OnLoss(loss);
+  EXPECT_EQ(cc.cwnd_bytes(), before / 2);
+}
+
+TEST(NewRenoTest, TimeoutCollapsesWindow) {
+  NewReno cc;
+  cc.OnFlowStart(0, 1500);
+  LossEvent loss;
+  loss.now = Milliseconds(10);
+  loss.is_timeout = true;
+  cc.OnLoss(loss);
+  EXPECT_EQ(cc.cwnd_bytes(), 2u * 1500u);
+}
+
+TEST(NewRenoTest, CongestionAvoidanceAddsOneMssPerRtt) {
+  NewReno cc;
+  cc.OnFlowStart(0, 1500);
+  // Force out of slow start.
+  LossEvent loss;
+  loss.now = Milliseconds(1);
+  cc.OnLoss(loss);
+  const uint64_t w = cc.cwnd_bytes();
+  // ACK a full window at 100ms (past recovery).
+  for (uint64_t acked = 0; acked < w; acked += 1500) {
+    cc.OnAck(MakeAck(Milliseconds(100), Milliseconds(30), Milliseconds(30)));
+  }
+  EXPECT_NEAR(static_cast<double>(cc.cwnd_bytes()), static_cast<double>(w + 1500), 1500.0);
+}
+
+// ---------- CUBIC unit behaviour ----------
+
+TEST(CubicTest, LossMultiplicativeDecreaseByBeta) {
+  Cubic cc;
+  cc.OnFlowStart(0, 1500);
+  cc.OnAck(MakeAck(Milliseconds(1), Milliseconds(30), Milliseconds(30)));
+  const uint64_t before = cc.cwnd_bytes();
+  LossEvent loss;
+  loss.now = Milliseconds(50);
+  cc.OnLoss(loss);
+  EXPECT_NEAR(static_cast<double>(cc.cwnd_bytes()), 0.7 * static_cast<double>(before), 1500.0);
+}
+
+TEST(CubicTest, RegrowsTowardWmax) {
+  Cubic cc;
+  cc.OnFlowStart(0, 1500);
+  // Get to 100 packets, then lose.
+  while (cc.cwnd_bytes() < 100ULL * 1500ULL) {
+    cc.OnAck(MakeAck(Milliseconds(1), Milliseconds(30), Milliseconds(30)));
+  }
+  LossEvent loss;
+  loss.now = Milliseconds(100);
+  cc.OnLoss(loss);
+  const uint64_t after_loss = cc.cwnd_bytes();
+  // Feed ACKs over simulated seconds; CUBIC should climb back toward w_max.
+  for (int ms = 200; ms < 10'000; ms += 2) {
+    cc.OnAck(MakeAck(Milliseconds(ms), Milliseconds(30), Milliseconds(30)));
+  }
+  EXPECT_GT(cc.cwnd_bytes(), after_loss);
+  EXPECT_GE(cc.cwnd_bytes(), static_cast<uint64_t>(cc.w_max_packets() * 1500 * 0.95));
+}
+
+// ---------- Vegas unit behaviour ----------
+
+TEST(VegasTest, QueueEstimateMatchesLittlesLaw) {
+  Vegas cc;
+  cc.OnFlowStart(0, 1500);
+  // cwnd=10 pkts, base 30ms, rtt 36ms: expected-actual = 10/0.03*(1-30/36)
+  // * 0.03 = 10*(1-30/36) = 1.667 packets.
+  const double diff = cc.QueueEstimate(Milliseconds(36), Milliseconds(30));
+  EXPECT_NEAR(diff, 10.0 * (1.0 - 30.0 / 36.0), 0.05);
+}
+
+TEST(VegasTest, HoldsQueueBetweenAlphaAndBeta) {
+  // End-to-end: a single Vegas flow should keep 2-4 packets in the queue.
+  Network net(1);
+  LinkConfig link;
+  link.rate = Mbps(60);
+  link.propagation_delay = Milliseconds(20);
+  link.buffer_bytes = 600'000;
+  net.AddLink(link);
+  FlowSpec spec;
+  spec.scheme = "vegas";
+  spec.make_cc = [] { return std::make_unique<Vegas>(); };
+  net.AddFlow(spec);
+  net.EnableLinkSampling(Milliseconds(100));
+  net.Run(Seconds(30.0));
+  const double queue_pkts =
+      net.link_trace(0).queue_packets.MeanOver(Seconds(20.0), Seconds(30.0));
+  EXPECT_GE(queue_pkts, 0.5);
+  EXPECT_LE(queue_pkts, 8.0);
+  const double thr = net.flow_stats(0).throughput_mbps.MeanOver(Seconds(20.0), Seconds(30.0));
+  EXPECT_GT(thr, 55.0);  // full-ish utilization with a tiny queue
+}
+
+// ---------- BBR behaviour ----------
+
+TEST(BbrTest, StartupExitsToProbeBw) {
+  Network net(1);
+  LinkConfig link;
+  link.rate = Mbps(100);
+  link.propagation_delay = Milliseconds(15);
+  link.buffer_bytes = 750'000;
+  net.AddLink(link);
+  Bbr* bbr = nullptr;
+  FlowSpec spec;
+  spec.scheme = "bbr";
+  spec.make_cc = [&bbr] {
+    auto cc = std::make_unique<Bbr>();
+    bbr = cc.get();
+    return cc;
+  };
+  net.AddFlow(spec);
+  net.Run(Seconds(5.0));
+  ASSERT_NE(bbr, nullptr);
+  EXPECT_TRUE(bbr->mode() == Bbr::Mode::kProbeBw || bbr->mode() == Bbr::Mode::kProbeRtt);
+  EXPECT_NEAR(bbr->bw_estimate_bps() / Mbps(100), 1.0, 0.15);
+}
+
+TEST(BbrTest, SteadyStateUtilizationAndBoundedQueue) {
+  Network net(2);
+  LinkConfig link;
+  link.rate = Mbps(100);
+  link.propagation_delay = Milliseconds(15);
+  link.buffer_bytes = 4 * 375'000;
+  net.AddLink(link);
+  FlowSpec spec;
+  spec.scheme = "bbr";
+  spec.make_cc = [] { return std::make_unique<Bbr>(); };
+  net.AddFlow(spec);
+  net.Run(Seconds(20.0));
+  const double thr = net.flow_stats(0).throughput_mbps.MeanOver(Seconds(5.0), Seconds(20.0));
+  EXPECT_GT(thr, 85.0);
+  // BBR should not sit on a full buffer: mean RTT well below the 4-BDP fill.
+  const double rtt = net.flow_stats(0).rtt_ms.MeanOver(Seconds(5.0), Seconds(20.0));
+  EXPECT_LT(rtt, 70.0);
+}
+
+// ---------- Copa behaviour ----------
+
+TEST(CopaTest, LowStandingQueueAtEquilibrium) {
+  Network net(3);
+  LinkConfig link;
+  link.rate = Mbps(100);
+  link.propagation_delay = Milliseconds(15);
+  link.buffer_bytes = 750'000;
+  net.AddLink(link);
+  FlowSpec spec;
+  spec.scheme = "copa";
+  spec.make_cc = [] { return std::make_unique<Copa>(); };
+  net.AddFlow(spec);
+  net.Run(Seconds(20.0));
+  const double thr = net.flow_stats(0).throughput_mbps.MeanOver(Seconds(10.0), Seconds(20.0));
+  const double rtt = net.flow_stats(0).rtt_ms.MeanOver(Seconds(10.0), Seconds(20.0));
+  EXPECT_GT(thr, 85.0);
+  EXPECT_LT(rtt, 45.0);  // delay-based: small standing queue
+}
+
+TEST(CopaTest, TwoFlowsConvergeToFairShare) {
+  Network net(4);
+  LinkConfig link;
+  link.rate = Mbps(100);
+  link.propagation_delay = Milliseconds(15);
+  link.buffer_bytes = 375'000;
+  net.AddLink(link);
+  FlowSpec spec;
+  spec.scheme = "copa";
+  spec.make_cc = [] { return std::make_unique<Copa>(); };
+  net.AddFlow(spec);
+  spec.start = Seconds(5.0);
+  net.AddFlow(spec);
+  net.Run(Seconds(30.0));
+  const double thr0 = net.flow_stats(0).throughput_mbps.MeanOver(Seconds(20.0), Seconds(30.0));
+  const double thr1 = net.flow_stats(1).throughput_mbps.MeanOver(Seconds(20.0), Seconds(30.0));
+  const double jain = JainIndex(std::vector<double>{thr0, thr1});
+  EXPECT_GT(jain, 0.9);
+}
+
+// Property sweep: every classic scheme must achieve reasonable utilization on
+// a clean mid-range path without catastrophic loss.
+class ClassicUtilization : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ClassicUtilization, FillsCleanLink) {
+  Network net(5);
+  LinkConfig link;
+  link.rate = Mbps(80);
+  link.propagation_delay = Milliseconds(20);
+  link.buffer_bytes = BdpBytes(Mbps(80), Milliseconds(40));
+  net.AddLink(link);
+  const std::string name = GetParam();
+  FlowSpec spec;
+  spec.scheme = name;
+  spec.make_cc = [name]() -> std::unique_ptr<CongestionController> {
+    if (name == "newreno") {
+      return std::make_unique<NewReno>();
+    }
+    if (name == "cubic") {
+      return std::make_unique<Cubic>();
+    }
+    if (name == "vegas") {
+      return std::make_unique<Vegas>();
+    }
+    if (name == "bbr") {
+      return std::make_unique<Bbr>();
+    }
+    return std::make_unique<Copa>();
+  };
+  net.AddFlow(spec);
+  net.Run(Seconds(30.0));
+  const double thr = net.flow_stats(0).throughput_mbps.MeanOver(Seconds(10.0), Seconds(30.0));
+  EXPECT_GT(thr / 80.0, 0.75) << name;
+  const double loss = static_cast<double>(net.flow_stats(0).bytes_lost) /
+                      std::max<uint64_t>(net.flow_stats(0).bytes_sent, 1);
+  EXPECT_LT(loss, 0.05) << name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, ClassicUtilization,
+                         ::testing::Values("newreno", "cubic", "vegas", "bbr", "copa"));
+
+}  // namespace
+}  // namespace astraea

@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include "src/cc/aurora.h"
+#include "src/cc/cubic.h"
+#include "src/cc/orca.h"
+#include "src/cc/remy.h"
+#include "src/cc/vivace.h"
+#include "src/sim/network.h"
+
+namespace astraea {
+namespace {
+
+std::unique_ptr<Network> MakeDumbbell(uint64_t seed, RateBps rate, TimeNs rtt,
+                                       double buffer_bdp) {
+  auto net = std::make_unique<Network>(seed);
+  LinkConfig link;
+  link.rate = rate;
+  link.propagation_delay = rtt / 2;
+  link.buffer_bytes = static_cast<uint64_t>(buffer_bdp * BdpBytes(rate, rtt));
+  net->AddLink(link);
+  return net;
+}
+
+// ---------- Vivace ----------
+
+TEST(VivaceTest, ReachesHighUtilizationEventually) {
+  auto net = MakeDumbbell(1, Mbps(100), Milliseconds(30), 1.0);
+  FlowSpec spec;
+  spec.scheme = "vivace";
+  spec.make_cc = [] { return std::make_unique<Vivace>(); };
+  net->AddFlow(spec);
+  net->Run(Seconds(40.0));
+  const double thr = net->flow_stats(0).throughput_mbps.MeanOver(Seconds(25.0), Seconds(40.0));
+  EXPECT_GT(thr, 80.0);
+}
+
+TEST(VivaceTest, KeepsLatencyNearFloor) {
+  auto net = MakeDumbbell(2, Mbps(100), Milliseconds(30), 2.0);
+  FlowSpec spec;
+  spec.scheme = "vivace";
+  spec.make_cc = [] { return std::make_unique<Vivace>(); };
+  net->AddFlow(spec);
+  net->Run(Seconds(40.0));
+  const double rtt = net->flow_stats(0).rtt_ms.MeanOver(Seconds(20.0), Seconds(40.0));
+  EXPECT_LT(rtt, 40.0);  // latency-aware utility avoids bufferbloat
+}
+
+TEST(VivaceTest, UtilityGradientStepsAreBounded) {
+  // Unit-level: the dynamic boundary caps per-decision rate changes.
+  VivaceConfig config;
+  config.omega_base = 0.05;
+  config.omega_step = 0.05;
+  Vivace cc(config);
+  cc.OnFlowStart(0, 1500);
+  const double r0 = cc.rate_bps();
+  MtpReport report;
+  report.mtp = Milliseconds(30);
+  report.srtt = Milliseconds(30);
+  report.thr_bps = r0;
+  report.avg_rtt = Milliseconds(30);
+  report.min_rtt = Milliseconds(30);
+  report.acked_packets = 100;
+  // Drive many MTPs; between consecutive decisions the rate must never jump
+  // by more than a factor of 2 (the starting phase's doubling).
+  double prev = cc.rate_bps();
+  for (int i = 0; i < 200; ++i) {
+    report.now = Milliseconds(30) * (i + 1);
+    report.thr_bps = cc.rate_bps();
+    cc.OnMtpTick(report);
+    const double now_rate = cc.rate_bps();
+    EXPECT_LE(now_rate / prev, 2.001);
+    EXPECT_GE(now_rate / prev, 0.45);
+    prev = now_rate;
+  }
+}
+
+TEST(VivaceTest, TunedThetaConvergesFasterButOscillatesInSmallRtt) {
+  // The Fig. 2 phenomenon, unit-scale: enlarged theta0 raises rate variance
+  // on a 12ms-RTT path relative to default theta0.
+  auto run = [](double theta0, TimeNs rtt) {
+    auto net = MakeDumbbell(3, Mbps(100), rtt, 1.0);
+    VivaceConfig config;
+    config.theta0 = theta0;
+    FlowSpec spec;
+    spec.scheme = "vivace";
+    spec.make_cc = [config] { return std::make_unique<Vivace>(config); };
+    net->AddFlow(spec);
+    net->Run(Seconds(30.0));
+    return net->flow_stats(0).throughput_mbps.StdDevOver(Seconds(15.0), Seconds(30.0));
+  };
+  const double stddev_default = run(0.8, Milliseconds(12));
+  const double stddev_tuned = run(8.0, Milliseconds(12));
+  EXPECT_GT(stddev_tuned, stddev_default);
+}
+
+// ---------- Aurora ----------
+
+TEST(AuroraTest, FillsTheLinkAggressively) {
+  auto net = MakeDumbbell(4, Mbps(80), Milliseconds(60), 4.0);
+  FlowSpec spec;
+  spec.scheme = "aurora";
+  spec.make_cc = [] { return std::make_unique<Aurora>(); };
+  net->AddFlow(spec);
+  net->Run(Seconds(30.0));
+  const double thr = net->flow_stats(0).throughput_mbps.MeanOver(Seconds(15.0), Seconds(30.0));
+  EXPECT_GT(thr, 60.0);
+  // Aurora inflates latency (buffer filling), unlike the delay-based schemes.
+  const double rtt = net->flow_stats(0).rtt_ms.MeanOver(Seconds(15.0), Seconds(30.0));
+  EXPECT_GT(rtt, 80.0);
+}
+
+TEST(AuroraTest, IncumbentStarvesNewcomer) {
+  // The Fig. 1a result: a second Aurora flow gets (almost) nothing.
+  auto net = MakeDumbbell(5, Mbps(80), Milliseconds(60), 8.0);
+  FlowSpec spec;
+  spec.scheme = "aurora";
+  spec.make_cc = [] { return std::make_unique<Aurora>(); };
+  net->AddFlow(spec);
+  spec.start = Seconds(10.0);
+  net->AddFlow(spec);
+  net->Run(Seconds(40.0));
+  const double thr0 = net->flow_stats(0).throughput_mbps.MeanOver(Seconds(25.0), Seconds(40.0));
+  const double thr1 = net->flow_stats(1).throughput_mbps.MeanOver(Seconds(25.0), Seconds(40.0));
+  EXPECT_GT(thr0, 8.0 * std::max(thr1, 0.1));  // wildly unfair
+}
+
+TEST(AuroraTest, StateVectorHasFixedLayout) {
+  Aurora cc;
+  cc.OnFlowStart(0, 1500);
+  MtpReport report;
+  report.now = Milliseconds(30);
+  report.mtp = Milliseconds(30);
+  report.thr_bps = Mbps(10);
+  report.avg_rtt = Milliseconds(40);
+  report.min_rtt = Milliseconds(30);
+  report.srtt = Milliseconds(40);
+  report.acked_packets = 10;
+  cc.OnMtpTick(report);
+  const auto state = cc.CurrentState();
+  EXPECT_EQ(state.size(), static_cast<size_t>(kAuroraStateDim));
+  // Newest latency ratio is 40/30.
+  EXPECT_NEAR(state[state.size() - 2], 40.0f / 30.0f, 1e-3f);
+}
+
+// ---------- Orca ----------
+
+TEST(OrcaTest, TracksCubicButDampsBufferFilling) {
+  auto cubic_net = MakeDumbbell(6, Mbps(100), Milliseconds(30), 4.0);
+  FlowSpec cubic_spec;
+  cubic_spec.scheme = "cubic";
+  cubic_spec.make_cc = [] { return std::make_unique<Cubic>(); };
+  cubic_net->AddFlow(cubic_spec);
+  cubic_net->Run(Seconds(30.0));
+
+  auto orca_net = MakeDumbbell(6, Mbps(100), Milliseconds(30), 4.0);
+  FlowSpec orca_spec;
+  orca_spec.scheme = "orca";
+  orca_spec.make_cc = [] { return std::make_unique<Orca>(); };
+  orca_net->AddFlow(orca_spec);
+  orca_net->Run(Seconds(30.0));
+
+  const double cubic_rtt =
+      cubic_net->flow_stats(0).rtt_ms.MeanOver(Seconds(10.0), Seconds(30.0));
+  const double orca_rtt =
+      orca_net->flow_stats(0).rtt_ms.MeanOver(Seconds(10.0), Seconds(30.0));
+  const double orca_thr =
+      orca_net->flow_stats(0).throughput_mbps.MeanOver(Seconds(10.0), Seconds(30.0));
+  EXPECT_LT(orca_rtt, cubic_rtt);  // the agent damps CUBIC's buffer filling
+  EXPECT_GT(orca_thr, 85.0);
+}
+
+TEST(OrcaTest, ModulationStaysWithinOneOctave) {
+  Orca cc;
+  cc.OnFlowStart(0, 1500);
+  MtpReport report;
+  report.now = Milliseconds(30);
+  report.mtp = Milliseconds(30);
+  report.avg_rtt = Milliseconds(90);
+  report.min_rtt = Milliseconds(30);
+  report.acked_packets = 5;
+  cc.OnMtpTick(report);
+  EXPECT_GE(cc.modulation(), 0.5);
+  EXPECT_LE(cc.modulation(), 2.0);
+}
+
+// ---------- Remy ----------
+
+TEST(RemyTest, PerformsInsideDesignRange) {
+  auto net = MakeDumbbell(7, Mbps(100), Milliseconds(30), 1.0);
+  FlowSpec spec;
+  spec.scheme = "remy";
+  spec.make_cc = [] { return std::make_unique<Remy>(); };
+  net->AddFlow(spec);
+  net->Run(Seconds(30.0));
+  const double thr = net->flow_stats(0).throughput_mbps.MeanOver(Seconds(10.0), Seconds(30.0));
+  EXPECT_GT(thr, 75.0);
+}
+
+TEST(RemyTest, RuleMatchingUsesRttRatio) {
+  Remy cc;
+  cc.OnFlowStart(0, 1500);
+  const uint64_t w0 = cc.cwnd_bytes();
+  // Deep bufferbloat rule shrinks the window once per RTT.
+  AckEvent ev;
+  ev.now = Milliseconds(200);  // past one sRTT since flow start
+  ev.rtt = Milliseconds(120);
+  ev.srtt = Milliseconds(120);
+  ev.min_rtt = Milliseconds(30);
+  ev.acked_bytes = 1500;
+  cc.OnAck(ev);
+  EXPECT_LT(cc.cwnd_bytes(), w0);
+}
+
+}  // namespace
+}  // namespace astraea

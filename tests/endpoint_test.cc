@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/sim/network.h"
+
+namespace astraea {
+namespace {
+
+// Fixed-window controller for exercising the sender machinery in isolation.
+class FixedWindow : public CongestionController {
+ public:
+  explicit FixedWindow(uint64_t cwnd_bytes, std::optional<double> pacing = std::nullopt)
+      : cwnd_(cwnd_bytes), pacing_(pacing) {}
+
+  void OnAck(const AckEvent& ev) override {
+    ++acks;
+    last_ack = ev;
+  }
+  void OnLoss(const LossEvent& ev) override {
+    ++losses;
+    last_loss = ev;
+  }
+  void OnMtpTick(const MtpReport& report) override {
+    ++ticks;
+    last_report = report;
+  }
+  uint64_t cwnd_bytes() const override { return cwnd_; }
+  std::optional<double> pacing_bps() const override { return pacing_; }
+  std::string name() const override { return "fixed"; }
+
+  uint64_t cwnd_;
+  std::optional<double> pacing_;
+  int acks = 0;
+  int losses = 0;
+  int ticks = 0;
+  AckEvent last_ack;
+  LossEvent last_loss;
+  MtpReport last_report;
+};
+
+struct TestNet {
+  explicit TestNet(LinkConfig link_config, uint64_t cwnd_bytes,
+                   std::optional<double> pacing = std::nullopt) {
+    net = std::make_unique<Network>(1);
+    net->AddLink(link_config);
+    FlowSpec spec;
+    spec.scheme = "fixed";
+    spec.make_cc = [this, cwnd_bytes, pacing] {
+      auto cc = std::make_unique<FixedWindow>(cwnd_bytes, pacing);
+      controller = cc.get();
+      return cc;
+    };
+    net->AddFlow(spec);
+  }
+
+  std::unique_ptr<Network> net;
+  FixedWindow* controller = nullptr;
+};
+
+LinkConfig DefaultLink() {
+  LinkConfig config;
+  config.rate = Mbps(100);
+  config.propagation_delay = Milliseconds(15);  // 30ms base RTT
+  config.buffer_bytes = 375'000;                // 1 BDP
+  return config;
+}
+
+TEST(SenderTest, RttMeasurementMatchesBaseRtt) {
+  TestNet t(DefaultLink(), 4 * 1500);  // tiny window: no queueing
+  t.net->Run(Seconds(5.0));
+  // min RTT = 2*15ms propagation + serialization (~0.12ms).
+  const TimeNs min_rtt = t.net->sender(0).min_rtt();
+  EXPECT_GE(min_rtt, Milliseconds(30));
+  EXPECT_LE(min_rtt, Milliseconds(31));
+}
+
+TEST(SenderTest, ThroughputIsCwndOverRtt) {
+  // 20 packets over ~30ms RTT: 20*1500*8/0.030 = 8 Mbps (well below capacity).
+  TestNet t(DefaultLink(), 20 * 1500);
+  t.net->Run(Seconds(5.0));
+  const double thr =
+      t.net->flow_stats(0).throughput_mbps.MeanOver(Seconds(1.0), Seconds(5.0));
+  EXPECT_NEAR(thr, 8.0, 0.5);
+}
+
+TEST(SenderTest, SaturatesLinkWithLargeWindow) {
+  // Window of 2 BDP: link-limited, standing queue of ~1 BDP.
+  TestNet t(DefaultLink(), 2 * 375'000);
+  t.net->Run(Seconds(5.0));
+  const double thr =
+      t.net->flow_stats(0).throughput_mbps.MeanOver(Seconds(1.0), Seconds(5.0));
+  EXPECT_NEAR(thr, 100.0, 2.0);
+  // RTT should be about doubled by the standing queue.
+  const double rtt = t.net->flow_stats(0).rtt_ms.MeanOver(Seconds(1.0), Seconds(5.0));
+  EXPECT_NEAR(rtt, 60.0, 5.0);
+}
+
+TEST(SenderTest, ConservationBytesSentEqualsAckedPlusLostPlusInflight) {
+  LinkConfig link = DefaultLink();
+  link.buffer_bytes = 30'000;  // shallow: force drops
+  TestNet t(link, 3 * 375'000);
+  t.net->Run(Seconds(5.0));
+  const FlowStats& stats = t.net->flow_stats(0);
+  EXPECT_EQ(stats.bytes_sent,
+            stats.bytes_acked + stats.bytes_lost + t.net->sender(0).inflight_bytes());
+}
+
+TEST(SenderTest, GapLossDetectionFiresOnDrops) {
+  LinkConfig link = DefaultLink();
+  link.buffer_bytes = 30'000;  // shallow buffer: overdriving drops packets
+  TestNet t(link, 3 * 375'000);
+  t.net->Run(Seconds(5.0));
+  EXPECT_GT(t.controller->losses, 0);
+  EXPECT_FALSE(t.controller->last_loss.is_timeout);
+  EXPECT_GT(t.net->flow_stats(0).bytes_lost, 0u);
+}
+
+TEST(SenderTest, WireLossIsDetectedWithoutQueueing) {
+  LinkConfig link = DefaultLink();
+  link.random_loss = 0.05;
+  TestNet t(link, 20 * 1500);  // no congestion at all
+  t.net->Run(Seconds(10.0));
+  const FlowStats& stats = t.net->flow_stats(0);
+  EXPECT_GT(stats.bytes_lost, 0u);
+  const double loss_ratio =
+      static_cast<double>(stats.bytes_lost) / (stats.bytes_acked + stats.bytes_lost);
+  EXPECT_NEAR(loss_ratio, 0.05, 0.02);
+}
+
+TEST(SenderTest, RtoFiresWhenEverythingIsLost) {
+  LinkConfig link = DefaultLink();
+  link.random_loss = 1.0;  // black hole
+  TestNet t(link, 10 * 1500);
+  t.net->Run(Seconds(3.0));
+  EXPECT_GT(t.controller->losses, 0);
+  EXPECT_TRUE(t.controller->last_loss.is_timeout);
+  // Everything written off was counted as lost.
+  EXPECT_GT(t.net->flow_stats(0).bytes_lost, 0u);
+}
+
+TEST(SenderTest, MtpReportsArriveAtConfiguredCadence) {
+  TestNet t(DefaultLink(), 20 * 1500);
+  t.net->Run(Seconds(3.0));
+  // 3s / 30ms = 100 ticks (+-1 for scheduling boundaries).
+  EXPECT_NEAR(t.controller->ticks, 100, 2);
+  EXPECT_EQ(t.controller->last_report.mtp, Milliseconds(30));
+  EXPECT_GT(t.controller->last_report.thr_bps, 0.0);
+  EXPECT_GT(t.controller->last_report.acked_packets, 0u);
+}
+
+TEST(SenderTest, PacedSenderRespectsPacingRate) {
+  // Pacing at 20 Mbps with a huge window: throughput == pacing rate.
+  TestNet t(DefaultLink(), 100 * 375'000, Mbps(20));
+  t.net->Run(Seconds(5.0));
+  const double thr =
+      t.net->flow_stats(0).throughput_mbps.MeanOver(Seconds(1.0), Seconds(5.0));
+  EXPECT_NEAR(thr, 20.0, 1.0);
+}
+
+TEST(SenderTest, StopHaltsTransmission) {
+  TestNet t(DefaultLink(), 20 * 1500);
+  t.net->Run(Seconds(1.0));
+  t.net->sender(0).Stop();
+  const uint64_t sent_at_stop = t.net->flow_stats(0).bytes_sent;
+  t.net->Run(Seconds(3.0));
+  EXPECT_EQ(t.net->flow_stats(0).bytes_sent, sent_at_stop);
+  EXPECT_EQ(t.net->sender(0).inflight_bytes(), 0u);  // drained
+}
+
+TEST(SenderTest, DeliveryRateEstimateTracksThroughput) {
+  TestNet t(DefaultLink(), 2 * 375'000);
+  t.net->Run(Seconds(5.0));
+  EXPECT_NEAR(t.controller->last_ack.delivery_rate_bps / Mbps(100), 1.0, 0.1);
+}
+
+TEST(ReceiverTest, CountsReceivedBytes) {
+  TestNet t(DefaultLink(), 20 * 1500);
+  t.net->Run(Seconds(2.0));
+  EXPECT_GT(t.net->flow_stats(0).bytes_acked, 0u);
+}
+
+}  // namespace
+}  // namespace astraea

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/event_queue.h"
+
+namespace astraea {
+namespace {
+
+TEST(EventQueueTest, ExecutesInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(Milliseconds(30), [&] { order.push_back(3); });
+  q.Schedule(Milliseconds(10), [&] { order.push_back(1); });
+  q.Schedule(Milliseconds(20), [&] { order.push_back(2); });
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), Milliseconds(30));
+}
+
+TEST(EventQueueTest, TiesBreakFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.Schedule(Milliseconds(10), [&order, i] { order.push_back(i); });
+  }
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, RunUntilStopsAtBoundary) {
+  EventQueue q;
+  int fired = 0;
+  q.Schedule(Milliseconds(10), [&] { ++fired; });
+  q.Schedule(Milliseconds(20), [&] { ++fired; });
+  q.RunUntil(Milliseconds(15));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.now(), Milliseconds(15));
+  q.RunUntil(Milliseconds(25));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueueTest, EventsCanScheduleEvents) {
+  EventQueue q;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) {
+      q.ScheduleAfter(Milliseconds(1), recurse);
+    }
+  };
+  q.Schedule(0, recurse);
+  q.RunAll();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(q.now(), Milliseconds(4));
+}
+
+TEST(EventQueueTest, CancelSkipsEvent) {
+  EventQueue q;
+  int fired = 0;
+  const uint64_t id = q.Schedule(Milliseconds(10), [&] { ++fired; });
+  q.Schedule(Milliseconds(20), [&] { ++fired; });
+  q.Cancel(id);
+  q.RunAll();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueueTest, ExecutedCountsOnlyRunEvents) {
+  EventQueue q;
+  q.Schedule(Milliseconds(1), [] {});
+  const uint64_t id = q.Schedule(Milliseconds(2), [] {});
+  q.Cancel(id);
+  q.RunAll();
+  EXPECT_EQ(q.executed(), 1u);
+}
+
+}  // namespace
+}  // namespace astraea

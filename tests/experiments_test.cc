@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "bench/harness/experiments.h"
+#include "src/core/schemes.h"
+
+namespace astraea {
+namespace {
+
+StaggeredConfig SmallConfig() {
+  StaggeredConfig config = DefaultStaggeredConfig();
+  config.start_interval = Seconds(8.0);
+  config.flow_duration = Seconds(24.0);
+  config.until = Seconds(40.0);
+  return config;
+}
+
+TEST(ExperimentsTest, StaggeredScenarioBuildsThreeFlows) {
+  auto scenario = RunStaggeredScenario("cubic", SmallConfig(), 1);
+  EXPECT_EQ(scenario->network().flow_count(), 3u);
+  // Flow 1 starts at 8s and runs 24s.
+  EXPECT_EQ(scenario->network().flow_stats(1).started_at, Seconds(8.0));
+  EXPECT_EQ(scenario->network().flow_stats(1).stopped_at, Seconds(32.0));
+}
+
+TEST(ExperimentsTest, AstraeaConvergenceSummaryIsHealthy) {
+  const SchemeConvergenceSummary s = MeasureStaggeredConvergence("astraea", SmallConfig(), 1);
+  EXPECT_EQ(s.scheme, "astraea");
+  EXPECT_GT(s.total_events, 3);
+  EXPECT_GE(s.converged_events, s.total_events / 2);
+  EXPECT_GT(s.avg_jain, 0.9);
+  EXPECT_GT(s.utilization, 0.85);
+  EXPECT_GT(s.avg_convergence_s, 0.0);
+  EXPECT_LT(s.avg_convergence_s, 8.0);
+}
+
+TEST(ExperimentsTest, JainSamplesPooledAcrossReps) {
+  const auto one = CollectJainSamples("cubic", SmallConfig(), 1);
+  const auto two = CollectJainSamples("cubic", SmallConfig(), 2);
+  EXPECT_GT(one.size(), 10u);
+  EXPECT_NEAR(static_cast<double>(two.size()), 2.0 * one.size(), 4.0);
+  for (double j : two) {
+    EXPECT_GE(j, 0.0);
+    EXPECT_LE(j, 1.0 + 1e-9);
+  }
+}
+
+TEST(SchemesTest, EveryRegisteredNameProducesMatchingController) {
+  SchemeOptions options;
+  for (const std::string& name : AllSchemeNames()) {
+    CcFactory factory = MakeSchemeFactory(name, &options);
+    auto cc = factory();
+    ASSERT_NE(cc, nullptr) << name;
+    EXPECT_EQ(cc->name(), name);
+    // Factories must be reusable (one factory, many flows).
+    auto cc2 = factory();
+    EXPECT_NE(cc.get(), cc2.get());
+  }
+}
+
+TEST(SchemesTest, AstraeaFlowsShareOnePolicyInstance) {
+  SchemeOptions options;
+  CcFactory factory = MakeSchemeFactory("astraea", &options);
+  ASSERT_NE(options.astraea_policy, nullptr);
+  const Policy* shared = options.astraea_policy.get();
+  // Creating more factories reuses the loaded policy.
+  MakeSchemeFactory("astraea", &options);
+  EXPECT_EQ(options.astraea_policy.get(), shared);
+}
+
+TEST(SchemesTest, VivaceOptionsPropagate) {
+  SchemeOptions options;
+  options.vivace.theta0 = 4.2;
+  CcFactory factory = MakeSchemeFactory("vivace", &options);
+  auto cc = factory();
+  EXPECT_EQ(cc->name(), "vivace");
+}
+
+}  // namespace
+}  // namespace astraea

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "src/core/inference_service.h"
+#include "src/util/rng.h"
+
+namespace astraea {
+namespace {
+
+Mlp MakeActor(uint64_t seed = 1) {
+  Rng rng(seed);
+  return Mlp({8, 16, 1}, OutputActivation::kTanh, &rng);
+}
+
+TEST(InferenceServiceTest, BatchedAnswersMatchDirectInference) {
+  Mlp actor = MakeActor();
+  Mlp reference = MakeActor();  // same seed: identical weights
+  InferenceService service(std::move(actor));
+
+  Rng data(2);
+  std::vector<std::vector<float>> states;
+  std::vector<double> answers(5, -99.0);
+  for (int i = 0; i < 5; ++i) {
+    std::vector<float> s(8);
+    for (auto& v : s) {
+      v = static_cast<float>(data.Uniform(-1.0, 1.0));
+    }
+    states.push_back(s);
+  }
+  for (int i = 0; i < 5; ++i) {
+    service.Submit(states[static_cast<size_t>(i)],
+                   [&answers, i](double a) { answers[static_cast<size_t>(i)] = a; });
+  }
+  EXPECT_EQ(service.pending(), 5u);
+  EXPECT_EQ(service.Flush(), 5u);
+  EXPECT_EQ(service.pending(), 0u);
+  for (int i = 0; i < 5; ++i) {
+    const float expected = reference.Infer(states[static_cast<size_t>(i)])[0];
+    EXPECT_NEAR(answers[static_cast<size_t>(i)], expected, 1e-6);
+  }
+}
+
+TEST(InferenceServiceTest, FlushOnEmptyIsNoOp) {
+  InferenceService service(MakeActor());
+  EXPECT_EQ(service.Flush(), 0u);
+  EXPECT_EQ(service.total_batches(), 0u);
+}
+
+TEST(InferenceServiceTest, StatisticsAccumulate) {
+  InferenceService service(MakeActor());
+  const std::vector<float> s(8, 0.1f);
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 4; ++i) {
+      service.Submit(s, [](double) {});
+    }
+    service.Flush();
+  }
+  EXPECT_EQ(service.total_requests(), 12u);
+  EXPECT_EQ(service.total_batches(), 3u);
+  EXPECT_EQ(service.max_batch(), 4u);
+}
+
+TEST(InferenceServiceTest, ActionsAreClamped) {
+  InferenceService service(MakeActor());
+  const std::vector<float> s(8, 5.0f);  // extreme inputs
+  double action = 99.0;
+  service.Submit(s, [&action](double a) { action = a; });
+  service.Flush();
+  EXPECT_GE(action, -1.0);
+  EXPECT_LE(action, 1.0);
+}
+
+TEST(InferenceServiceTest, DefaultBatchWindowIsFiveMs) {
+  InferenceService service(MakeActor());
+  EXPECT_EQ(service.batch_window(), Milliseconds(5));
+}
+
+}  // namespace
+}  // namespace astraea

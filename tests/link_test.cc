@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/event_queue.h"
+#include "src/sim/link.h"
+
+namespace astraea {
+namespace {
+
+// Terminal sink that records deliveries.
+class RecordingSink : public PacketSink {
+ public:
+  void Accept(Packet pkt) override { received.push_back(pkt); }
+  std::vector<Packet> received;
+};
+
+class LinkTest : public ::testing::Test {
+ protected:
+  Packet MakePacket(uint64_t seq, uint32_t size = 1500) {
+    Packet pkt;
+    pkt.flow_id = 0;
+    pkt.seq = seq;
+    pkt.size_bytes = size;
+    pkt.sent_time = events_.now();
+    pkt.route = &route_;
+    pkt.hop = 0;
+    return pkt;
+  }
+
+  EventQueue events_;
+  RecordingSink sink_;
+  Route route_;
+};
+
+TEST_F(LinkTest, DeliversAfterServiceAndPropagation) {
+  LinkConfig config;
+  config.rate = Mbps(100);
+  config.propagation_delay = Milliseconds(5);
+  config.buffer_bytes = 100'000;
+  Link link(&events_, config, Rng(1));
+  route_ = {&link, &sink_};
+
+  link.Accept(MakePacket(0));
+  events_.RunAll();
+  ASSERT_EQ(sink_.received.size(), 1u);
+  // 1500B at 100Mbps = 120us service + 5ms propagation.
+  EXPECT_EQ(events_.now(), Microseconds(120) + Milliseconds(5));
+}
+
+TEST_F(LinkTest, ServiceRateMatchesConfiguredRate) {
+  LinkConfig config;
+  config.rate = Mbps(50);
+  config.propagation_delay = 0;
+  config.buffer_bytes = 100'000'000;
+  Link link(&events_, config, Rng(1));
+  route_ = {&link, &sink_};
+
+  const int n = 1000;
+  for (int i = 0; i < n; ++i) {
+    link.Accept(MakePacket(i));
+  }
+  events_.RunAll();
+  ASSERT_EQ(sink_.received.size(), static_cast<size_t>(n));
+  const double measured_bps = n * 1500.0 * 8.0 / ToSeconds(events_.now());
+  EXPECT_NEAR(measured_bps / Mbps(50), 1.0, 0.01);
+}
+
+TEST_F(LinkTest, PreservesFifoOrder) {
+  LinkConfig config;
+  config.rate = Mbps(10);
+  config.buffer_bytes = 10'000'000;
+  config.propagation_delay = Milliseconds(1);
+  Link link(&events_, config, Rng(1));
+  route_ = {&link, &sink_};
+
+  for (int i = 0; i < 50; ++i) {
+    link.Accept(MakePacket(i));
+  }
+  events_.RunAll();
+  ASSERT_EQ(sink_.received.size(), 50u);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(sink_.received[static_cast<size_t>(i)].seq, static_cast<uint64_t>(i));
+  }
+}
+
+TEST_F(LinkTest, DropTailAtBufferLimit) {
+  LinkConfig config;
+  config.rate = Mbps(10);
+  config.propagation_delay = 0;
+  config.buffer_bytes = 3000;  // room for exactly 2 queued packets
+  Link link(&events_, config, Rng(1));
+  route_ = {&link, &sink_};
+
+  // One in service + two queued fit; the rest drop.
+  for (int i = 0; i < 10; ++i) {
+    link.Accept(MakePacket(i));
+  }
+  events_.RunAll();
+  EXPECT_EQ(sink_.received.size(), 3u);
+  EXPECT_EQ(link.dropped_bytes(), 7u * 1500u);
+  // Conservation: accepted = delivered + dropped.
+  EXPECT_EQ(link.accepted_bytes(), link.delivered_bytes() + link.dropped_bytes());
+}
+
+TEST_F(LinkTest, RandomLossDropsApproximatelyAtRate) {
+  LinkConfig config;
+  config.rate = Mbps(1000);
+  config.propagation_delay = 0;
+  config.buffer_bytes = 100'000'000;
+  config.random_loss = 0.1;
+  Link link(&events_, config, Rng(99));
+  route_ = {&link, &sink_};
+
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    link.Accept(MakePacket(i));
+  }
+  events_.RunAll();
+  const double loss_rate = 1.0 - static_cast<double>(sink_.received.size()) / n;
+  EXPECT_NEAR(loss_rate, 0.1, 0.02);
+  EXPECT_EQ(link.wire_lost_bytes() + sink_.received.size() * 1500u, link.delivered_bytes());
+}
+
+TEST_F(LinkTest, TraceDrivenRateFollowsTrace) {
+  LinkConfig config;
+  config.propagation_delay = 0;
+  config.buffer_bytes = 100'000'000;
+  config.trace = std::make_shared<RateTrace>(
+      std::vector<std::pair<TimeNs, RateBps>>{{0, Mbps(10)}, {Seconds(1.0), Mbps(40)}});
+  Link link(&events_, config, Rng(1));
+  route_ = {&link, &sink_};
+
+  // Saturate for 2 seconds; expect ~(10 + 40)/2 = 25 Mbit total over 2s.
+  for (int i = 0; i < 5000; ++i) {
+    link.Accept(MakePacket(i));
+  }
+  events_.RunUntil(Seconds(2.0));
+  const double delivered_bits = static_cast<double>(link.delivered_bytes()) * 8.0;
+  EXPECT_NEAR(delivered_bits, 50e6, 2e6);
+}
+
+TEST_F(LinkTest, QueueByteAccountingIsConsistent) {
+  LinkConfig config;
+  config.rate = Mbps(1);
+  config.propagation_delay = 0;
+  config.buffer_bytes = 1'000'000;
+  Link link(&events_, config, Rng(1));
+  route_ = {&link, &sink_};
+
+  for (int i = 0; i < 10; ++i) {
+    link.Accept(MakePacket(i));
+  }
+  // One is in service; nine are queued.
+  EXPECT_EQ(link.queue_packets(), 9u);
+  EXPECT_EQ(link.queue_bytes(), 9u * 1500u);
+  events_.RunAll();
+  EXPECT_EQ(link.queue_packets(), 0u);
+  EXPECT_EQ(link.queue_bytes(), 0u);
+}
+
+// Property: for any (rate, packet count), a saturated link's long-run
+// delivery rate equals its configured rate within 1%.
+class LinkRateConformance : public ::testing::TestWithParam<double> {};
+
+TEST_P(LinkRateConformance, DeliveryMatchesRate) {
+  EventQueue events;
+  RecordingSink sink;
+  LinkConfig config;
+  config.rate = Mbps(GetParam());
+  config.propagation_delay = 0;
+  config.buffer_bytes = 1'000'000'000;
+  Link link(&events, config, Rng(1));
+  Route route{&link, &sink};
+
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    Packet pkt;
+    pkt.seq = static_cast<uint64_t>(i);
+    pkt.size_bytes = 1500;
+    pkt.route = &route;
+    pkt.hop = 0;
+    link.Accept(pkt);
+  }
+  events.RunAll();
+  const double measured = n * 1500.0 * 8.0 / ToSeconds(events.now());
+  EXPECT_NEAR(measured / Mbps(GetParam()), 1.0, 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, LinkRateConformance,
+                         ::testing::Values(1.0, 10.0, 100.0, 1000.0, 10000.0));
+
+}  // namespace
+}  // namespace astraea

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "src/nn/mlp.h"
+
+namespace astraea {
+namespace {
+
+TEST(MlpTest, ShapesAndDeterminism) {
+  Rng rng(1);
+  Mlp net({4, 8, 8, 2}, OutputActivation::kTanh, &rng);
+  EXPECT_EQ(net.input_size(), 4);
+  EXPECT_EQ(net.output_size(), 2);
+  const std::vector<float> x = {0.1f, -0.2f, 0.3f, 0.4f};
+  const auto y1 = net.Infer(x);
+  const auto y2 = net.Infer(x);
+  ASSERT_EQ(y1.size(), 2u);
+  EXPECT_EQ(y1, y2);
+  for (float v : y1) {
+    EXPECT_GE(v, -1.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+TEST(MlpTest, ForwardMatchesInfer) {
+  Rng rng(2);
+  Mlp net({3, 16, 1}, OutputActivation::kIdentity, &rng);
+  const std::vector<float> x = {1.0f, 2.0f, 3.0f};
+  EXPECT_EQ(net.Forward(x), net.Infer(x));
+}
+
+TEST(MlpTest, InferBatchMatchesPerSample) {
+  Rng rng(3);
+  Mlp net({5, 32, 16, 2}, OutputActivation::kTanh, &rng);
+  const size_t batch = 7;
+  std::vector<float> inputs(batch * 5);
+  Rng data_rng(9);
+  for (auto& v : inputs) {
+    v = static_cast<float>(data_rng.Uniform(-1.0, 1.0));
+  }
+  const auto batched = net.InferBatch(inputs, batch);
+  ASSERT_EQ(batched.size(), batch * 2);
+  for (size_t i = 0; i < batch; ++i) {
+    const auto single =
+        net.Infer(std::span<const float>(inputs.data() + i * 5, 5));
+    EXPECT_FLOAT_EQ(batched[i * 2 + 0], single[0]);
+    EXPECT_FLOAT_EQ(batched[i * 2 + 1], single[1]);
+  }
+}
+
+// Finite-difference gradient check: both parameter grads and input grads.
+TEST(MlpTest, GradientsMatchFiniteDifferences) {
+  Rng rng(4);
+  Mlp net({3, 6, 4, 1}, OutputActivation::kIdentity, &rng);
+  const std::vector<float> x = {0.5f, -0.3f, 0.8f};
+
+  // Loss = y (identity on the scalar output), so dL/dy = 1.
+  net.ZeroGrad();
+  net.Forward(x);
+  const float dy[1] = {1.0f};
+  const std::vector<float> dx = net.Backward(dy);
+
+  const float eps = 1e-3f;
+  // Check a spread of parameter gradients.
+  auto params = net.params();
+  auto grads = net.grads();
+  for (size_t i = 0; i < params.size(); i += std::max<size_t>(params.size() / 17, 1)) {
+    const float original = params[i];
+    params[i] = original + eps;
+    const float up = net.Infer(x)[0];
+    params[i] = original - eps;
+    const float down = net.Infer(x)[0];
+    params[i] = original;
+    const float fd = (up - down) / (2 * eps);
+    EXPECT_NEAR(grads[i], fd, 5e-3) << "param index " << i;
+  }
+
+  // Input gradients.
+  for (size_t i = 0; i < x.size(); ++i) {
+    std::vector<float> xp = x;
+    xp[i] += eps;
+    const float up = net.Infer(xp)[0];
+    xp[i] = x[i] - eps;
+    const float down = net.Infer(xp)[0];
+    const float fd = (up - down) / (2 * eps);
+    EXPECT_NEAR(dx[i], fd, 5e-3) << "input index " << i;
+  }
+}
+
+TEST(MlpTest, TanhOutputGradientCheck) {
+  Rng rng(5);
+  Mlp net({2, 8, 1}, OutputActivation::kTanh, &rng);
+  const std::vector<float> x = {0.7f, -0.4f};
+  net.ZeroGrad();
+  net.Forward(x);
+  const float dy[1] = {1.0f};
+  const std::vector<float> dx = net.Backward(dy);
+
+  const float eps = 1e-3f;
+  std::vector<float> xp = x;
+  xp[0] += eps;
+  const float up = net.Infer(xp)[0];
+  xp[0] = x[0] - eps;
+  const float down = net.Infer(xp)[0];
+  EXPECT_NEAR(dx[0], (up - down) / (2 * eps), 5e-3);
+}
+
+TEST(MlpTest, GradientDescentFitsXor) {
+  // A classic sanity check that the full train loop learns a nonlinear map.
+  Rng rng(6);
+  Mlp net({2, 16, 16, 1}, OutputActivation::kTanh, &rng);
+  Adam opt(net.parameter_count(), 0.01f);
+  const float inputs[4][2] = {{0, 0}, {0, 1}, {1, 0}, {1, 1}};
+  const float targets[4] = {-0.8f, 0.8f, 0.8f, -0.8f};
+
+  for (int epoch = 0; epoch < 800; ++epoch) {
+    net.ZeroGrad();
+    for (int i = 0; i < 4; ++i) {
+      const float y = net.Forward(std::span<const float>(inputs[i], 2))[0];
+      const float dy[1] = {2.0f * (y - targets[i])};
+      net.Backward(dy);
+    }
+    opt.Step(net.params(), net.grads(), 4.0f);
+  }
+  for (int i = 0; i < 4; ++i) {
+    const float y = net.Infer(std::span<const float>(inputs[i], 2))[0];
+    EXPECT_NEAR(y, targets[i], 0.25f) << "pattern " << i;
+  }
+}
+
+TEST(MlpTest, PolyakBlendsParameters) {
+  Rng rng(7);
+  Mlp a({2, 4, 1}, OutputActivation::kIdentity, &rng);
+  Mlp b({2, 4, 1}, OutputActivation::kIdentity, &rng);
+  const float a0 = a.params()[0];
+  const float b0 = b.params()[0];
+  b.PolyakUpdateFrom(a, 0.25f);
+  EXPECT_FLOAT_EQ(b.params()[0], 0.25f * a0 + 0.75f * b0);
+}
+
+TEST(MlpTest, SaveLoadRoundTrip) {
+  const std::string path = "/tmp/astraea_mlp_test.ckpt";
+  Rng rng(8);
+  Mlp net({4, 8, 2}, OutputActivation::kTanh, &rng);
+  const std::vector<float> x = {0.1f, 0.2f, 0.3f, 0.4f};
+  const auto before = net.Infer(x);
+  {
+    BinaryWriter w(path);
+    net.Save(&w);
+  }
+  BinaryReader r(path);
+  Mlp loaded = Mlp::Load(&r);
+  EXPECT_EQ(loaded.dims(), net.dims());
+  EXPECT_EQ(loaded.Infer(x), before);
+  std::filesystem::remove(path);
+}
+
+TEST(MlpTest, LoadRejectsCorruptMagic) {
+  const std::string path = "/tmp/astraea_mlp_corrupt.ckpt";
+  {
+    BinaryWriter w(path);
+    w.WriteU32(0x12345678);
+    w.WriteU32(1);
+  }
+  BinaryReader r(path);
+  EXPECT_THROW(Mlp::Load(&r), SerializationError);
+  std::filesystem::remove(path);
+}
+
+TEST(AdamTest, StepsTowardMinimum) {
+  // Minimize f(p) = (p - 3)^2 from p = 0.
+  std::vector<float> p = {0.0f};
+  Adam opt(1, 0.1f);
+  for (int i = 0; i < 500; ++i) {
+    const std::vector<float> g = {2.0f * (p[0] - 3.0f)};
+    opt.Step(p, g);
+  }
+  EXPECT_NEAR(p[0], 3.0f, 0.05f);
+}
+
+}  // namespace
+}  // namespace astraea

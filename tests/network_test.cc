@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "src/cc/cubic.h"
+#include "src/cc/vegas.h"
+#include "src/sim/network.h"
+
+namespace astraea {
+namespace {
+
+FlowSpec CubicFlow(TimeNs start = 0, TimeNs duration = -1) {
+  FlowSpec spec;
+  spec.scheme = "cubic";
+  spec.make_cc = [] { return std::make_unique<Cubic>(); };
+  spec.start = start;
+  spec.duration = duration;
+  return spec;
+}
+
+TEST(NetworkTest, FlowScheduleStartsAndStops) {
+  Network net(1);
+  LinkConfig link;
+  link.rate = Mbps(50);
+  link.propagation_delay = Milliseconds(10);
+  link.buffer_bytes = 125'000;
+  net.AddLink(link);
+  net.AddFlow(CubicFlow(Seconds(1.0), Seconds(2.0)));
+
+  net.Run(Milliseconds(500));
+  EXPECT_TRUE(net.ActiveFlowIds().empty());
+  net.Run(Seconds(2.0));
+  EXPECT_EQ(net.ActiveFlowIds(), std::vector<int>{0});
+  net.Run(Seconds(4.0));
+  EXPECT_TRUE(net.ActiveFlowIds().empty());
+  EXPECT_EQ(net.flow_stats(0).started_at, Seconds(1.0));
+  EXPECT_EQ(net.flow_stats(0).stopped_at, Seconds(3.0));
+}
+
+TEST(NetworkTest, BaseRttIncludesExtraDelay) {
+  Network net(1);
+  LinkConfig link;
+  link.propagation_delay = Milliseconds(20);
+  net.AddLink(link);
+  FlowSpec spec = CubicFlow();
+  spec.extra_one_way_delay = Milliseconds(15);
+  net.AddFlow(spec);
+  EXPECT_EQ(net.BaseRtt(0), Milliseconds(55));  // 2*20 + 15
+}
+
+TEST(NetworkTest, TwoCubicFlowsShareTheLink) {
+  Network net(1);
+  LinkConfig link;
+  link.rate = Mbps(100);
+  link.propagation_delay = Milliseconds(15);
+  link.buffer_bytes = 375'000;
+  net.AddLink(link);
+  net.AddFlow(CubicFlow());
+  net.AddFlow(CubicFlow());
+  net.Run(Seconds(30.0));
+
+  const double thr0 = net.flow_stats(0).throughput_mbps.MeanOver(Seconds(10.0), Seconds(30.0));
+  const double thr1 = net.flow_stats(1).throughput_mbps.MeanOver(Seconds(10.0), Seconds(30.0));
+  EXPECT_NEAR(thr0 + thr1, 100.0, 5.0);     // full utilization
+  EXPECT_NEAR(thr0, thr1, 30.0);            // AIMD rough fairness
+}
+
+TEST(NetworkTest, MultiBottleneckRoutesThroughBothLinks) {
+  // Flow A: link0 only (100 Mbps). Flow B: link0 then link1 (20 Mbps).
+  Network net(1);
+  LinkConfig link0;
+  link0.rate = Mbps(100);
+  link0.propagation_delay = Milliseconds(10);
+  link0.buffer_bytes = 250'000;
+  net.AddLink(link0);
+  LinkConfig link1;
+  link1.rate = Mbps(20);
+  link1.propagation_delay = Milliseconds(5);
+  link1.buffer_bytes = 75'000;
+  net.AddLink(link1);
+
+  FlowSpec a = CubicFlow();
+  a.link_path = {0};
+  net.AddFlow(a);
+  FlowSpec b = CubicFlow();
+  b.link_path = {0, 1};
+  net.AddFlow(b);
+  EXPECT_EQ(net.BaseRtt(0), Milliseconds(20));
+  EXPECT_EQ(net.BaseRtt(1), Milliseconds(30));
+
+  net.Run(Seconds(30.0));
+  const double thr_a = net.flow_stats(0).throughput_mbps.MeanOver(Seconds(10.0), Seconds(30.0));
+  const double thr_b = net.flow_stats(1).throughput_mbps.MeanOver(Seconds(10.0), Seconds(30.0));
+  // B is capped by link1; A gets the rest of link0.
+  EXPECT_LE(thr_b, 21.0);
+  // B pays double jeopardy (loss at both hops + link0's queueing delay), so
+  // it lands well below link1's capacity; the point here is routing, so we
+  // only require it to move real traffic through both links.
+  EXPECT_GT(thr_b, 3.0);
+  EXPECT_GT(thr_a, 70.0);
+}
+
+TEST(NetworkTest, LinkSamplingRecordsTraces) {
+  Network net(1);
+  LinkConfig link;
+  link.rate = Mbps(50);
+  link.propagation_delay = Milliseconds(10);
+  link.buffer_bytes = 125'000;
+  net.AddLink(link);
+  net.AddFlow(CubicFlow());
+  net.EnableLinkSampling(Milliseconds(100));
+  net.Run(Seconds(5.0));
+
+  const LinkTrace& trace = net.link_trace(0);
+  EXPECT_GT(trace.delivered_mbps.points().size(), 40u);
+  EXPECT_NEAR(trace.delivered_mbps.MeanOver(Seconds(1.0), Seconds(5.0)), 50.0, 5.0);
+}
+
+TEST(NetworkTest, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Network net(42);
+    LinkConfig link;
+    link.rate = Mbps(80);
+    link.propagation_delay = Milliseconds(10);
+    link.buffer_bytes = 200'000;
+    link.random_loss = 0.01;
+    net.AddLink(link);
+    FlowSpec spec;
+    spec.scheme = "vegas";
+    spec.make_cc = [] { return std::make_unique<Vegas>(); };
+    net.AddFlow(spec);
+    net.Run(Seconds(10.0));
+    return net.flow_stats(0).bytes_acked;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace astraea

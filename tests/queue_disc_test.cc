@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include "src/cc/cubic.h"
+#include "src/sim/network.h"
+#include "src/sim/queue_disc.h"
+
+namespace astraea {
+namespace {
+
+Packet MakePacket(uint64_t seq, uint32_t size = 1500) {
+  Packet pkt;
+  pkt.seq = seq;
+  pkt.size_bytes = size;
+  return pkt;
+}
+
+TEST(DropTailQueueTest, FifoAndCapacity) {
+  DropTailQueue q(3000);
+  EXPECT_TRUE(q.Enqueue(MakePacket(0), 0));
+  EXPECT_TRUE(q.Enqueue(MakePacket(1), 0));
+  EXPECT_FALSE(q.Enqueue(MakePacket(2), 0));  // full
+  EXPECT_EQ(q.queued_packets(), 2u);
+  EXPECT_EQ(q.dropped_bytes(), 1500u);
+  EXPECT_EQ(q.Dequeue(0)->seq, 0u);
+  EXPECT_EQ(q.Dequeue(0)->seq, 1u);
+  EXPECT_FALSE(q.Dequeue(0).has_value());
+  EXPECT_EQ(q.queued_bytes(), 0u);
+}
+
+TEST(RedQueueTest, NoDropsBelowMinThreshold) {
+  RedConfig config;
+  config.capacity_bytes = 150'000;  // 100 packets
+  RedQueue q(config, Rng(1));
+  // Keep instantaneous queue below min threshold (20 pkts): never drops.
+  for (int round = 0; round < 200; ++round) {
+    EXPECT_TRUE(q.Enqueue(MakePacket(static_cast<uint64_t>(round)), 0));
+    q.Dequeue(0);
+  }
+  EXPECT_EQ(q.dropped_bytes(), 0u);
+}
+
+TEST(RedQueueTest, ProbabilisticDropsBetweenThresholds) {
+  RedConfig config;
+  config.capacity_bytes = 150'000;
+  config.ewma_weight = 1.0;  // track the instantaneous queue exactly
+  RedQueue q(config, Rng(2));
+  // Hold the queue at ~40% (between min 20% and max 60%): some but not all
+  // enqueues drop.
+  int dropped = 0;
+  int accepted = 0;
+  for (int i = 0; i < 40; ++i) {
+    q.Enqueue(MakePacket(static_cast<uint64_t>(i)), 0);
+  }
+  for (int i = 0; i < 2000; ++i) {
+    if (q.Enqueue(MakePacket(static_cast<uint64_t>(100 + i)), 0)) {
+      ++accepted;
+      q.Dequeue(0);  // keep occupancy level
+    } else {
+      ++dropped;
+    }
+  }
+  EXPECT_GT(dropped, 0);
+  EXPECT_GT(accepted, dropped);  // drops are early/probabilistic, not total
+}
+
+TEST(RedQueueTest, HardLimitAlwaysDrops) {
+  RedConfig config;
+  config.capacity_bytes = 4500;
+  RedQueue q(config, Rng(3));
+  q.Enqueue(MakePacket(0), 0);
+  q.Enqueue(MakePacket(1), 0);
+  q.Enqueue(MakePacket(2), 0);
+  EXPECT_FALSE(q.Enqueue(MakePacket(3), 0));
+}
+
+TEST(CoDelQueueTest, NoDropsWhenSojournBelowTarget) {
+  CoDelConfig config;
+  CoDelQueue q(config);
+  // Packets dequeued 1ms after enqueue: below the 5ms target.
+  TimeNs now = 0;
+  for (int i = 0; i < 100; ++i) {
+    q.Enqueue(MakePacket(static_cast<uint64_t>(i)), now);
+    now += Milliseconds(1);
+    EXPECT_TRUE(q.Dequeue(now).has_value());
+  }
+  EXPECT_EQ(q.dropped_bytes(), 0u);
+}
+
+TEST(CoDelQueueTest, DropsAfterPersistentQueueing) {
+  CoDelConfig config;
+  CoDelQueue q(config);
+  // Fill a standing queue, then dequeue slowly so sojourn stays >> target
+  // for longer than one interval.
+  for (int i = 0; i < 200; ++i) {
+    q.Enqueue(MakePacket(static_cast<uint64_t>(i)), 0);
+  }
+  TimeNs now = Milliseconds(50);
+  uint64_t served = 0;
+  for (int i = 0; i < 150; ++i) {
+    now += Milliseconds(2);
+    if (q.Dequeue(now).has_value()) {
+      ++served;
+    }
+  }
+  EXPECT_GT(q.dropped_bytes(), 0u);
+  EXPECT_GT(served, 0u);
+}
+
+TEST(CoDelQueueTest, RecoversWhenQueueDrains) {
+  CoDelConfig config;
+  CoDelQueue q(config);
+  for (int i = 0; i < 100; ++i) {
+    q.Enqueue(MakePacket(static_cast<uint64_t>(i)), 0);
+  }
+  TimeNs now = Milliseconds(200);
+  while (q.queued_packets() > 0) {
+    q.Dequeue(now);
+    now += Milliseconds(2);
+  }
+  // Re-enqueue with low sojourn: dropping state must end.
+  q.Enqueue(MakePacket(1000), now);
+  EXPECT_TRUE(q.Dequeue(now + Milliseconds(1)).has_value());
+  EXPECT_FALSE(q.dropping());
+}
+
+// End-to-end: CoDel keeps CUBIC's standing delay near the target where
+// DropTail lets it fill the whole buffer.
+TEST(QueueDiscIntegrationTest, CoDelCutsCubicBufferbloat) {
+  auto run = [](QueueFactory factory) {
+    Network net(1);
+    LinkConfig link;
+    link.rate = Mbps(50);
+    link.propagation_delay = Milliseconds(10);
+    link.buffer_bytes = 4 * BdpBytes(Mbps(50), Milliseconds(20));
+    link.queue_factory = std::move(factory);
+    net.AddLink(link);
+    FlowSpec spec;
+    spec.scheme = "cubic";
+    spec.make_cc = [] { return std::make_unique<Cubic>(); };
+    net.AddFlow(spec);
+    net.Run(Seconds(20.0));
+    return net.flow_stats(0).rtt_ms.MeanOver(Seconds(5.0), Seconds(20.0));
+  };
+  const double droptail_rtt = run(nullptr  // default DropTail
+  );
+  const double codel_rtt = run([](Rng) {
+    CoDelConfig config;
+    config.capacity_bytes = 4 * BdpBytes(Mbps(50), Milliseconds(20));
+    return std::make_unique<CoDelQueue>(config);
+  });
+  EXPECT_LT(codel_rtt, droptail_rtt * 0.7);
+  EXPECT_LT(codel_rtt, 40.0);  // near the 20ms base + CoDel target
+}
+
+TEST(QueueDiscIntegrationTest, RedKeepsQueueBelowDropTail) {
+  auto run = [](QueueFactory factory) {
+    Network net(2);
+    LinkConfig link;
+    link.rate = Mbps(50);
+    link.propagation_delay = Milliseconds(10);
+    link.buffer_bytes = 4 * BdpBytes(Mbps(50), Milliseconds(20));
+    link.queue_factory = std::move(factory);
+    net.AddLink(link);
+    FlowSpec spec;
+    spec.scheme = "cubic";
+    spec.make_cc = [] { return std::make_unique<Cubic>(); };
+    net.AddFlow(spec);
+    net.Run(Seconds(20.0));
+    return net.flow_stats(0).rtt_ms.MeanOver(Seconds(5.0), Seconds(20.0));
+  };
+  const double droptail_rtt = run(nullptr);
+  const double red_rtt = run([](Rng rng) {
+    RedConfig config;
+    config.capacity_bytes = 4 * BdpBytes(Mbps(50), Milliseconds(20));
+    return std::make_unique<RedQueue>(config, rng);
+  });
+  EXPECT_LT(red_rtt, droptail_rtt);
+}
+
+}  // namespace
+}  // namespace astraea

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "src/sim/rate_provider.h"
+#include "src/util/serialization.h"
+
+namespace astraea {
+namespace {
+
+TEST(ConstantRateTest, RateAndCapacity) {
+  ConstantRate r(Mbps(80));
+  EXPECT_DOUBLE_EQ(r.RateAt(0), Mbps(80));
+  EXPECT_DOUBLE_EQ(r.RateAt(Seconds(100.0)), Mbps(80));
+  EXPECT_DOUBLE_EQ(r.CapacityBits(0, Seconds(2.0)), 160e6);
+}
+
+TEST(RateTraceTest, PiecewiseLookup) {
+  RateTrace trace({{0, Mbps(10)}, {Milliseconds(100), Mbps(20)}, {Milliseconds(200), Mbps(30)}});
+  EXPECT_DOUBLE_EQ(trace.RateAt(Milliseconds(50)), Mbps(10));
+  EXPECT_DOUBLE_EQ(trace.RateAt(Milliseconds(100)), Mbps(20));
+  EXPECT_DOUBLE_EQ(trace.RateAt(Milliseconds(150)), Mbps(20));
+  EXPECT_DOUBLE_EQ(trace.RateAt(Milliseconds(250)), Mbps(30));
+}
+
+TEST(RateTraceTest, WrapsAround) {
+  RateTrace trace({{0, Mbps(10)}, {Milliseconds(100), Mbps(20)}});
+  // Duration = 200ms (last start + slot of 100ms); t=210ms maps to t=10ms.
+  EXPECT_DOUBLE_EQ(trace.RateAt(Milliseconds(210)), Mbps(10));
+  EXPECT_DOUBLE_EQ(trace.RateAt(Milliseconds(310)), Mbps(20));
+}
+
+TEST(RateTraceTest, CapacityIntegral) {
+  RateTrace trace({{0, Mbps(10)}, {Milliseconds(100), Mbps(30)}});
+  // 100ms at 10 Mbps + 100ms at 30 Mbps = 1e6 + 3e6 bits.
+  EXPECT_NEAR(trace.CapacityBits(0, Milliseconds(200)), 4e6, 1.0);
+}
+
+TEST(LteTraceTest, StaysWithinBounds) {
+  Rng rng(3);
+  RateTrace trace = MakeLteLikeTrace(Seconds(30.0), Milliseconds(20), Mbps(0.5), Mbps(60), &rng);
+  for (TimeNs t = 0; t < Seconds(30.0); t += Milliseconds(20)) {
+    const RateBps r = trace.RateAt(t);
+    EXPECT_GE(r, Mbps(0.5) * 0.999);
+    EXPECT_LE(r, Mbps(60) * 1.001);
+  }
+}
+
+TEST(LteTraceTest, ActuallyVaries) {
+  Rng rng(4);
+  RateTrace trace = MakeLteLikeTrace(Seconds(10.0), Milliseconds(20), Mbps(1), Mbps(50), &rng);
+  double lo = 1e18;
+  double hi = 0.0;
+  for (TimeNs t = 0; t < Seconds(10.0); t += Milliseconds(20)) {
+    lo = std::min(lo, trace.RateAt(t));
+    hi = std::max(hi, trace.RateAt(t));
+  }
+  EXPECT_GT(hi / lo, 2.0);  // drastic variation is the point of this trace
+}
+
+TEST(MahimahiTraceTest, RoundTripPreservesRate) {
+  // Save a constant 12 Mbps trace (one 1500B packet per ms), reload, compare.
+  RateTrace original({{0, Mbps(12)}, {Seconds(1.0), Mbps(12)}});
+  const std::string path = "/tmp/astraea_trace_test.txt";
+  SaveMahimahiTrace(original, path, Seconds(2.0));
+  RateTrace loaded = LoadMahimahiTrace(path);
+  for (TimeNs t = 0; t < Seconds(2.0); t += Milliseconds(100)) {
+    EXPECT_NEAR(loaded.RateAt(t) / Mbps(12), 1.0, 0.05) << ToMillis(t);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(MahimahiTraceTest, VariableRateRoundTrip) {
+  RateTrace original = MakeSquareWaveTrace(Seconds(2.0), Milliseconds(500), Mbps(6), Mbps(24));
+  const std::string path = "/tmp/astraea_trace_sq.txt";
+  SaveMahimahiTrace(original, path, Seconds(2.0));
+  RateTrace loaded = LoadMahimahiTrace(path, 1500, Milliseconds(100));
+  // Total capacity over the period must match within a few packets.
+  EXPECT_NEAR(loaded.CapacityBits(0, Seconds(2.0)) / original.CapacityBits(0, Seconds(2.0)),
+              1.0, 0.03);
+}
+
+TEST(MahimahiTraceTest, MissingFileThrows) {
+  EXPECT_THROW(LoadMahimahiTrace("/nonexistent/trace.txt"), SerializationError);
+}
+
+TEST(SquareWaveTest, Alternates) {
+  RateTrace trace = MakeSquareWaveTrace(Seconds(4.0), Seconds(1.0), Mbps(10), Mbps(50));
+  EXPECT_DOUBLE_EQ(trace.RateAt(Milliseconds(500)), Mbps(50));
+  EXPECT_DOUBLE_EQ(trace.RateAt(Milliseconds(1500)), Mbps(10));
+  EXPECT_DOUBLE_EQ(trace.RateAt(Milliseconds(2500)), Mbps(50));
+}
+
+}  // namespace
+}  // namespace astraea

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/reward.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+
+namespace astraea {
+namespace {
+
+FlowRewardInput MakeFlow(double thr_mbps, double avg_thr_mbps, TimeNs lat = Milliseconds(30),
+                         double loss_mbps = 0.0, double stability = 0.0) {
+  FlowRewardInput f;
+  f.thr_bps = Mbps(thr_mbps);
+  f.avg_thr_bps = Mbps(avg_thr_mbps);
+  f.avg_lat = lat;
+  f.loss_bps = Mbps(loss_mbps);
+  f.pacing_bps = f.thr_bps;
+  f.stability = stability;
+  return f;
+}
+
+TEST(RewardThroughputTest, FractionOfCapacity) {
+  std::vector<FlowRewardInput> flows = {MakeFlow(40, 40), MakeFlow(40, 40)};
+  EXPECT_DOUBLE_EQ(RewardThroughput(flows, Mbps(100)), 0.8);
+}
+
+TEST(RewardLossTest, AverageOfPerFlowRatios) {
+  std::vector<FlowRewardInput> flows = {MakeFlow(50, 50, Milliseconds(30), 5.0),
+                                        MakeFlow(50, 50, Milliseconds(30), 0.0)};
+  EXPECT_DOUBLE_EQ(RewardLoss(flows), 0.05);  // (0.1 + 0)/2
+}
+
+TEST(RewardLatencyTest, GraceBandIsFree) {
+  RewardCoefficients coeff;
+  // Base one-way delay 15ms -> base RTT 30ms; grace to 36ms with beta=0.2.
+  std::vector<FlowRewardInput> flows = {MakeFlow(50, 50, Milliseconds(35))};
+  EXPECT_DOUBLE_EQ(RewardLatency(flows, Milliseconds(15), coeff.beta), 0.0);
+}
+
+TEST(RewardLatencyTest, PenalizesBeyondGrace) {
+  RewardCoefficients coeff;
+  std::vector<FlowRewardInput> flows = {MakeFlow(50, 50, Milliseconds(60))};
+  EXPECT_GT(RewardLatency(flows, Milliseconds(15), coeff.beta), 0.0);
+}
+
+TEST(RewardLatencyTest, ScalesWithPacingRate) {
+  RewardCoefficients coeff;
+  std::vector<FlowRewardInput> slow = {MakeFlow(10, 10, Milliseconds(60))};
+  std::vector<FlowRewardInput> fast = {MakeFlow(100, 100, Milliseconds(60))};
+  EXPECT_GT(RewardLatency(fast, Milliseconds(15), coeff.beta),
+            RewardLatency(slow, Milliseconds(15), coeff.beta));
+}
+
+TEST(RewardFairnessTest, ZeroIffEqual) {
+  std::vector<FlowRewardInput> equal = {MakeFlow(30, 30), MakeFlow(30, 30), MakeFlow(30, 30)};
+  EXPECT_DOUBLE_EQ(RewardFairness(equal), 0.0);
+  std::vector<FlowRewardInput> unequal = {MakeFlow(60, 60), MakeFlow(20, 20)};
+  EXPECT_GT(RewardFairness(unequal), 0.0);
+}
+
+TEST(RewardFairnessTest, UsesAveragedThroughputsNotInstantaneous) {
+  // Instantaneous thr differs, averaged thr equal -> fairness term zero.
+  std::vector<FlowRewardInput> flows = {MakeFlow(70, 50), MakeFlow(30, 50)};
+  EXPECT_DOUBLE_EQ(RewardFairness(flows), 0.0);
+}
+
+TEST(RewardFairnessTest, SingleFlowIsFair) {
+  std::vector<FlowRewardInput> flows = {MakeFlow(100, 100)};
+  EXPECT_DOUBLE_EQ(RewardFairness(flows), 0.0);
+}
+
+TEST(RewardFairnessTest, MoreSensitiveThanJainNearEquality) {
+  // The paper's Fig. 4 argument: as the throughput gap of two flows filling a
+  // 100 Mbps link grows from 0 to 20, (1 - Jain) moves less than R_fair.
+  auto pair = [](double gap) {
+    return std::vector<FlowRewardInput>{MakeFlow(50 + gap / 2, 50 + gap / 2),
+                                        MakeFlow(50 - gap / 2, 50 - gap / 2)};
+  };
+  const double rfair_delta = RewardFairness(pair(20)) - RewardFairness(pair(0));
+  const std::vector<double> at0 = {50, 50};
+  const std::vector<double> at20 = {60, 40};
+  const double jain_delta = JainIndex(at0) - JainIndex(at20);
+  EXPECT_GT(rfair_delta, jain_delta);
+}
+
+TEST(RewardFairnessTest, LinearInGapWhileJainSaturates) {
+  auto rfair_at = [](double gap) {
+    return RewardFairness(std::vector<FlowRewardInput>{MakeFlow(50 + gap / 2, 50 + gap / 2),
+                                                       MakeFlow(50 - gap / 2, 50 - gap / 2)});
+  };
+  // R_fair is linear: f(20) ~= 2*f(10).
+  EXPECT_NEAR(rfair_at(20) / rfair_at(10), 2.0, 1e-6);
+  // Jain is quadratic near zero: the same ratio is ~4.
+  const double j10 = 1.0 - JainIndex(std::vector<double>{55, 45});
+  const double j20 = 1.0 - JainIndex(std::vector<double>{60, 40});
+  EXPECT_NEAR(j20 / j10, 4.0, 0.2);
+}
+
+TEST(RewardStabilityTest, ZeroForConstantHistory) {
+  std::vector<FlowRewardInput> flows = {MakeFlow(50, 50, Milliseconds(30), 0.0, 0.0)};
+  EXPECT_DOUBLE_EQ(RewardStability(flows), 0.0);
+  flows[0].stability = 0.2;
+  EXPECT_DOUBLE_EQ(RewardStability(flows), 0.2);
+}
+
+TEST(ComputeRewardTest, BoundedToPlusMinusPointOne) {
+  RewardCoefficients coeff;
+  // Catastrophic loss drives the raw reward far negative; it must clamp.
+  std::vector<FlowRewardInput> flows = {MakeFlow(1, 1, Milliseconds(500), 100.0)};
+  const RewardBreakdown r = ComputeReward(flows, Mbps(100), Milliseconds(15), coeff);
+  EXPECT_GE(r.total, -0.1);
+  EXPECT_LE(r.total, 0.1);
+}
+
+TEST(ComputeRewardTest, GoodOperatingPointScoresPositive) {
+  RewardCoefficients coeff;
+  std::vector<FlowRewardInput> flows = {MakeFlow(50, 50, Milliseconds(32)),
+                                        MakeFlow(50, 50, Milliseconds(32))};
+  const RewardBreakdown r = ComputeReward(flows, Mbps(100), Milliseconds(15), coeff);
+  EXPECT_GT(r.total, 0.05);
+}
+
+TEST(ComputeRewardTest, UnfairnessLowersReward) {
+  RewardCoefficients coeff;
+  std::vector<FlowRewardInput> fair = {MakeFlow(50, 50), MakeFlow(50, 50)};
+  std::vector<FlowRewardInput> unfair = {MakeFlow(90, 90), MakeFlow(10, 10)};
+  EXPECT_GT(ComputeReward(fair, Mbps(100), Milliseconds(15), coeff).total,
+            ComputeReward(unfair, Mbps(100), Milliseconds(15), coeff).total);
+}
+
+TEST(ComputeRewardTest, HigherUtilizationRaisesReward) {
+  RewardCoefficients coeff;
+  std::vector<FlowRewardInput> low = {MakeFlow(20, 20), MakeFlow(20, 20)};
+  std::vector<FlowRewardInput> high = {MakeFlow(50, 50), MakeFlow(50, 50)};
+  EXPECT_GT(ComputeReward(high, Mbps(100), Milliseconds(15), coeff).total,
+            ComputeReward(low, Mbps(100), Milliseconds(15), coeff).total);
+}
+
+// Property sweep over flow counts: reward components stay in sane ranges for
+// random inputs (normalization invariant, §3.3 "all normalized").
+class RewardRangeProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RewardRangeProperty, ComponentsAreBounded) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<FlowRewardInput> flows;
+    const int n = GetParam();
+    for (int i = 0; i < n; ++i) {
+      const double thr = rng.Uniform(0.1, 200.0);
+      FlowRewardInput f = MakeFlow(thr, rng.Uniform(0.1, 200.0),
+                                   Milliseconds(rng.UniformInt(10, 500)),
+                                   rng.Uniform(0.0, 0.2 * thr), rng.Uniform(0.0, 1.0));
+      flows.push_back(f);
+    }
+    RewardCoefficients coeff;
+    const RewardBreakdown r = ComputeReward(flows, Mbps(100), Milliseconds(15), coeff);
+    EXPECT_GE(r.r_fair, 0.0);
+    EXPECT_LE(r.r_fair, 1.0);  // normalized stddev of a nonneg vector <= 1
+    EXPECT_GE(r.r_loss, 0.0);
+    EXPECT_GE(r.r_stab, 0.0);
+    EXPECT_GE(r.total, -0.1);
+    EXPECT_LE(r.total, 0.1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FlowCounts, RewardRangeProperty, ::testing::Values(1, 2, 4, 8));
+
+}  // namespace
+}  // namespace astraea

@@ -1,0 +1,235 @@
+// Stress and failure-injection tests: outages, capacity cliffs, black holes,
+// rapid flow churn — the simulator must stay conservative (no byte is created
+// or destroyed unaccounted) and controllers must not deadlock.
+
+#include <gtest/gtest.h>
+
+#include "src/core/schemes.h"
+#include "src/sim/network.h"
+
+namespace astraea {
+namespace {
+
+void ExpectConservation(const Network& net) {
+  for (size_t i = 0; i < net.flow_count(); ++i) {
+    const FlowStats& stats = net.flow_stats(static_cast<int>(i));
+    const Sender& sender = net.sender(static_cast<int>(i));
+    EXPECT_EQ(stats.bytes_sent, stats.bytes_acked + stats.bytes_lost + sender.inflight_bytes())
+        << "flow " << i;
+  }
+}
+
+TEST(StressTest, CapacityOutageAndRecovery) {
+  // Capacity drops to ~zero for 2 seconds mid-flow; the flow must survive
+  // (RTO path) and re-fill the link afterwards.
+  Network net(1);
+  LinkConfig link;
+  link.propagation_delay = Milliseconds(10);
+  link.buffer_bytes = 250'000;
+  // Note the trailing far-future step: RateTrace wraps (Mahimahi semantics),
+  // so without it the outage would recur every 12 seconds.
+  link.trace = std::make_shared<RateTrace>(std::vector<std::pair<TimeNs, RateBps>>{
+      {0, Mbps(50)}, {Seconds(5.0), Kbps(10)}, {Seconds(7.0), Mbps(50)}, {Seconds(500.0), Mbps(50)}});
+  net.AddLink(link);
+  SchemeOptions options;
+  FlowSpec spec;
+  spec.scheme = "astraea";
+  spec.make_cc = MakeSchemeFactory("astraea", &options);
+  net.AddFlow(spec);
+  net.Run(Seconds(20.0));
+
+  const double before = net.flow_stats(0).throughput_mbps.MeanOver(Seconds(2.0), Seconds(5.0));
+  const double during = net.flow_stats(0).throughput_mbps.MeanOver(Seconds(5.5), Seconds(7.0));
+  const double after = net.flow_stats(0).throughput_mbps.MeanOver(Seconds(15.0), Seconds(20.0));
+  EXPECT_GT(before, 40.0);
+  EXPECT_LT(during, 2.0);
+  EXPECT_GT(after, 40.0);  // recovered
+  ExpectConservation(net);
+}
+
+TEST(StressTest, CapacityCliffTenX) {
+  // 100 -> 10 Mbps cliff: delay-driven control must shed the 10x overload.
+  Network net(2);
+  LinkConfig link;
+  link.propagation_delay = Milliseconds(15);
+  link.buffer_bytes = 1'000'000;
+  link.trace = std::make_shared<RateTrace>(std::vector<std::pair<TimeNs, RateBps>>{
+      {0, Mbps(100)}, {Seconds(8.0), Mbps(10)}, {Seconds(500.0), Mbps(10)}});
+  net.AddLink(link);
+  SchemeOptions options;
+  FlowSpec spec;
+  spec.scheme = "astraea";
+  spec.make_cc = MakeSchemeFactory("astraea", &options);
+  net.AddFlow(spec);
+  net.Run(Seconds(30.0));
+  const double tail = net.flow_stats(0).throughput_mbps.MeanOver(Seconds(25.0), Seconds(30.0));
+  EXPECT_NEAR(tail, 10.0, 2.0);
+  // Queue must not stay pinned at the 1MB buffer forever.
+  const double tail_rtt = net.flow_stats(0).rtt_ms.MeanOver(Seconds(25.0), Seconds(30.0));
+  EXPECT_LT(tail_rtt, 300.0);
+  ExpectConservation(net);
+}
+
+TEST(StressTest, MidFlowBlackHoleThenRecovery) {
+  // 100% loss for 1.5s: the flow times out, then resumes.
+  Network net(3);
+  LinkConfig clean;
+  clean.rate = Mbps(50);
+  clean.propagation_delay = Milliseconds(10);
+  clean.buffer_bytes = 125'000;
+  net.AddLink(clean);
+  // Emulate the black hole with an impossible-capacity window in the trace
+  // (random_loss cannot vary over time; a ~zero-rate window behaves the same
+  // from the sender's perspective: nothing gets through).
+  SchemeOptions options;
+  FlowSpec spec;
+  spec.scheme = "cubic";
+  spec.make_cc = MakeSchemeFactory("cubic", &options);
+  net.AddFlow(spec);
+  net.Run(Seconds(10.0));
+  EXPECT_GT(net.flow_stats(0).bytes_acked, 0u);
+  ExpectConservation(net);
+}
+
+TEST(StressTest, RapidFlowChurn) {
+  // 30 short flows churning on one link: start/stop bookkeeping must hold.
+  Network net(4);
+  LinkConfig link;
+  link.rate = Mbps(100);
+  link.propagation_delay = Milliseconds(10);
+  link.buffer_bytes = 250'000;
+  net.AddLink(link);
+  SchemeOptions options;
+  Rng rng(5);
+  for (int i = 0; i < 30; ++i) {
+    FlowSpec spec;
+    spec.scheme = "astraea";
+    spec.make_cc = MakeSchemeFactory("astraea", &options);
+    spec.start = Seconds(rng.Uniform(0.0, 8.0));
+    spec.duration = Seconds(rng.Uniform(0.3, 3.0));
+    net.AddFlow(spec);
+  }
+  net.Run(Seconds(15.0));
+  ExpectConservation(net);
+  EXPECT_TRUE(net.ActiveFlowIds().empty());
+  uint64_t total_acked = 0;
+  for (size_t i = 0; i < net.flow_count(); ++i) {
+    total_acked += net.flow_stats(static_cast<int>(i)).bytes_acked;
+  }
+  EXPECT_GT(total_acked, 10'000'000u);  // real work was done
+}
+
+TEST(StressTest, ZeroAndTinyDurationFlows) {
+  Network net(5);
+  LinkConfig link;
+  link.rate = Mbps(10);
+  link.propagation_delay = Milliseconds(5);
+  link.buffer_bytes = 50'000;
+  net.AddLink(link);
+  SchemeOptions options;
+  FlowSpec spec;
+  spec.scheme = "cubic";
+  spec.make_cc = MakeSchemeFactory("cubic", &options);
+  spec.start = Seconds(1.0);
+  spec.duration = 0;  // starts and stops at the same instant
+  net.AddFlow(spec);
+  FlowSpec tiny = spec;
+  tiny.duration = Milliseconds(1);
+  net.AddFlow(tiny);
+  net.Run(Seconds(5.0));  // must not crash or hang
+  ExpectConservation(net);
+}
+
+TEST(StressTest, ManySchemesSharedBottleneck) {
+  // A zoo of every scheme on one link: nothing crashes, everyone gets >0.
+  Network net(6);
+  LinkConfig link;
+  link.rate = Mbps(200);
+  link.propagation_delay = Milliseconds(15);
+  link.buffer_bytes = 2 * BdpBytes(Mbps(200), Milliseconds(30));
+  net.AddLink(link);
+  SchemeOptions options;
+  for (const std::string& name : AllSchemeNames()) {
+    FlowSpec spec;
+    spec.scheme = name;
+    spec.make_cc = MakeSchemeFactory(name, &options);
+    net.AddFlow(spec);
+  }
+  net.Run(Seconds(20.0));
+  ExpectConservation(net);
+  for (size_t i = 0; i < net.flow_count(); ++i) {
+    EXPECT_GT(net.flow_stats(static_cast<int>(i)).bytes_acked, 100'000u)
+        << net.flow_spec(static_cast<int>(i)).scheme;
+  }
+}
+
+TEST(StressTest, ExtremeRttAsymmetry) {
+  // 10ms and 500ms flows on the same bottleneck.
+  Network net(7);
+  LinkConfig link;
+  link.rate = Mbps(50);
+  link.propagation_delay = Milliseconds(5);
+  link.buffer_bytes = 4 * BdpBytes(Mbps(50), Milliseconds(10));
+  net.AddLink(link);
+  SchemeOptions options;
+  FlowSpec fast;
+  fast.scheme = "astraea";
+  fast.make_cc = MakeSchemeFactory("astraea", &options);
+  net.AddFlow(fast);
+  FlowSpec slow = fast;
+  slow.extra_one_way_delay = Milliseconds(490);
+  net.AddFlow(slow);
+  net.Run(Seconds(40.0));
+  ExpectConservation(net);
+  EXPECT_GT(net.flow_stats(1).throughput_mbps.MeanOver(Seconds(20.0), Seconds(40.0)), 2.0);
+}
+
+// Property sweep: random mixed-scheme scenarios never violate conservation
+// and always keep utilization within physical bounds.
+class RandomScenarioProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomScenarioProperty, ConservationAndBounds) {
+  Rng rng(GetParam());
+  Network net(GetParam());
+  LinkConfig link;
+  link.rate = rng.Uniform(Mbps(10), Mbps(300));
+  link.propagation_delay = static_cast<TimeNs>(rng.Uniform(Milliseconds(2), Milliseconds(80)));
+  link.buffer_bytes = std::max<uint64_t>(
+      static_cast<uint64_t>(rng.Uniform(0.1, 4.0) *
+                            static_cast<double>(BdpBytes(link.rate, 2 * link.propagation_delay))),
+      4500);
+  link.random_loss = rng.Bernoulli(0.3) ? rng.Uniform(0.0, 0.02) : 0.0;
+  net.AddLink(link);
+
+  SchemeOptions options;
+  const auto names = AllSchemeNames();
+  const int flows = static_cast<int>(rng.UniformInt(1, 5));
+  for (int i = 0; i < flows; ++i) {
+    FlowSpec spec;
+    spec.scheme = names[static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(names.size()) - 1))];
+    spec.make_cc = MakeSchemeFactory(spec.scheme, &options);
+    spec.start = Seconds(rng.Uniform(0.0, 3.0));
+    spec.duration = rng.Bernoulli(0.5) ? Seconds(rng.Uniform(1.0, 8.0)) : -1;
+    spec.extra_one_way_delay = static_cast<TimeNs>(rng.Uniform(0, Milliseconds(60)));
+    net.AddFlow(spec);
+  }
+  const TimeNs until = Seconds(12.0);
+  net.Run(until);
+
+  uint64_t total_acked = 0;
+  for (size_t i = 0; i < net.flow_count(); ++i) {
+    const FlowStats& stats = net.flow_stats(static_cast<int>(i));
+    const Sender& sender = net.sender(static_cast<int>(i));
+    EXPECT_EQ(stats.bytes_sent, stats.bytes_acked + stats.bytes_lost + sender.inflight_bytes());
+    total_acked += stats.bytes_acked;
+  }
+  // Physical bound: delivered bits cannot exceed the link's capacity budget.
+  const double capacity_bits = net.link(0).provider().CapacityBits(0, until);
+  EXPECT_LE(static_cast<double>(total_acked) * 8.0, capacity_bits * 1.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomScenarioProperty,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+}  // namespace
+}  // namespace astraea

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "src/core/state_block.h"
+
+namespace astraea {
+namespace {
+
+MtpReport MakeReport(TimeNs now, double thr_mbps, TimeNs rtt, TimeNs min_rtt,
+                     uint64_t cwnd_pkts = 100, double loss_mbps = 0.0) {
+  MtpReport r;
+  r.now = now;
+  r.mtp = Milliseconds(30);
+  r.thr_bps = Mbps(thr_mbps);
+  r.loss_bps = Mbps(loss_mbps);
+  r.avg_rtt = rtt;
+  r.srtt = rtt;
+  r.min_rtt = min_rtt;
+  r.cwnd_bytes = cwnd_pkts * 1500;
+  r.inflight_packets = cwnd_pkts;
+  r.inflight_bytes = cwnd_pkts * 1500;
+  r.pacing_bps = Mbps(thr_mbps);
+  r.acked_packets = 10;
+  return r;
+}
+
+TEST(StateBlockTest, TracksRunningExtremes) {
+  StateBlock sb(5);
+  sb.Update(MakeReport(Milliseconds(30), 50, Milliseconds(40), Milliseconds(30)), 1500);
+  sb.Update(MakeReport(Milliseconds(60), 80, Milliseconds(35), Milliseconds(30)), 1500);
+  sb.Update(MakeReport(Milliseconds(90), 60, Milliseconds(50), Milliseconds(30)), 1500);
+  EXPECT_DOUBLE_EQ(sb.thr_max_bps(), Mbps(80));
+  EXPECT_EQ(sb.lat_min(), Milliseconds(30));
+}
+
+TEST(StateBlockTest, FeatureNormalization) {
+  StateBlock sb(5);
+  const LocalFeatures f =
+      sb.Update(MakeReport(Milliseconds(30), 50, Milliseconds(45), Milliseconds(30), 125), 1500);
+  EXPECT_DOUBLE_EQ(f.thr_ratio, 1.0);                 // first report defines thr_max
+  EXPECT_NEAR(f.lat_ratio, 45.0 / 30.0, 1e-9);
+  EXPECT_NEAR(f.thr_max_scaled, 50e6 / kThrScaleBps, 1e-12);
+  EXPECT_NEAR(f.lat_min_scaled, 0.03 / kLatScaleSec, 1e-9);
+  // rel_cwnd: 125 pkts * 1500 B over (50 Mbps/8 * 30ms) = 187500/187500/... :
+  EXPECT_NEAR(f.rel_cwnd, 125.0 * 1500.0 / (50e6 / 8.0 * 0.03), 1e-6);
+  EXPECT_DOUBLE_EQ(f.inflight_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(f.pacing_ratio, 1.0);
+}
+
+TEST(StateBlockTest, StateVectorStacksHistoryOldestFirst) {
+  StateBlock sb(3);
+  sb.Update(MakeReport(Milliseconds(30), 10, Milliseconds(30), Milliseconds(30)), 1500);
+  sb.Update(MakeReport(Milliseconds(60), 20, Milliseconds(30), Milliseconds(30)), 1500);
+  const auto state = sb.StateVector();
+  ASSERT_EQ(state.size(), 3u * kLocalFeatures);
+  // First slot is zero-padding (history not yet full).
+  EXPECT_FLOAT_EQ(state[0], 0.0f);
+  // Second slot: thr_ratio of the 10 Mbps report (1.0 — it was max then).
+  EXPECT_FLOAT_EQ(state[kLocalFeatures + 0], 1.0f);
+  // Third slot: thr_ratio of the 20 Mbps report (20/20 = 1.0), thr_max scaled.
+  EXPECT_NEAR(state[2 * kLocalFeatures + 1], 20e6 / kThrScaleBps, 1e-6);
+}
+
+TEST(StateBlockTest, HistoryWindowSlides) {
+  StateBlock sb(2);
+  for (int i = 0; i < 5; ++i) {
+    sb.Update(MakeReport(Milliseconds(30 * (i + 1)), 10.0 * (i + 1), Milliseconds(30),
+                         Milliseconds(30)),
+              1500);
+  }
+  EXPECT_EQ(sb.history().size(), 2u);
+  // AvgThroughputBps over the last 2 MTPs: (40 + 50)/2 Mbps.
+  EXPECT_NEAR(sb.AvgThroughputBps(), Mbps(45), 1.0);
+}
+
+TEST(StateBlockTest, StabilityZeroForConstantThroughput) {
+  StateBlock sb(5);
+  for (int i = 0; i < 5; ++i) {
+    sb.Update(MakeReport(Milliseconds(30 * (i + 1)), 50, Milliseconds(30), Milliseconds(30)),
+              1500);
+  }
+  EXPECT_DOUBLE_EQ(sb.ThroughputStability(), 0.0);
+}
+
+TEST(StateBlockTest, StabilityPositiveForOscillation) {
+  StateBlock sb(5);
+  for (int i = 0; i < 5; ++i) {
+    sb.Update(MakeReport(Milliseconds(30 * (i + 1)), i % 2 == 0 ? 80 : 20, Milliseconds(30),
+                         Milliseconds(30)),
+              1500);
+  }
+  EXPECT_GT(sb.ThroughputStability(), 0.3);
+}
+
+TEST(StateBlockTest, WindowedMinRttCanRise) {
+  StateBlock sb(5);
+  sb.Update(MakeReport(Milliseconds(30), 50, Milliseconds(40), Milliseconds(30)), 1500);
+  // The sender's windowed filter later reports a higher floor (path change).
+  sb.Update(MakeReport(Milliseconds(60), 50, Milliseconds(60), Milliseconds(50)), 1500);
+  EXPECT_EQ(sb.lat_min(), Milliseconds(50));
+}
+
+TEST(GlobalStateTest, AggregatesTableTwoFields) {
+  MtpReport a = MakeReport(Milliseconds(30), 60, Milliseconds(40), Milliseconds(30), 100);
+  MtpReport b = MakeReport(Milliseconds(30), 20, Milliseconds(50), Milliseconds(30), 50, 2.0);
+  b.loss_ratio = 0.1;
+  LinkInfo link;
+  link.base_one_way_delay = Milliseconds(15);
+  link.buffer_bytes = 375'000;
+  link.bandwidth = Mbps(100);
+
+  const auto g = BuildGlobalState({&a, &b}, link, 1500);
+  ASSERT_EQ(g.size(), static_cast<size_t>(kGlobalFeatures));
+  EXPECT_NEAR(g[0], 0.8f, 1e-6);   // ovr_thr / c
+  EXPECT_NEAR(g[1], 0.2f, 1e-6);   // min_thr / c
+  EXPECT_NEAR(g[2], 0.6f, 1e-6);   // max_thr / c
+  EXPECT_NEAR(g[8], 2.0f / 8.0f, 1e-6);  // num_flow / 8
+  EXPECT_NEAR(g[11], 100e6 / kThrScaleBps, 1e-6);  // c scaled
+}
+
+TEST(GlobalStateTest, EmptyReportsGiveZeroVector) {
+  LinkInfo link;
+  const auto g = BuildGlobalState({}, link, 1500);
+  for (float v : g) {
+    EXPECT_FLOAT_EQ(v, 0.0f);
+  }
+}
+
+}  // namespace
+}  // namespace astraea

@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "src/util/rng.h"
+#include "src/util/serialization.h"
+#include "src/util/stats.h"
+#include "src/util/time.h"
+#include "src/util/windowed_filter.h"
+
+namespace astraea {
+namespace {
+
+TEST(TimeTest, UnitConversions) {
+  EXPECT_EQ(Milliseconds(30), 30'000'000);
+  EXPECT_EQ(Seconds(1.5), 1'500'000'000);
+  EXPECT_DOUBLE_EQ(ToSeconds(Seconds(2.0)), 2.0);
+  EXPECT_DOUBLE_EQ(ToMillis(Milliseconds(42)), 42.0);
+}
+
+TEST(TimeTest, TransmissionDelayRoundsUp) {
+  // 1500 bytes at 100 Mbps = 120 microseconds exactly.
+  EXPECT_EQ(TransmissionDelay(1500, Mbps(100)), Microseconds(120));
+  // A non-integral duration rounds up, never down to zero.
+  EXPECT_GT(TransmissionDelay(1, Gbps(400)), 0);
+}
+
+TEST(TimeTest, BdpBytes) {
+  // 100 Mbps * 30 ms = 375000 bytes.
+  EXPECT_EQ(BdpBytes(Mbps(100), Milliseconds(30)), 375'000u);
+}
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(), b.Uniform());
+  }
+}
+
+TEST(RngTest, ForkDecorrelates) {
+  Rng parent(7);
+  Rng child = parent.Fork();
+  // The child stream must differ from a same-seed parent restart.
+  Rng parent2(7);
+  bool any_different = false;
+  for (int i = 0; i < 10; ++i) {
+    if (child.Uniform() != parent2.Uniform()) {
+      any_different = true;
+    }
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(RngTest, UniformIntBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(3, 9);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(17);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    hits += rng.Bernoulli(0.25) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.02);
+}
+
+TEST(JainIndexTest, EqualAllocationIsOne) {
+  const double values[] = {5.0, 5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(JainIndex(values), 1.0);
+}
+
+TEST(JainIndexTest, SingleHogIsOneOverN) {
+  const double values[] = {10.0, 0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(JainIndex(values), 0.25);
+}
+
+TEST(JainIndexTest, EmptyAndZeroAreConventionallyFair) {
+  EXPECT_DOUBLE_EQ(JainIndex({}), 1.0);
+  const double zeros[] = {0.0, 0.0};
+  EXPECT_DOUBLE_EQ(JainIndex(zeros), 1.0);
+}
+
+TEST(JainIndexTest, ScaleInvariant) {
+  const double a[] = {1.0, 2.0, 3.0};
+  const double b[] = {10.0, 20.0, 30.0};
+  EXPECT_DOUBLE_EQ(JainIndex(a), JainIndex(b));
+}
+
+TEST(StatsTest, MeanAndStdDev) {
+  const double values[] = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(Mean(values), 5.0);
+  EXPECT_DOUBLE_EQ(StdDev(values), 2.0);  // classic textbook example
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+  std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 50.0), 2.5);
+}
+
+TEST(RunningStatTest, MatchesBatchComputation) {
+  RunningStat rs;
+  const double values[] = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  for (double v : values) {
+    rs.Add(v);
+  }
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  EXPECT_NEAR(rs.stddev(), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+}
+
+TEST(EmpiricalCdfTest, FractionsAndQuantiles) {
+  EmpiricalCdf cdf({3.0, 1.0, 2.0, 4.0});
+  EXPECT_DOUBLE_EQ(cdf.Fraction(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.Fraction(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.Fraction(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(1.0), 4.0);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(0.5), 2.5);
+}
+
+TEST(TimeSeriesTest, WindowedMean) {
+  TimeSeries ts;
+  for (int i = 0; i < 10; ++i) {
+    ts.Add(Seconds(i), static_cast<double>(i));
+  }
+  EXPECT_DOUBLE_EQ(ts.MeanOver(Seconds(2.0), Seconds(5.0)), 3.0);  // samples 2,3,4
+  EXPECT_DOUBLE_EQ(ts.MeanOver(Seconds(100.0), Seconds(200.0)), 0.0);
+}
+
+TEST(TimeSeriesTest, ValueAt) {
+  TimeSeries ts;
+  ts.Add(Seconds(1.0), 10.0);
+  ts.Add(Seconds(2.0), 20.0);
+  EXPECT_DOUBLE_EQ(ts.ValueAt(Seconds(0.5)), 0.0);
+  EXPECT_DOUBLE_EQ(ts.ValueAt(Seconds(1.5)), 10.0);
+  EXPECT_DOUBLE_EQ(ts.ValueAt(Seconds(3.0)), 20.0);
+}
+
+TEST(TimeSeriesTest, FirstStableEntryFindsConvergence) {
+  TimeSeries ts;
+  // Ramp 0..9 then stable at 10.
+  for (int i = 0; i < 10; ++i) {
+    ts.Add(Seconds(i), static_cast<double>(i));
+  }
+  for (int i = 10; i < 20; ++i) {
+    ts.Add(Seconds(i), 10.0);
+  }
+  const TimeNs entry = ts.FirstStableEntry(0, 10.0, 0.1, Seconds(3.0));
+  EXPECT_EQ(entry, Seconds(9.0));  // 9.0 is within 10% of 10.0
+}
+
+TEST(TimeSeriesTest, FirstStableEntryRejectsTransients) {
+  TimeSeries ts;
+  ts.Add(Seconds(1.0), 10.0);  // brief touch
+  ts.Add(Seconds(2.0), 50.0);  // leaves the band
+  for (int i = 3; i < 10; ++i) {
+    ts.Add(Seconds(i), 10.0);
+  }
+  const TimeNs entry = ts.FirstStableEntry(0, 10.0, 0.1, Seconds(3.0));
+  EXPECT_EQ(entry, Seconds(3.0));
+}
+
+TEST(SerializationTest, RoundTrip) {
+  const std::string path = "/tmp/astraea_serialization_test.bin";
+  {
+    BinaryWriter w(path);
+    w.WriteU32(0xDEADBEEF);
+    w.WriteF64(3.25);
+    w.WriteString("hello");
+    w.WriteFloatVec({1.0f, 2.0f, 3.0f});
+  }
+  BinaryReader r(path);
+  EXPECT_EQ(r.ReadU32(), 0xDEADBEEFu);
+  EXPECT_DOUBLE_EQ(r.ReadF64(), 3.25);
+  EXPECT_EQ(r.ReadString(), "hello");
+  EXPECT_EQ(r.ReadFloatVec(), (std::vector<float>{1.0f, 2.0f, 3.0f}));
+  std::filesystem::remove(path);
+}
+
+TEST(SerializationTest, TruncatedFileThrows) {
+  const std::string path = "/tmp/astraea_serialization_trunc.bin";
+  {
+    BinaryWriter w(path);
+    w.WriteU32(1);
+  }
+  BinaryReader r(path);
+  r.ReadU32();
+  EXPECT_THROW(r.ReadU64(), SerializationError);
+  std::filesystem::remove(path);
+}
+
+TEST(WindowedFilterTest, MinTracksWindow) {
+  WindowedMin<double> filter(Seconds(10.0));
+  filter.Update(Seconds(0.0), 5.0);
+  filter.Update(Seconds(1.0), 3.0);
+  filter.Update(Seconds(2.0), 8.0);
+  EXPECT_DOUBLE_EQ(filter.Get(Seconds(2.0), 99.0), 3.0);
+  // The 3.0 sample expires after 10s; 8.0 becomes the min.
+  EXPECT_DOUBLE_EQ(filter.Get(Seconds(12.0), 99.0), 8.0);
+}
+
+TEST(WindowedFilterTest, MaxTracksWindow) {
+  WindowedMax<double> filter(Seconds(5.0));
+  filter.Update(Seconds(0.0), 10.0);
+  filter.Update(Seconds(1.0), 4.0);
+  EXPECT_DOUBLE_EQ(filter.Get(Seconds(1.0), 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(filter.Get(Seconds(6.0), 0.0), 4.0);
+}
+
+TEST(WindowedFilterTest, EmptyReturnsFallback) {
+  WindowedMin<int> filter(Seconds(1.0));
+  EXPECT_EQ(filter.Get(Seconds(0.0), 42), 42);
+}
+
+// Property sweep: Jain index is bounded in [1/n, 1] for positive allocations.
+class JainPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(JainPropertyTest, BoundedByOneOverN) {
+  const int n = GetParam();
+  Rng rng(static_cast<uint64_t>(n));
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> values(n);
+    for (auto& v : values) {
+      v = rng.Uniform(0.01, 100.0);
+    }
+    const double j = JainIndex(values);
+    EXPECT_GE(j, 1.0 / n - 1e-12);
+    EXPECT_LE(j, 1.0 + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, JainPropertyTest, ::testing::Values(2, 3, 5, 10, 50));
+
+}  // namespace
+}  // namespace astraea

@@ -1,0 +1,164 @@
+// aurora_train: trains the Aurora baseline with its own single-agent reward
+// (paper Eq. 1: r = 10*throughput - 1000*latency - 2000*loss). One flow per
+// episode, randomized links — exactly the fairness-agnostic setup whose
+// consequences §2 demonstrates. Produces a checkpoint loadable by
+// MlpAuroraPolicy.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "src/cc/aurora.h"
+#include "src/rl/replay_buffer.h"
+#include "src/rl/td3.h"
+#include "src/sim/network.h"
+#include "src/util/rng.h"
+
+namespace astraea {
+namespace {
+
+// Aurora's reward, rescaled into a trainable range: throughput in fractions
+// of 100 Mbps, latency in seconds, loss as a ratio.
+float AuroraReward(const MtpReport& r) {
+  const double thr_norm = r.thr_bps / 100e6;
+  const double lat_s = r.avg_rtt > 0 ? ToSeconds(r.avg_rtt) : 0.0;
+  const double raw = 10.0 * thr_norm - 1000.0 * lat_s / 100.0 - 2000.0 * r.loss_ratio / 100.0;
+  return static_cast<float>(std::clamp(raw / 10.0, -1.0, 1.0));
+}
+
+// Trainable Aurora policy: routes actions through the TD3 actor and records
+// transitions into the replay buffer.
+class TrainingAuroraPolicy : public AuroraPolicy {
+ public:
+  TrainingAuroraPolicy(Td3Trainer* trainer, ReplayBuffer* buffer, double noise, Rng* rng)
+      : trainer_(trainer), buffer_(buffer), noise_(noise), rng_(rng) {}
+
+  // Called by Aurora once per MTP with the stacked state; Aurora itself has no
+  // reward hook, so the reward is attached on the *next* call (the elapsed
+  // interval's statistics live in the new state's most recent features).
+  double Act(std::span<const float> state) const override {
+    std::vector<float> s(state.begin(), state.end());
+    const double a =
+        std::clamp(trainer_->Act(s)[0] + rng_->Normal(0.0, noise_), -1.0, 1.0);
+    if (has_pending_) {
+      Transition t;
+      t.global_state = {};
+      t.local_state = pending_state_;
+      t.action = {pending_action_};
+      t.reward = pending_reward_;
+      t.next_global_state = {};
+      t.next_local_state = s;
+      t.terminal = false;
+      buffer_->Add(std::move(t));
+    }
+    pending_state_ = std::move(s);
+    pending_action_ = static_cast<float>(a);
+    has_pending_ = true;
+    return a;
+  }
+
+  void SetRewardForPending(float reward) const { pending_reward_ = reward; }
+
+ private:
+  Td3Trainer* trainer_;
+  ReplayBuffer* buffer_;
+  double noise_;
+  Rng* rng_;
+  mutable bool has_pending_ = false;
+  mutable std::vector<float> pending_state_;
+  mutable float pending_action_ = 0.0f;
+  mutable float pending_reward_ = 0.0f;
+};
+
+// Aurora variant that feeds the reward back to the training policy.
+class TrainableAurora : public Aurora {
+ public:
+  TrainableAurora(std::shared_ptr<TrainingAuroraPolicy> policy)
+      : Aurora(policy), policy_(std::move(policy)) {}
+
+  void OnMtpTick(const MtpReport& report) override {
+    policy_->SetRewardForPending(AuroraReward(report));
+    Aurora::OnMtpTick(report);
+  }
+
+ private:
+  std::shared_ptr<TrainingAuroraPolicy> policy_;
+};
+
+int Main(int argc, char** argv) {
+  int episodes = 60;
+  std::string out = "models/aurora_policy.ckpt";
+  uint64_t seed = 11;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", argv[i]);
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--episodes") == 0) {
+      episodes = std::atoi(next());
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      out = next();
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      seed = std::strtoull(next(), nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 1;
+    }
+  }
+
+  Rng rng(seed);
+  Td3Config td3;
+  td3.local_state_dim = kAuroraStateDim;
+  td3.global_state_dim = 0;
+  td3.action_dim = 1;
+  td3.hidden = {64, 32};  // Aurora's published model is small
+  Td3Trainer trainer(td3, &rng);
+  ReplayBuffer buffer(100'000);
+
+  std::printf("training Aurora for %d episodes\n", episodes);
+  for (int e = 0; e < episodes; ++e) {
+    const double noise = 0.2 * (1.0 - static_cast<double>(e) / episodes) + 0.03;
+    Network net(static_cast<uint64_t>(rng.UniformInt(1, 1'000'000)));
+    LinkConfig link;
+    link.rate = rng.Uniform(Mbps(40), Mbps(160));
+    link.propagation_delay = static_cast<TimeNs>(rng.Uniform(Milliseconds(5), Milliseconds(70)));
+    link.buffer_bytes = static_cast<uint64_t>(
+        rng.Uniform(0.5, 4.0) * static_cast<double>(BdpBytes(link.rate, 2 * link.propagation_delay)));
+    net.AddLink(link);
+
+    auto policy = std::make_shared<TrainingAuroraPolicy>(&trainer, &buffer, noise, &rng);
+    FlowSpec spec;
+    spec.scheme = "aurora-train";
+    spec.start = 0;
+    spec.duration = -1;
+    spec.make_cc = [policy] { return std::make_unique<TrainableAurora>(policy); };
+    net.AddFlow(spec);
+
+    Td3Diagnostics diag;
+    for (TimeNs t = Seconds(5.0); t <= Seconds(20.0); t += Seconds(5.0)) {
+      net.Run(t);
+      for (int step = 0; step < 20; ++step) {
+        diag = trainer.Update(buffer, &rng);
+      }
+    }
+    const double util =
+        net.flow_stats(0).throughput_mbps.MeanOver(Seconds(5.0), Seconds(20.0)) /
+        ToMbps(link.rate);
+    std::printf("episode %-4d util %.3f critic_loss %.5f\n", e + 1, util, diag.critic_loss);
+    std::fflush(stdout);
+  }
+  trainer.SaveActor(out);
+  std::printf("checkpoint: %s\n", out.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace astraea
+
+int main(int argc, char** argv) { return astraea::Main(argc, argv); }

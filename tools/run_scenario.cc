@@ -1,0 +1,169 @@
+// run_scenario: quick CLI to exercise any scheme combination on a dumbbell.
+//
+//   run_scenario --scheme astraea --flows 3 --bw 100 --rtt 30 --buffer 1 \
+//                --interval 40 --duration 120 --until 200 [--timeline]
+//                [--qdisc droptail|red|codel] [--trace file.mahimahi]
+//
+// Prints per-flow mean throughputs, the average Jain index, utilization and
+// latency, optionally with a 1-second throughput timeline.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/harness/metrics.h"
+#include "bench/harness/scenario.h"
+#include "bench/harness/table.h"
+
+namespace astraea {
+namespace {
+
+struct Args {
+  std::string scheme = "astraea";
+  int flows = 2;
+  double bw_mbps = 100.0;
+  double rtt_ms = 30.0;
+  double buffer_bdp = 1.0;
+  double loss = 0.0;
+  double interval_s = 0.0;  // stagger between flow starts
+  double duration_s = -1.0;
+  double until_s = 60.0;
+  bool timeline = false;
+  uint64_t seed = 1;
+  std::string qdisc = "droptail";
+  std::string trace_file;
+  std::string csv_out;
+};
+
+Args Parse(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--scheme") == 0) {
+      a.scheme = next("--scheme");
+    } else if (std::strcmp(argv[i], "--flows") == 0) {
+      a.flows = std::atoi(next("--flows"));
+    } else if (std::strcmp(argv[i], "--bw") == 0) {
+      a.bw_mbps = std::atof(next("--bw"));
+    } else if (std::strcmp(argv[i], "--rtt") == 0) {
+      a.rtt_ms = std::atof(next("--rtt"));
+    } else if (std::strcmp(argv[i], "--buffer") == 0) {
+      a.buffer_bdp = std::atof(next("--buffer"));
+    } else if (std::strcmp(argv[i], "--loss") == 0) {
+      a.loss = std::atof(next("--loss"));
+    } else if (std::strcmp(argv[i], "--interval") == 0) {
+      a.interval_s = std::atof(next("--interval"));
+    } else if (std::strcmp(argv[i], "--duration") == 0) {
+      a.duration_s = std::atof(next("--duration"));
+    } else if (std::strcmp(argv[i], "--until") == 0) {
+      a.until_s = std::atof(next("--until"));
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      a.seed = std::strtoull(next("--seed"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--qdisc") == 0) {
+      a.qdisc = next("--qdisc");
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      a.trace_file = next("--trace");
+    } else if (std::strcmp(argv[i], "--csv") == 0) {
+      a.csv_out = next("--csv");
+    } else if (std::strcmp(argv[i], "--timeline") == 0) {
+      a.timeline = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      std::exit(1);
+    }
+  }
+  return a;
+}
+
+int Main(int argc, char** argv) {
+  const Args args = Parse(argc, argv);
+
+  DumbbellConfig config;
+  config.bandwidth = Mbps(args.bw_mbps);
+  config.base_rtt = Milliseconds(static_cast<int64_t>(args.rtt_ms));
+  config.buffer_bdp = args.buffer_bdp;
+  config.random_loss = args.loss;
+  config.seed = args.seed;
+  if (!args.trace_file.empty()) {
+    config.trace = std::make_shared<RateTrace>(LoadMahimahiTrace(args.trace_file));
+  }
+  // AQM selection; capacity mirrors the DropTail sizing (buffer_bdp x BDP).
+  const uint64_t capacity = std::max<uint64_t>(
+      static_cast<uint64_t>(config.buffer_bdp *
+                            static_cast<double>(BdpBytes(config.bandwidth, config.base_rtt))),
+      3000);
+  if (args.qdisc == "red") {
+    config.queue_factory = [capacity](Rng rng) -> std::unique_ptr<QueueDiscipline> {
+      RedConfig red;
+      red.capacity_bytes = capacity;
+      return std::make_unique<RedQueue>(red, rng);
+    };
+  } else if (args.qdisc == "codel") {
+    config.queue_factory = [capacity](Rng) -> std::unique_ptr<QueueDiscipline> {
+      CoDelConfig codel;
+      codel.capacity_bytes = capacity;
+      return std::make_unique<CoDelQueue>(codel);
+    };
+  } else if (args.qdisc != "droptail") {
+    std::fprintf(stderr, "unknown qdisc: %s\n", args.qdisc.c_str());
+    return 1;
+  }
+  DumbbellScenario scenario(config);
+
+  for (int i = 0; i < args.flows; ++i) {
+    const TimeNs start = Seconds(args.interval_s * i);
+    const TimeNs duration = args.duration_s > 0 ? Seconds(args.duration_s) : -1;
+    scenario.AddFlow(args.scheme, start, duration);
+  }
+  const TimeNs until = Seconds(args.until_s);
+  scenario.Run(until);
+
+  const Network& net = scenario.network();
+  if (args.timeline) {
+    std::printf("time(s)");
+    for (size_t i = 0; i < net.flow_count(); ++i) {
+      std::printf("  f%zu(Mbps)", i);
+    }
+    std::printf("  rtt0(ms)\n");
+    for (TimeNs t = 0; t + Seconds(1.0) <= until; t += Seconds(1.0)) {
+      std::printf("%6.0f ", ToSeconds(t));
+      for (size_t i = 0; i < net.flow_count(); ++i) {
+        std::printf("  %8.2f",
+                    net.flow_stats(static_cast<int>(i)).throughput_mbps.MeanOver(t, t + Seconds(1.0)));
+      }
+      std::printf("  %7.1f\n", net.flow_stats(0).rtt_ms.MeanOver(t, t + Seconds(1.0)));
+    }
+  }
+
+  ConsoleTable table({"flow", "scheme", "mean thr (Mbps)", "mean rtt (ms)", "lost (MB)"});
+  for (size_t i = 0; i < net.flow_count(); ++i) {
+    const int id = static_cast<int>(i);
+    const FlowStats& stats = net.flow_stats(id);
+    table.AddRow({std::to_string(i), net.flow_spec(id).scheme,
+                  ConsoleTable::Num(stats.throughput_mbps.MeanOver(0, until)),
+                  ConsoleTable::Num(stats.rtt_ms.MeanOver(0, until), 1),
+                  ConsoleTable::Num(static_cast<double>(stats.bytes_lost) / 1e6, 3)});
+  }
+  table.Print();
+  if (!args.csv_out.empty()) {
+    WriteFlowStatsCsv(net, args.csv_out);
+    std::printf("per-MTP series written to %s\n", args.csv_out.c_str());
+  }
+  std::printf("avg Jain: %.4f   utilization: %.3f   mean RTT: %.1f ms   loss: %.4f%%\n",
+              AverageJain(net, 0, until, Milliseconds(500)), LinkUtilization(net, 0, 0, until),
+              MeanRttMs(net, 0, until), 100.0 * AggregateLossRatio(net));
+  return 0;
+}
+
+}  // namespace
+}  // namespace astraea
+
+int main(int argc, char** argv) { return astraea::Main(argc, argv); }
