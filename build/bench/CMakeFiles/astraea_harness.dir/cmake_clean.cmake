@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astraea_harness.dir/harness/experiments.cc.o"
+  "CMakeFiles/astraea_harness.dir/harness/experiments.cc.o.d"
+  "CMakeFiles/astraea_harness.dir/harness/metrics.cc.o"
+  "CMakeFiles/astraea_harness.dir/harness/metrics.cc.o.d"
+  "CMakeFiles/astraea_harness.dir/harness/scenario.cc.o"
+  "CMakeFiles/astraea_harness.dir/harness/scenario.cc.o.d"
+  "CMakeFiles/astraea_harness.dir/harness/table.cc.o"
+  "CMakeFiles/astraea_harness.dir/harness/table.cc.o.d"
+  "libastraea_harness.a"
+  "libastraea_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astraea_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_astraea.dir/bench_ablation_astraea.cc.o"
+  "CMakeFiles/bench_ablation_astraea.dir/bench_ablation_astraea.cc.o.d"
+  "bench_ablation_astraea"
+  "bench_ablation_astraea.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_astraea.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

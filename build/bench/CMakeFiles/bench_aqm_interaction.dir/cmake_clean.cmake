@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_aqm_interaction.dir/bench_aqm_interaction.cc.o"
+  "CMakeFiles/bench_aqm_interaction.dir/bench_aqm_interaction.cc.o.d"
+  "bench_aqm_interaction"
+  "bench_aqm_interaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_aqm_interaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig10_many_flows.cc" "bench/CMakeFiles/bench_fig10_many_flows.dir/bench_fig10_many_flows.cc.o" "gcc" "bench/CMakeFiles/bench_fig10_many_flows.dir/bench_fig10_many_flows.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/astraea_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/astraea_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cc/CMakeFiles/astraea_cc.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/astraea_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/astraea_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/astraea_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/astraea_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_multi_bottleneck.dir/bench_fig11_multi_bottleneck.cc.o"
+  "CMakeFiles/bench_fig11_multi_bottleneck.dir/bench_fig11_multi_bottleneck.cc.o.d"
+  "bench_fig11_multi_bottleneck"
+  "bench_fig11_multi_bottleneck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_multi_bottleneck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_cellular.dir/bench_fig13_cellular.cc.o"
+  "CMakeFiles/bench_fig13_cellular.dir/bench_fig13_cellular.cc.o.d"
+  "bench_fig13_cellular"
+  "bench_fig13_cellular.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_cellular.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

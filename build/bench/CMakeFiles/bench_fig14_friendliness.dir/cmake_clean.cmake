@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_friendliness.dir/bench_fig14_friendliness.cc.o"
+  "CMakeFiles/bench_fig14_friendliness.dir/bench_fig14_friendliness.cc.o.d"
+  "bench_fig14_friendliness"
+  "bench_fig14_friendliness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_friendliness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig20_satellite.dir/bench_fig20_satellite.cc.o"
+  "CMakeFiles/bench_fig20_satellite.dir/bench_fig20_satellite.cc.o.d"
+  "bench_fig20_satellite"
+  "bench_fig20_satellite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig20_satellite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

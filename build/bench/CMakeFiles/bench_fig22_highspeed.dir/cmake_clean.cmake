@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig22_highspeed.dir/bench_fig22_highspeed.cc.o"
+  "CMakeFiles/bench_fig22_highspeed.dir/bench_fig22_highspeed.cc.o.d"
+  "bench_fig22_highspeed"
+  "bench_fig22_highspeed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig22_highspeed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_diverse_fairness.dir/bench_fig9_diverse_fairness.cc.o"
+  "CMakeFiles/bench_fig9_diverse_fairness.dir/bench_fig9_diverse_fairness.cc.o.d"
+  "bench_fig9_diverse_fairness"
+  "bench_fig9_diverse_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_diverse_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cellular_adaptation.dir/cellular_adaptation.cpp.o"
+  "CMakeFiles/cellular_adaptation.dir/cellular_adaptation.cpp.o.d"
+  "cellular_adaptation"
+  "cellular_adaptation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cellular_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

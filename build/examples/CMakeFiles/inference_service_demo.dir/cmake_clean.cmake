@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inference_service_demo.dir/inference_service_demo.cpp.o"
+  "CMakeFiles/inference_service_demo.dir/inference_service_demo.cpp.o.d"
+  "inference_service_demo"
+  "inference_service_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inference_service_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

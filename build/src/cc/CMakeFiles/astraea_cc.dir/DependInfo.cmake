@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cc/aurora.cc" "src/cc/CMakeFiles/astraea_cc.dir/aurora.cc.o" "gcc" "src/cc/CMakeFiles/astraea_cc.dir/aurora.cc.o.d"
+  "/root/repo/src/cc/bbr.cc" "src/cc/CMakeFiles/astraea_cc.dir/bbr.cc.o" "gcc" "src/cc/CMakeFiles/astraea_cc.dir/bbr.cc.o.d"
+  "/root/repo/src/cc/copa.cc" "src/cc/CMakeFiles/astraea_cc.dir/copa.cc.o" "gcc" "src/cc/CMakeFiles/astraea_cc.dir/copa.cc.o.d"
+  "/root/repo/src/cc/cubic.cc" "src/cc/CMakeFiles/astraea_cc.dir/cubic.cc.o" "gcc" "src/cc/CMakeFiles/astraea_cc.dir/cubic.cc.o.d"
+  "/root/repo/src/cc/newreno.cc" "src/cc/CMakeFiles/astraea_cc.dir/newreno.cc.o" "gcc" "src/cc/CMakeFiles/astraea_cc.dir/newreno.cc.o.d"
+  "/root/repo/src/cc/orca.cc" "src/cc/CMakeFiles/astraea_cc.dir/orca.cc.o" "gcc" "src/cc/CMakeFiles/astraea_cc.dir/orca.cc.o.d"
+  "/root/repo/src/cc/remy.cc" "src/cc/CMakeFiles/astraea_cc.dir/remy.cc.o" "gcc" "src/cc/CMakeFiles/astraea_cc.dir/remy.cc.o.d"
+  "/root/repo/src/cc/vegas.cc" "src/cc/CMakeFiles/astraea_cc.dir/vegas.cc.o" "gcc" "src/cc/CMakeFiles/astraea_cc.dir/vegas.cc.o.d"
+  "/root/repo/src/cc/vivace.cc" "src/cc/CMakeFiles/astraea_cc.dir/vivace.cc.o" "gcc" "src/cc/CMakeFiles/astraea_cc.dir/vivace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/astraea_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/astraea_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/astraea_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astraea_cc.dir/aurora.cc.o"
+  "CMakeFiles/astraea_cc.dir/aurora.cc.o.d"
+  "CMakeFiles/astraea_cc.dir/bbr.cc.o"
+  "CMakeFiles/astraea_cc.dir/bbr.cc.o.d"
+  "CMakeFiles/astraea_cc.dir/copa.cc.o"
+  "CMakeFiles/astraea_cc.dir/copa.cc.o.d"
+  "CMakeFiles/astraea_cc.dir/cubic.cc.o"
+  "CMakeFiles/astraea_cc.dir/cubic.cc.o.d"
+  "CMakeFiles/astraea_cc.dir/newreno.cc.o"
+  "CMakeFiles/astraea_cc.dir/newreno.cc.o.d"
+  "CMakeFiles/astraea_cc.dir/orca.cc.o"
+  "CMakeFiles/astraea_cc.dir/orca.cc.o.d"
+  "CMakeFiles/astraea_cc.dir/remy.cc.o"
+  "CMakeFiles/astraea_cc.dir/remy.cc.o.d"
+  "CMakeFiles/astraea_cc.dir/vegas.cc.o"
+  "CMakeFiles/astraea_cc.dir/vegas.cc.o.d"
+  "CMakeFiles/astraea_cc.dir/vivace.cc.o"
+  "CMakeFiles/astraea_cc.dir/vivace.cc.o.d"
+  "libastraea_cc.a"
+  "libastraea_cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astraea_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libastraea_cc.a"
+)

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/astraea_controller.cc" "src/core/CMakeFiles/astraea_core.dir/astraea_controller.cc.o" "gcc" "src/core/CMakeFiles/astraea_core.dir/astraea_controller.cc.o.d"
+  "/root/repo/src/core/inference_service.cc" "src/core/CMakeFiles/astraea_core.dir/inference_service.cc.o" "gcc" "src/core/CMakeFiles/astraea_core.dir/inference_service.cc.o.d"
+  "/root/repo/src/core/learner.cc" "src/core/CMakeFiles/astraea_core.dir/learner.cc.o" "gcc" "src/core/CMakeFiles/astraea_core.dir/learner.cc.o.d"
+  "/root/repo/src/core/multi_flow_env.cc" "src/core/CMakeFiles/astraea_core.dir/multi_flow_env.cc.o" "gcc" "src/core/CMakeFiles/astraea_core.dir/multi_flow_env.cc.o.d"
+  "/root/repo/src/core/policy.cc" "src/core/CMakeFiles/astraea_core.dir/policy.cc.o" "gcc" "src/core/CMakeFiles/astraea_core.dir/policy.cc.o.d"
+  "/root/repo/src/core/reward.cc" "src/core/CMakeFiles/astraea_core.dir/reward.cc.o" "gcc" "src/core/CMakeFiles/astraea_core.dir/reward.cc.o.d"
+  "/root/repo/src/core/schemes.cc" "src/core/CMakeFiles/astraea_core.dir/schemes.cc.o" "gcc" "src/core/CMakeFiles/astraea_core.dir/schemes.cc.o.d"
+  "/root/repo/src/core/state_block.cc" "src/core/CMakeFiles/astraea_core.dir/state_block.cc.o" "gcc" "src/core/CMakeFiles/astraea_core.dir/state_block.cc.o.d"
+  "/root/repo/src/core/training_config.cc" "src/core/CMakeFiles/astraea_core.dir/training_config.cc.o" "gcc" "src/core/CMakeFiles/astraea_core.dir/training_config.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cc/CMakeFiles/astraea_cc.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/astraea_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/astraea_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/astraea_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/astraea_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

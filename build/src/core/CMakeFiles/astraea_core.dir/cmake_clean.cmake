@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astraea_core.dir/astraea_controller.cc.o"
+  "CMakeFiles/astraea_core.dir/astraea_controller.cc.o.d"
+  "CMakeFiles/astraea_core.dir/inference_service.cc.o"
+  "CMakeFiles/astraea_core.dir/inference_service.cc.o.d"
+  "CMakeFiles/astraea_core.dir/learner.cc.o"
+  "CMakeFiles/astraea_core.dir/learner.cc.o.d"
+  "CMakeFiles/astraea_core.dir/multi_flow_env.cc.o"
+  "CMakeFiles/astraea_core.dir/multi_flow_env.cc.o.d"
+  "CMakeFiles/astraea_core.dir/policy.cc.o"
+  "CMakeFiles/astraea_core.dir/policy.cc.o.d"
+  "CMakeFiles/astraea_core.dir/reward.cc.o"
+  "CMakeFiles/astraea_core.dir/reward.cc.o.d"
+  "CMakeFiles/astraea_core.dir/schemes.cc.o"
+  "CMakeFiles/astraea_core.dir/schemes.cc.o.d"
+  "CMakeFiles/astraea_core.dir/state_block.cc.o"
+  "CMakeFiles/astraea_core.dir/state_block.cc.o.d"
+  "CMakeFiles/astraea_core.dir/training_config.cc.o"
+  "CMakeFiles/astraea_core.dir/training_config.cc.o.d"
+  "libastraea_core.a"
+  "libastraea_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astraea_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

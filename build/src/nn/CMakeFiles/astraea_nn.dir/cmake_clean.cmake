@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astraea_nn.dir/mlp.cc.o"
+  "CMakeFiles/astraea_nn.dir/mlp.cc.o.d"
+  "libastraea_nn.a"
+  "libastraea_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astraea_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

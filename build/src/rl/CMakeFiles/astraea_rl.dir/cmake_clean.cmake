@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astraea_rl.dir/td3.cc.o"
+  "CMakeFiles/astraea_rl.dir/td3.cc.o.d"
+  "libastraea_rl.a"
+  "libastraea_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astraea_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/endpoint.cc" "src/sim/CMakeFiles/astraea_sim.dir/endpoint.cc.o" "gcc" "src/sim/CMakeFiles/astraea_sim.dir/endpoint.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/sim/CMakeFiles/astraea_sim.dir/event_queue.cc.o" "gcc" "src/sim/CMakeFiles/astraea_sim.dir/event_queue.cc.o.d"
+  "/root/repo/src/sim/link.cc" "src/sim/CMakeFiles/astraea_sim.dir/link.cc.o" "gcc" "src/sim/CMakeFiles/astraea_sim.dir/link.cc.o.d"
+  "/root/repo/src/sim/network.cc" "src/sim/CMakeFiles/astraea_sim.dir/network.cc.o" "gcc" "src/sim/CMakeFiles/astraea_sim.dir/network.cc.o.d"
+  "/root/repo/src/sim/queue_disc.cc" "src/sim/CMakeFiles/astraea_sim.dir/queue_disc.cc.o" "gcc" "src/sim/CMakeFiles/astraea_sim.dir/queue_disc.cc.o.d"
+  "/root/repo/src/sim/rate_provider.cc" "src/sim/CMakeFiles/astraea_sim.dir/rate_provider.cc.o" "gcc" "src/sim/CMakeFiles/astraea_sim.dir/rate_provider.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/astraea_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

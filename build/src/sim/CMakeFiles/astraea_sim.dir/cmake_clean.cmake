@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astraea_sim.dir/endpoint.cc.o"
+  "CMakeFiles/astraea_sim.dir/endpoint.cc.o.d"
+  "CMakeFiles/astraea_sim.dir/event_queue.cc.o"
+  "CMakeFiles/astraea_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/astraea_sim.dir/link.cc.o"
+  "CMakeFiles/astraea_sim.dir/link.cc.o.d"
+  "CMakeFiles/astraea_sim.dir/network.cc.o"
+  "CMakeFiles/astraea_sim.dir/network.cc.o.d"
+  "CMakeFiles/astraea_sim.dir/queue_disc.cc.o"
+  "CMakeFiles/astraea_sim.dir/queue_disc.cc.o.d"
+  "CMakeFiles/astraea_sim.dir/rate_provider.cc.o"
+  "CMakeFiles/astraea_sim.dir/rate_provider.cc.o.d"
+  "libastraea_sim.a"
+  "libastraea_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astraea_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

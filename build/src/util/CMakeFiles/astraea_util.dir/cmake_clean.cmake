@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astraea_util.dir/logging.cc.o"
+  "CMakeFiles/astraea_util.dir/logging.cc.o.d"
+  "CMakeFiles/astraea_util.dir/serialization.cc.o"
+  "CMakeFiles/astraea_util.dir/serialization.cc.o.d"
+  "CMakeFiles/astraea_util.dir/stats.cc.o"
+  "CMakeFiles/astraea_util.dir/stats.cc.o.d"
+  "CMakeFiles/astraea_util.dir/time.cc.o"
+  "CMakeFiles/astraea_util.dir/time.cc.o.d"
+  "libastraea_util.a"
+  "libastraea_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astraea_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astraea_controller_test.dir/astraea_controller_test.cc.o"
+  "CMakeFiles/astraea_controller_test.dir/astraea_controller_test.cc.o.d"
+  "astraea_controller_test"
+  "astraea_controller_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astraea_controller_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cc_classic_test.dir/cc_classic_test.cc.o"
+  "CMakeFiles/cc_classic_test.dir/cc_classic_test.cc.o.d"
+  "cc_classic_test"
+  "cc_classic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cc_classic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cc_learning_test.dir/cc_learning_test.cc.o"
+  "CMakeFiles/cc_learning_test.dir/cc_learning_test.cc.o.d"
+  "cc_learning_test"
+  "cc_learning_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cc_learning_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cc_property_test.dir/cc_property_test.cc.o"
+  "CMakeFiles/cc_property_test.dir/cc_property_test.cc.o.d"
+  "cc_property_test"
+  "cc_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cc_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/controller_corners_test.dir/controller_corners_test.cc.o"
+  "CMakeFiles/controller_corners_test.dir/controller_corners_test.cc.o.d"
+  "controller_corners_test"
+  "controller_corners_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/controller_corners_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inference_service_test.dir/inference_service_test.cc.o"
+  "CMakeFiles/inference_service_test.dir/inference_service_test.cc.o.d"
+  "inference_service_test"
+  "inference_service_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inference_service_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_flow_env_test.dir/multi_flow_env_test.cc.o"
+  "CMakeFiles/multi_flow_env_test.dir/multi_flow_env_test.cc.o.d"
+  "multi_flow_env_test"
+  "multi_flow_env_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_flow_env_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/queue_disc_test.dir/queue_disc_test.cc.o"
+  "CMakeFiles/queue_disc_test.dir/queue_disc_test.cc.o.d"
+  "queue_disc_test"
+  "queue_disc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/queue_disc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

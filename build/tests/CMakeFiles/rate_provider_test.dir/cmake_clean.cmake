@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rate_provider_test.dir/rate_provider_test.cc.o"
+  "CMakeFiles/rate_provider_test.dir/rate_provider_test.cc.o.d"
+  "rate_provider_test"
+  "rate_provider_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rate_provider_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

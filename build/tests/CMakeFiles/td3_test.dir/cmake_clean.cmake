@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/td3_test.dir/td3_test.cc.o"
+  "CMakeFiles/td3_test.dir/td3_test.cc.o.d"
+  "td3_test"
+  "td3_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/td3_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astraea_eval.dir/astraea_eval.cc.o"
+  "CMakeFiles/astraea_eval.dir/astraea_eval.cc.o.d"
+  "astraea_eval"
+  "astraea_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astraea_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astraea_train.dir/astraea_train.cc.o"
+  "CMakeFiles/astraea_train.dir/astraea_train.cc.o.d"
+  "astraea_train"
+  "astraea_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astraea_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aurora_train.dir/aurora_train.cc.o"
+  "CMakeFiles/aurora_train.dir/aurora_train.cc.o.d"
+  "aurora_train"
+  "aurora_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aurora_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
