@@ -3,9 +3,11 @@
 // Prints each scheme's per-flow throughput timeline plus a summary row.
 
 #include <cstdio>
+#include <vector>
 
 #include "bench/harness/experiments.h"
 #include "bench/harness/table.h"
+#include "src/util/thread_pool.h"
 
 namespace astraea {
 namespace {
@@ -23,11 +25,18 @@ int Main(int argc, char** argv) {
     step = Seconds(2.0);
   }
 
+  const std::vector<const char*> schemes = {"newreno", "cubic",  "vegas", "bbr",
+                                            "copa",    "vivace", "orca",  "astraea"};
+  // All scheme scenarios run concurrently on the pool; printing stays in
+  // scheme order below.
+  const auto scenarios = ParallelMap(schemes.size(), [&](size_t i) {
+    return RunStaggeredScenario(schemes[i], config, 1);
+  });
+
   ConsoleTable summary({"scheme", "avg Jain", "utilization", "mean RTT (ms)", "loss %"});
-  for (const char* scheme :
-       {"newreno", "cubic", "vegas", "bbr", "copa", "vivace", "orca", "astraea"}) {
-    auto scenario = RunStaggeredScenario(scheme, config, 1);
-    const Network& net = scenario->network();
+  for (size_t s = 0; s < schemes.size(); ++s) {
+    const char* scheme = schemes[s];
+    const Network& net = scenarios[s]->network();
 
     std::printf("\n--- %s ---\n%8s  f0(Mbps)  f1(Mbps)  f2(Mbps)\n", scheme, "t(s)");
     for (TimeNs t = 0; t + step <= config.until; t += step) {

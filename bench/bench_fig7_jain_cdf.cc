@@ -19,10 +19,26 @@ int Main(int argc, char** argv) {
   }
   const int reps = BenchReps(3);
 
+  // Fan the full scheme x rep grid out across the pool, then regroup per
+  // scheme in order — maximum parallelism with deterministic output.
+  const std::vector<const char*> schemes = {"cubic", "vegas",  "bbr",    "copa",
+                                            "vivace", "orca", "astraea"};
+  const auto per_point =
+      ParallelMap(schemes.size() * static_cast<size_t>(reps), [&](size_t point) {
+        const size_t scheme_idx = point / static_cast<size_t>(reps);
+        const int rep = static_cast<int>(point % static_cast<size_t>(reps));
+        return CollectJainSamplesRep(schemes[scheme_idx], config, rep);
+      });
+
   ConsoleTable table({"scheme", "p10", "p25", "p50", "p75", "p90", "mean", "frac>0.95"});
-  for (const char* scheme :
-       {"cubic", "vegas", "bbr", "copa", "vivace", "orca", "astraea"}) {
-    const std::vector<double> samples = CollectJainSamples(scheme, config, reps);
+  for (size_t scheme_idx = 0; scheme_idx < schemes.size(); ++scheme_idx) {
+    const char* scheme = schemes[scheme_idx];
+    std::vector<double> samples;
+    for (int rep = 0; rep < reps; ++rep) {
+      const auto& part = per_point[scheme_idx * static_cast<size_t>(reps) +
+                                   static_cast<size_t>(rep)];
+      samples.insert(samples.end(), part.begin(), part.end());
+    }
     EmpiricalCdf cdf(samples);
     double above = 0.0;
     for (double s : samples) {

@@ -61,46 +61,78 @@ bool FlowActiveDuring(const StaggeredConfig& config, int flow, TimeNs begin, Tim
 
 }  // namespace
 
+namespace {
+
+// Everything one rep contributes to the Fig. 12 aggregate; reps run on worker
+// threads and the reduction happens sequentially in rep order afterwards, so
+// the floating-point result is independent of the worker count.
+struct ConvergenceRepStats {
+  double convergence_acc = 0.0;
+  double stability_acc = 0.0;
+  int stability_n = 0;
+  int converged_events = 0;
+  int total_events = 0;
+  double jain = 0.0;
+  double utilization = 0.0;
+};
+
+}  // namespace
+
 SchemeConvergenceSummary MeasureStaggeredConvergence(const std::string& scheme,
                                                      const StaggeredConfig& config, int reps,
-                                                     double tol) {
+                                                     double tol, size_t workers) {
   SchemeConvergenceSummary summary;
   summary.scheme = scheme;
+
+  const std::vector<FlowEvent> events = EventsOf(config);
+
+  const std::vector<ConvergenceRepStats> per_rep = RunReps<ConvergenceRepStats>(
+      reps, kConvergenceSeedStream,
+      [&](int /*rep*/, uint64_t seed) {
+        ConvergenceRepStats stats;
+        auto scenario = RunStaggeredScenario(scheme, config, seed);
+        const Network& net = scenario->network();
+
+        for (size_t e = 0; e < events.size(); ++e) {
+          const FlowEvent& event = events[e];
+          const TimeNs next_event = e + 1 < events.size() ? events[e + 1].when : config.until;
+          const double fair_share = ToMbps(config.link.bandwidth) / event.active_after;
+          // Measure the youngest flow active across the whole inter-event window.
+          for (int flow = config.flows - 1; flow >= 0; --flow) {
+            if (!FlowActiveDuring(config, flow, event.when, next_event)) {
+              continue;
+            }
+            const ConvergenceMeasurement m = MeasureConvergence(
+                net, flow, event.when, fair_share, tol, Seconds(1.0), next_event);
+            ++stats.total_events;
+            if (m.convergence_time >= 0 && m.convergence_time < next_event - event.when) {
+              ++stats.converged_events;
+              stats.convergence_acc += ToSeconds(m.convergence_time);
+              stats.stability_acc += m.stability_mbps;
+              ++stats.stability_n;
+            }
+            break;
+          }
+        }
+        stats.jain = AverageJain(net, 0, config.until, Milliseconds(500));
+        stats.utilization = LinkUtilization(net, 0, Seconds(1.0), config.until);
+        return stats;
+      },
+      workers);
+
   double convergence_acc = 0.0;
   double stability_acc = 0.0;
   int stability_n = 0;
   double jain_acc = 0.0;
   double util_acc = 0.0;
-
-  const std::vector<FlowEvent> events = EventsOf(config);
-
-  for (int rep = 0; rep < reps; ++rep) {
-    auto scenario = RunStaggeredScenario(scheme, config, 1000 + static_cast<uint64_t>(rep));
-    const Network& net = scenario->network();
-
-    for (size_t e = 0; e < events.size(); ++e) {
-      const FlowEvent& event = events[e];
-      const TimeNs next_event = e + 1 < events.size() ? events[e + 1].when : config.until;
-      const double fair_share = ToMbps(config.link.bandwidth) / event.active_after;
-      // Measure the youngest flow active across the whole inter-event window.
-      for (int flow = config.flows - 1; flow >= 0; --flow) {
-        if (!FlowActiveDuring(config, flow, event.when, next_event)) {
-          continue;
-        }
-        const ConvergenceMeasurement m = MeasureConvergence(
-            net, flow, event.when, fair_share, tol, Seconds(1.0), next_event);
-        ++summary.total_events;
-        if (m.convergence_time >= 0 && m.convergence_time < next_event - event.when) {
-          ++summary.converged_events;
-          convergence_acc += ToSeconds(m.convergence_time);
-          stability_acc += m.stability_mbps;
-          ++stability_n;
-        }
-        break;
-      }
-    }
-    jain_acc += AverageJain(net, 0, config.until, Milliseconds(500));
-    util_acc += LinkUtilization(net, 0, Seconds(1.0), config.until);
+  for (const ConvergenceRepStats& stats : per_rep) {
+    summary.total_events += stats.total_events;
+    summary.converged_events += stats.converged_events;
+    convergence_acc += stats.convergence_acc;
+    stability_acc += stats.stability_acc;
+    stability_n += stats.stability_n;
+    jain_acc += stats.jain;
+    util_acc += stats.utilization;
   }
 
   summary.avg_convergence_s =
@@ -111,13 +143,21 @@ SchemeConvergenceSummary MeasureStaggeredConvergence(const std::string& scheme,
   return summary;
 }
 
+std::vector<double> CollectJainSamplesRep(const std::string& scheme,
+                                          const StaggeredConfig& config, int rep) {
+  auto scenario = RunStaggeredScenario(
+      scheme, config, Rng::DeriveSeed(kJainSeedStream, static_cast<uint64_t>(rep)));
+  return JainPerTimeslot(scenario->network(), 0, config.until, Milliseconds(500));
+}
+
 std::vector<double> CollectJainSamples(const std::string& scheme, const StaggeredConfig& config,
-                                       int reps) {
+                                       int reps, size_t workers) {
+  const std::vector<std::vector<double>> per_rep = ParallelMap(
+      static_cast<size_t>(reps),
+      [&](size_t rep) { return CollectJainSamplesRep(scheme, config, static_cast<int>(rep)); },
+      workers);
   std::vector<double> samples;
-  for (int rep = 0; rep < reps; ++rep) {
-    auto scenario = RunStaggeredScenario(scheme, config, 2000 + static_cast<uint64_t>(rep));
-    const auto jains =
-        JainPerTimeslot(scenario->network(), 0, config.until, Milliseconds(500));
+  for (const auto& jains : per_rep) {
     samples.insert(samples.end(), jains.begin(), jains.end());
   }
   return samples;

@@ -21,17 +21,25 @@ size_t InferenceService::Flush() {
   if (batch == 0) {
     return 0;
   }
-  const std::vector<float> out = actor_.InferBatch(pending_states_, batch);
-  const size_t out_dim = static_cast<size_t>(actor_.output_size());
-  for (size_t i = 0; i < batch; ++i) {
-    if (pending_callbacks_[i]) {
-      pending_callbacks_[i](std::clamp<double>(out[i * out_dim], -1.0, 1.0));
-    }
-  }
-  pending_states_.clear();
-  pending_callbacks_.clear();
+  // Swap the pending queues into locals *before* dispatching: a callback may
+  // re-Submit (the steady-state MTP pattern) or even re-Flush, and must find
+  // the service in a consistent empty state rather than mid-iteration.
+  std::vector<float> states;
+  std::vector<Callback> callbacks;
+  states.swap(pending_states_);
+  callbacks.swap(pending_callbacks_);
   ++total_batches_;
   max_batch_ = std::max(max_batch_, batch);
+
+  // Copy the scores out of the actor's scratch so a reentrant Flush cannot
+  // clobber them under us (out_dim is 1 for the paper's actor — this is tiny).
+  const std::vector<float> out = actor_.InferBatch(states, batch);
+  const size_t out_dim = static_cast<size_t>(actor_.output_size());
+  for (size_t i = 0; i < batch; ++i) {
+    if (callbacks[i]) {
+      callbacks[i](std::clamp<double>(out[i * out_dim], -1.0, 1.0));
+    }
+  }
   return batch;
 }
 

@@ -12,6 +12,19 @@ constexpr uint32_t kCheckpointMagic = 0x41'53'4D'4C;  // "ASML"
 constexpr uint32_t kCheckpointVersion = 1;
 }  // namespace
 
+// Runtime-dispatched AVX2 variants of the hot batched kernels. The avx2 clone
+// runs the same multiplies and adds in the same order as the baseline — AVX2
+// does not enable FMA, so there is no fused rounding — it only widens how many
+// of the independent tile lanes execute per instruction. Results stay
+// bit-identical across clones and to the per-sample reference path. Disabled
+// under sanitizers (ifunc resolvers run before their runtimes initialize).
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__) && \
+    !defined(__SANITIZE_ADDRESS__) && !defined(__SANITIZE_THREAD__)
+#define ASTRAEA_HOT_CLONES __attribute__((target_clones("default", "avx2")))
+#else
+#define ASTRAEA_HOT_CLONES
+#endif
+
 Mlp::Mlp(std::vector<int> dims, OutputActivation output_activation, Rng* rng)
     : dims_(std::move(dims)), output_activation_(output_activation) {
   ASTRAEA_CHECK(dims_.size() >= 3);  // input, >=1 hidden, output
@@ -93,49 +106,427 @@ std::vector<float> Mlp::Forward(std::span<const float> input) {
   return cached_post_.back();
 }
 
+void Mlp::ApplyOutputActivation(bool is_last, float* y, size_t n) const {
+  if (!is_last) {
+    for (size_t i = 0; i < n; ++i) {
+      y[i] = y[i] > 0.0f ? y[i] : 0.0f;  // ReLU
+    }
+  } else if (output_activation_ == OutputActivation::kTanh) {
+    for (size_t i = 0; i < n; ++i) {
+      y[i] = std::tanh(y[i]);
+    }
+  }
+}
+
+ASTRAEA_HOT_CLONES
+void Mlp::LayerForwardBatch(const LayerView& layer, bool is_last, const float* x, size_t batch,
+                            float* y, float* pre) const {
+  const float* w = params_.data() + layer.w_offset;
+  const float* b = params_.data() + layer.b_offset;
+  const size_t in = static_cast<size_t>(layer.in);
+  const size_t out = static_cast<size_t>(layer.out);
+
+  // Small batches (the per-step inference path) don't amortize a weight
+  // transpose; plain row-major dot products win there. Both branches add each
+  // output's terms in ascending-i order, so they agree bit-for-bit.
+  constexpr size_t kTransposeBatchThreshold = 16;
+  if (batch < kTransposeBatchThreshold) {
+    for (size_t r = 0; r < batch; ++r) {
+      const float* xr = x + r * in;
+      float* yr = y + r * out;
+      for (size_t o = 0; o < out; ++o) {
+        const float* wrow = w + o * in;
+        float acc = b[o];
+        for (size_t i = 0; i < in; ++i) {
+          acc += wrow[i] * xr[i];
+        }
+        yr[o] = acc;
+      }
+    }
+    if (pre != nullptr) {
+      std::copy(y, y + batch * out, pre);
+    }
+    ApplyOutputActivation(is_last, y, batch * out);
+    return;
+  }
+
+  // Re-transpose the weights into [in x out] scratch: one pass over the
+  // matrix, amortized across the batch, and it turns the inner loops below
+  // into unit-stride AXPYs the compiler can vectorize. Each output still
+  // accumulates its terms in ascending-i order, so results stay bit-identical
+  // to the per-sample reference path (naive dot products).
+  if (wt_scratch_.size() < in * out) {
+    wt_scratch_.resize(in * out);
+  }
+  float* wt = wt_scratch_.data();
+  {
+    // 8x8-blocked transpose: full cache-line use on both the reads and the
+    // strided writes.
+    constexpr size_t kTB = 8;
+    for (size_t ob = 0; ob < out; ob += kTB) {
+      const size_t oend = ob + kTB <= out ? ob + kTB : out;
+      for (size_t ib = 0; ib < in; ib += kTB) {
+        const size_t iend = ib + kTB <= in ? ib + kTB : in;
+        for (size_t o = ob; o < oend; ++o) {
+          const float* wrow = w + o * in;
+          for (size_t i = ib; i < iend; ++i) {
+            wt[i * out + o] = wrow[i];
+          }
+        }
+      }
+    }
+  }
+
+  // 4-row x 16-output register tiles: the accumulator tile starts at the bias,
+  // gathers the whole i-reduction without touching y, and is stored once. Each
+  // output still sums b[o] + terms in ascending-i order — bit-identical to the
+  // naive dot — while y traffic drops from O(batch*in*out) to O(batch*out).
+  constexpr size_t kOTile = 16;
+  size_t r = 0;
+  for (; r + 4 <= batch; r += 4) {
+    const float* x0 = x + (r + 0) * in;
+    const float* x1 = x + (r + 1) * in;
+    const float* x2 = x + (r + 2) * in;
+    const float* x3 = x + (r + 3) * in;
+    float* y0 = y + (r + 0) * out;
+    float* y1 = y + (r + 1) * out;
+    float* y2 = y + (r + 2) * out;
+    float* y3 = y + (r + 3) * out;
+    size_t o = 0;
+    for (; o + kOTile <= out; o += kOTile) {
+      float acc0[kOTile], acc1[kOTile], acc2[kOTile], acc3[kOTile];
+      for (size_t k = 0; k < kOTile; ++k) {
+        acc0[k] = b[o + k];
+        acc1[k] = b[o + k];
+        acc2[k] = b[o + k];
+        acc3[k] = b[o + k];
+      }
+      for (size_t i = 0; i < in; ++i) {
+        const float* wti = wt + i * out + o;
+        const float a0 = x0[i];
+        const float a1 = x1[i];
+        const float a2 = x2[i];
+        const float a3 = x3[i];
+        for (size_t k = 0; k < kOTile; ++k) {
+          acc0[k] += a0 * wti[k];
+          acc1[k] += a1 * wti[k];
+          acc2[k] += a2 * wti[k];
+          acc3[k] += a3 * wti[k];
+        }
+      }
+      for (size_t k = 0; k < kOTile; ++k) {
+        y0[o + k] = acc0[k];
+        y1[o + k] = acc1[k];
+        y2[o + k] = acc2[k];
+        y3[o + k] = acc3[k];
+      }
+    }
+    for (; o < out; ++o) {
+      const float* wrow = w + o * in;
+      float acc0 = b[o], acc1 = b[o], acc2 = b[o], acc3 = b[o];
+      for (size_t i = 0; i < in; ++i) {
+        acc0 += wrow[i] * x0[i];
+        acc1 += wrow[i] * x1[i];
+        acc2 += wrow[i] * x2[i];
+        acc3 += wrow[i] * x3[i];
+      }
+      y0[o] = acc0;
+      y1[o] = acc1;
+      y2[o] = acc2;
+      y3[o] = acc3;
+    }
+  }
+  for (; r < batch; ++r) {
+    const float* xr = x + r * in;
+    float* yr = y + r * out;
+    for (size_t o = 0; o < out; ++o) {
+      const float* wrow = w + o * in;
+      float acc = b[o];
+      for (size_t i = 0; i < in; ++i) {
+        acc += wrow[i] * xr[i];
+      }
+      yr[o] = acc;
+    }
+  }
+
+  if (pre != nullptr) {
+    std::copy(y, y + batch * out, pre);
+  }
+  ApplyOutputActivation(is_last, y, batch * out);
+}
+
 std::vector<float> Mlp::Infer(std::span<const float> input) const {
-  std::vector<std::vector<float>> pre;
-  std::vector<std::vector<float>> post;
-  ForwardInto(input, &pre, &post);
-  return post.back();
+  const auto out = InferBatchSpan(input, 1);
+  return std::vector<float>(out.begin(), out.end());
 }
 
 std::vector<float> Mlp::InferBatch(std::span<const float> inputs, size_t batch) const {
+  const auto out = InferBatchSpan(inputs, batch);
+  return std::vector<float>(out.begin(), out.end());
+}
+
+std::span<const float> Mlp::InferBatchSpan(std::span<const float> inputs, size_t batch) const {
   ASTRAEA_CHECK(inputs.size() == batch * static_cast<size_t>(dims_.front()));
-  std::vector<float> x(inputs.begin(), inputs.end());
-  size_t x_cols = static_cast<size_t>(dims_.front());
-  std::vector<float> y;
+  // Ping-pong between two grow-only scratch buffers; the input itself serves
+  // as the first layer's source, so nothing is copied between layers.
+  const float* x = inputs.data();
+  float* y = nullptr;
   for (size_t l = 0; l < layers_.size(); ++l) {
     const LayerView& layer = layers_[l];
-    y.assign(batch * static_cast<size_t>(layer.out), 0.0f);
-    const float* w = params_.data() + layer.w_offset;
-    const float* b = params_.data() + layer.b_offset;
-    for (size_t row = 0; row < batch; ++row) {
-      const float* xin = x.data() + row * x_cols;
-      float* yout = y.data() + row * static_cast<size_t>(layer.out);
-      for (int o = 0; o < layer.out; ++o) {
-        float acc = b[o];
-        const float* wrow = w + static_cast<size_t>(o) * layer.in;
-        for (int i = 0; i < layer.in; ++i) {
-          acc += wrow[i] * xin[i];
-        }
-        yout[o] = acc;
-      }
+    std::vector<float>& dst = (l % 2 == 0) ? infer_scratch_a_ : infer_scratch_b_;
+    const size_t need = batch * static_cast<size_t>(layer.out);
+    if (dst.size() < need) {
+      dst.resize(need);
     }
-    const bool is_last = (l + 1 == layers_.size());
-    if (!is_last) {
-      for (float& v : y) {
-        v = v > 0.0f ? v : 0.0f;
-      }
-    } else if (output_activation_ == OutputActivation::kTanh) {
-      for (float& v : y) {
-        v = std::tanh(v);
-      }
-    }
+    y = dst.data();
+    LayerForwardBatch(layer, /*is_last=*/l + 1 == layers_.size(), x, batch, y, nullptr);
     x = y;
-    x_cols = static_cast<size_t>(layer.out);
   }
-  return x;
+  return {y, batch * static_cast<size_t>(dims_.back())};
+}
+
+std::span<const float> Mlp::ForwardBatch(std::span<const float> inputs, size_t batch) {
+  ASTRAEA_CHECK(inputs.size() == batch * static_cast<size_t>(dims_.front()));
+  batch_cached_ = batch;
+  batch_input_.assign(inputs.begin(), inputs.end());
+  batch_pre_.resize(layers_.size());
+  batch_post_.resize(layers_.size());
+  const float* x = batch_input_.data();
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    const LayerView& layer = layers_[l];
+    const size_t need = batch * static_cast<size_t>(layer.out);
+    if (batch_pre_[l].size() < need) {
+      batch_pre_[l].resize(need);
+    }
+    if (batch_post_[l].size() < need) {
+      batch_post_[l].resize(need);
+    }
+    LayerForwardBatch(layer, /*is_last=*/l + 1 == layers_.size(), x, batch,
+                      batch_post_[l].data(), batch_pre_[l].data());
+    x = batch_post_[l].data();
+  }
+  return {batch_post_.back().data(), batch * static_cast<size_t>(dims_.back())};
+}
+
+ASTRAEA_HOT_CLONES
+std::span<const float> Mlp::BackwardBatch(std::span<const float> output_grads, size_t batch,
+                                          bool need_input_grad) {
+  ASTRAEA_CHECK(batch_cached_ == batch && batch > 0);
+  const size_t out_dim = static_cast<size_t>(dims_.back());
+  ASTRAEA_CHECK(output_grads.size() == batch * out_dim);
+
+  std::vector<float>* delta_buf = &batch_delta_a_;
+  std::vector<float>* prev_buf = &batch_delta_b_;
+  if (delta_buf->size() < batch * out_dim) {
+    delta_buf->resize(batch * out_dim);
+  }
+  std::copy(output_grads.begin(), output_grads.end(), delta_buf->begin());
+  // Chain through the output activation.
+  if (output_activation_ == OutputActivation::kTanh) {
+    const float* y = batch_post_.back().data();
+    float* d = delta_buf->data();
+    for (size_t i = 0; i < batch * out_dim; ++i) {
+      d[i] *= 1.0f - y[i] * y[i];
+    }
+  }
+
+  for (size_t l = layers_.size(); l-- > 0;) {
+    const LayerView& layer = layers_[l];
+    const size_t in = static_cast<size_t>(layer.in);
+    const size_t out = static_cast<size_t>(layer.out);
+    const float* layer_input = (l == 0) ? batch_input_.data() : batch_post_[l - 1].data();
+    const float* delta = delta_buf->data();
+    float* gw = grads_.data() + layer.w_offset;
+    float* gb = grads_.data() + layer.b_offset;
+    const float* w = params_.data() + layer.w_offset;
+
+    // Parameter gradients: G[o] += sum_r delta[r,o] * x[r], computed in
+    // 4-output x 16-input register tiles. The deltas are first transposed to
+    // column-major so the r-reduction reads them unit-stride (a [r,o] walk
+    // strides by `out` and wastes 3/4 of every cache line). Each tile loads
+    // the current gradient values once, adds the per-sample terms in row order
+    // (row 0, row 1, ...), and stores once — the same accumulation sequence as
+    // calling the per-sample Backward() in a loop, so results agree
+    // bit-for-bit.
+    if (dt_scratch_.size() < batch * out) {
+      dt_scratch_.resize(batch * out);
+    }
+    float* dt = dt_scratch_.data();
+    {
+      // 8x8-blocked transpose: both the [r,o] reads and the [o,r] writes use
+      // full cache lines instead of one element per line.
+      constexpr size_t kTB = 8;
+      for (size_t rb = 0; rb < batch; rb += kTB) {
+        const size_t rend = rb + kTB <= batch ? rb + kTB : batch;
+        for (size_t ob = 0; ob < out; ob += kTB) {
+          const size_t oend = ob + kTB <= out ? ob + kTB : out;
+          for (size_t rr = rb; rr < rend; ++rr) {
+            const float* dr = delta + rr * out;
+            for (size_t oo = ob; oo < oend; ++oo) {
+              dt[oo * batch + rr] = dr[oo];
+            }
+          }
+        }
+      }
+    }
+    constexpr size_t kITile = 16;
+    size_t o = 0;
+    for (; o + 4 <= out; o += 4) {
+      float* g0 = gw + (o + 0) * in;
+      float* g1 = gw + (o + 1) * in;
+      float* g2 = gw + (o + 2) * in;
+      float* g3 = gw + (o + 3) * in;
+      const float* dt0 = dt + (o + 0) * batch;
+      const float* dt1 = dt + (o + 1) * batch;
+      const float* dt2 = dt + (o + 2) * batch;
+      const float* dt3 = dt + (o + 3) * batch;
+      size_t i = 0;
+      for (; i + kITile <= in; i += kITile) {
+        float a0[kITile], a1[kITile], a2[kITile], a3[kITile];
+        for (size_t k = 0; k < kITile; ++k) {
+          a0[k] = g0[i + k];
+          a1[k] = g1[i + k];
+          a2[k] = g2[i + k];
+          a3[k] = g3[i + k];
+        }
+        for (size_t r = 0; r < batch; ++r) {
+          const float d0 = dt0[r];
+          const float d1 = dt1[r];
+          const float d2 = dt2[r];
+          const float d3 = dt3[r];
+          const float* xr = layer_input + r * in + i;
+          for (size_t k = 0; k < kITile; ++k) {
+            a0[k] += d0 * xr[k];
+            a1[k] += d1 * xr[k];
+            a2[k] += d2 * xr[k];
+            a3[k] += d3 * xr[k];
+          }
+        }
+        for (size_t k = 0; k < kITile; ++k) {
+          g0[i + k] = a0[k];
+          g1[i + k] = a1[k];
+          g2[i + k] = a2[k];
+          g3[i + k] = a3[k];
+        }
+      }
+      for (size_t r = 0; r < batch; ++r) {
+        const float* dr = delta + r * out + o;
+        const float d0 = dr[0];
+        const float d1 = dr[1];
+        const float d2 = dr[2];
+        const float d3 = dr[3];
+        gb[o + 0] += d0;
+        gb[o + 1] += d1;
+        gb[o + 2] += d2;
+        gb[o + 3] += d3;
+        const float* xr = layer_input + r * in;
+        for (size_t k = i; k < in; ++k) {
+          g0[k] += d0 * xr[k];
+          g1[k] += d1 * xr[k];
+          g2[k] += d2 * xr[k];
+          g3[k] += d3 * xr[k];
+        }
+      }
+    }
+    for (; o < out; ++o) {
+      float* grow = gw + o * in;
+      for (size_t r = 0; r < batch; ++r) {
+        const float d = delta[r * out + o];
+        gb[o] += d;
+        const float* xr = layer_input + r * in;
+        for (size_t i = 0; i < in; ++i) {
+          grow[i] += d * xr[i];
+        }
+      }
+    }
+
+    // Input gradient for the layer below (or the caller, when l == 0):
+    // prev[r] = sum_o delta[r,o] * W[o], computed in 4-row x 16-input register
+    // tiles over the o-reduction. Per-element terms add from zero in
+    // ascending-o order, matching the reference path exactly. Skipped at the
+    // first layer when the caller doesn't want input gradients.
+    if (l == 0 && !need_input_grad) {
+      break;
+    }
+    if (prev_buf->size() < batch * in) {
+      prev_buf->resize(batch * in);
+    }
+    float* prev = prev_buf->data();
+    size_t r = 0;
+    for (; r + 4 <= batch; r += 4) {
+      float* p0 = prev + (r + 0) * in;
+      float* p1 = prev + (r + 1) * in;
+      float* p2 = prev + (r + 2) * in;
+      float* p3 = prev + (r + 3) * in;
+      const float* d0 = delta + (r + 0) * out;
+      const float* d1 = delta + (r + 1) * out;
+      const float* d2 = delta + (r + 2) * out;
+      const float* d3 = delta + (r + 3) * out;
+      size_t i = 0;
+      for (; i + kITile <= in; i += kITile) {
+        float a0[kITile] = {}, a1[kITile] = {}, a2[kITile] = {}, a3[kITile] = {};
+        for (size_t oo = 0; oo < out; ++oo) {
+          const float* row = w + oo * in + i;
+          const float c0 = d0[oo];
+          const float c1 = d1[oo];
+          const float c2 = d2[oo];
+          const float c3 = d3[oo];
+          for (size_t k = 0; k < kITile; ++k) {
+            a0[k] += c0 * row[k];
+            a1[k] += c1 * row[k];
+            a2[k] += c2 * row[k];
+            a3[k] += c3 * row[k];
+          }
+        }
+        for (size_t k = 0; k < kITile; ++k) {
+          p0[i + k] = a0[k];
+          p1[i + k] = a1[k];
+          p2[i + k] = a2[k];
+          p3[i + k] = a3[k];
+        }
+      }
+      for (; i < in; ++i) {
+        float a0 = 0.0f, a1 = 0.0f, a2 = 0.0f, a3 = 0.0f;
+        for (size_t oo = 0; oo < out; ++oo) {
+          const float wv = w[oo * in + i];
+          a0 += d0[oo] * wv;
+          a1 += d1[oo] * wv;
+          a2 += d2[oo] * wv;
+          a3 += d3[oo] * wv;
+        }
+        p0[i] = a0;
+        p1[i] = a1;
+        p2[i] = a2;
+        p3[i] = a3;
+      }
+    }
+    for (; r < batch; ++r) {
+      float* pr = prev + r * in;
+      const float* dr = delta + r * out;
+      std::fill(pr, pr + in, 0.0f);
+      for (size_t oo = 0; oo < out; ++oo) {
+        const float d = dr[oo];
+        const float* row = w + oo * in;
+        for (size_t i = 0; i < in; ++i) {
+          pr[i] += d * row[i];
+        }
+      }
+    }
+    if (l > 0) {
+      // Chain through the ReLU of the layer below.
+      const float* z = batch_pre_[l - 1].data();
+      for (size_t i = 0; i < batch * in; ++i) {
+        if (z[i] <= 0.0f) {
+          prev[i] = 0.0f;
+        }
+      }
+    }
+    std::swap(delta_buf, prev_buf);
+  }
+  if (!need_input_grad) {
+    return {};
+  }
+  return {delta_buf->data(), batch * static_cast<size_t>(dims_.front())};
 }
 
 std::vector<float> Mlp::Backward(std::span<const float> output_grad) {
@@ -247,6 +638,7 @@ Adam::Adam(size_t parameter_count, float lr, float beta1, float beta2, float eps
     : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps), m_(parameter_count, 0.0f),
       v_(parameter_count, 0.0f) {}
 
+ASTRAEA_HOT_CLONES
 void Adam::Step(std::span<float> params, std::span<const float> grads, float scale) {
   ASTRAEA_CHECK(params.size() == m_.size());
   ASTRAEA_CHECK(grads.size() == m_.size());

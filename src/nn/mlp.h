@@ -6,6 +6,16 @@
 // with respect to the input — the latter is what lets the deterministic policy
 // gradient flow from the critic's output through its action input into the
 // actor (paper Eq. 9 / DDPG-style chain rule).
+//
+// The batched entry points (ForwardBatch / BackwardBatch / InferBatch) operate
+// on contiguous row-major [batch x dim] buffers and reuse internal scratch and
+// activation caches across calls, so steady-state batched work performs no heap
+// allocation and each weight matrix is streamed once per batch instead of once
+// per sample. The per-sample Forward()/Backward() pair is retained as the
+// reference implementation that the batched kernels are parity-tested against.
+//
+// Thread-safety: one Mlp instance may be used by one thread at a time (even
+// Infer/InferBatch use mutable scratch); use per-thread copies to parallelize.
 
 #ifndef SRC_NN_MLP_H_
 #define SRC_NN_MLP_H_
@@ -39,9 +49,29 @@ class Mlp {
   // inference service's sublinear scaling (paper §4 / Fig. 16).
   std::vector<float> InferBatch(std::span<const float> inputs, size_t batch) const;
 
+  // Allocation-free variant of InferBatch: the returned span points into a
+  // ping-pong scratch buffer owned by the network and stays valid until the
+  // next batched call on this instance.
+  std::span<const float> InferBatchSpan(std::span<const float> inputs, size_t batch) const;
+
+  // Batched training forward: caches flat per-layer activations for a
+  // subsequent BackwardBatch(). Returns a [batch x output_size] view valid
+  // until the next batched call on this instance.
+  std::span<const float> ForwardBatch(std::span<const float> inputs, size_t batch);
+
   // Backpropagates dL/d(output); accumulates into the gradient buffer and
   // returns dL/d(input). Must follow a Forward() with the same input.
   std::vector<float> Backward(std::span<const float> output_grad);
+
+  // Batched backprop: `output_grads` is row-major [batch x output_size].
+  // Accumulates parameter gradients (identical accumulation order to calling
+  // Backward() per sample) and returns a [batch x input_size] view of the
+  // input gradients, valid until the next batched call. Must follow a
+  // ForwardBatch() with the same batch. Callers that only want parameter
+  // gradients (e.g. a critic fit) pass need_input_grad = false to skip the
+  // first layer's input-gradient pass; the returned span is then empty.
+  std::span<const float> BackwardBatch(std::span<const float> output_grads, size_t batch,
+                                       bool need_input_grad = true);
 
   void ZeroGrad();
 
@@ -76,6 +106,11 @@ class Mlp {
   void InitParams(Rng* rng);
   void ForwardInto(std::span<const float> input, std::vector<std::vector<float>>* pre,
                    std::vector<std::vector<float>>* post) const;
+  // One dense layer over a whole batch: y[r] = W x[r] + b, then the layer's
+  // activation. `pre` (optional) receives the pre-activation values.
+  void LayerForwardBatch(const LayerView& layer, bool is_last, const float* x, size_t batch,
+                         float* y, float* pre) const;
+  void ApplyOutputActivation(bool is_last, float* y, size_t n) const;
 
   std::vector<int> dims_;
   OutputActivation output_activation_ = OutputActivation::kIdentity;
@@ -87,6 +122,24 @@ class Mlp {
   std::vector<float> cached_input_;
   std::vector<std::vector<float>> cached_pre_;
   std::vector<std::vector<float>> cached_post_;
+
+  // Flat caches from the last ForwardBatch() (row-major [batch x width]).
+  size_t batch_cached_ = 0;
+  std::vector<float> batch_input_;
+  std::vector<std::vector<float>> batch_pre_;
+  std::vector<std::vector<float>> batch_post_;
+  // Ping-pong delta buffers for BackwardBatch (result aliases one of them).
+  std::vector<float> batch_delta_a_;
+  std::vector<float> batch_delta_b_;
+  // Ping-pong scratch for inference-only batched passes; mutable so Infer /
+  // InferBatch stay const (they still make the instance single-thread only).
+  mutable std::vector<float> infer_scratch_a_;
+  mutable std::vector<float> infer_scratch_b_;
+  // Per-layer transposed weights, rebuilt on each batched layer pass.
+  mutable std::vector<float> wt_scratch_;
+  // Column-major copy of the current deltas ([out x batch]), rebuilt per layer
+  // in BackwardBatch so the parameter-gradient tiles read them unit-stride.
+  std::vector<float> dt_scratch_;
 };
 
 // Adam optimizer over a flat parameter vector.

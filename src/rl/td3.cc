@@ -93,6 +93,139 @@ Td3Diagnostics Td3Trainer::Update(const ReplayBuffer& buffer, Rng* rng) {
     return diag;
   }
   const std::vector<size_t> batch = buffer.SampleIndices(config_.batch_size, rng);
+  const size_t B = config_.batch_size;
+  const size_t sdim = static_cast<size_t>(config_.local_state_dim);
+  const size_t gdim = static_cast<size_t>(config_.global_state_dim);
+  const size_t adim = static_cast<size_t>(config_.action_dim);
+  const size_t cdim = gdim + sdim + adim;
+
+  // ---- Gather the batch into flat row-major buffers.
+  scratch_.local.resize(B * sdim);
+  scratch_.next_local.resize(B * sdim);
+  scratch_.next_in.resize(B * cdim);
+  scratch_.in.resize(B * cdim);
+  scratch_.actor_in.resize(B * cdim);
+  scratch_.y.resize(B);
+  scratch_.dq.resize(B);
+  for (size_t r = 0; r < B; ++r) {
+    const Transition& t = buffer.at(batch[r]);
+    ASTRAEA_CHECK(t.local_state.size() == sdim && t.next_local_state.size() == sdim);
+    ASTRAEA_CHECK(t.global_state.size() == gdim && t.next_global_state.size() == gdim);
+    ASTRAEA_CHECK(t.action.size() == adim);
+    std::copy(t.local_state.begin(), t.local_state.end(), scratch_.local.begin() + r * sdim);
+    std::copy(t.next_local_state.begin(), t.next_local_state.end(),
+              scratch_.next_local.begin() + r * sdim);
+    float* in = scratch_.in.data() + r * cdim;
+    std::copy(t.global_state.begin(), t.global_state.end(), in);
+    std::copy(t.local_state.begin(), t.local_state.end(), in + gdim);
+    std::copy(t.action.begin(), t.action.end(), in + gdim + sdim);
+    float* nin = scratch_.next_in.data() + r * cdim;
+    std::copy(t.next_global_state.begin(), t.next_global_state.end(), nin);
+    std::copy(t.next_local_state.begin(), t.next_local_state.end(), nin + gdim);
+    // Actor-probe inputs share the (g, s) prefix; the action slot is filled
+    // after the actor's batched forward below.
+    float* ain = scratch_.actor_in.data() + r * cdim;
+    std::copy(t.global_state.begin(), t.global_state.end(), ain);
+    std::copy(t.local_state.begin(), t.local_state.end(), ain + gdim);
+  }
+
+  // ---- TD targets: y = r + gamma * (1 - done) * min(Q1', Q2')(g', s', a~).
+  const auto next_action = target_actor_->InferBatchSpan(scratch_.next_local, B);
+  scratch_.next_action.assign(next_action.begin(), next_action.end());
+  for (size_t r = 0; r < B; ++r) {
+    float* a = scratch_.next_action.data() + r * adim;
+    for (size_t k = 0; k < adim; ++k) {
+      const float noise =
+          std::clamp(static_cast<float>(rng->Normal(0.0, config_.target_noise_std)),
+                     -config_.target_noise_clip, config_.target_noise_clip);
+      a[k] = std::clamp(a[k] + noise, -1.0f, 1.0f);
+    }
+    std::copy(a, a + adim, scratch_.next_in.data() + r * cdim + gdim + sdim);
+  }
+  // The two target-critic passes ping-pong over the same scratch, so copy the
+  // first result out before running the second.
+  const auto q1_next_view = target_critic1_->InferBatchSpan(scratch_.next_in, B);
+  scratch_.dq.assign(q1_next_view.begin(), q1_next_view.end());  // borrow as q1' store
+  const auto q2_next = target_critic2_->InferBatchSpan(scratch_.next_in, B);
+  for (size_t r = 0; r < B; ++r) {
+    const Transition& t = buffer.at(batch[r]);
+    scratch_.y[r] =
+        t.reward +
+        (t.terminal ? 0.0f : config_.gamma * std::min(scratch_.dq[r], q2_next[r]));
+  }
+
+  // ---- Critic fit.
+  critic1_->ZeroGrad();
+  critic2_->ZeroGrad();
+  const auto q1 = critic1_->ForwardBatch(scratch_.in, B);
+  for (size_t r = 0; r < B; ++r) {
+    scratch_.dq[r] = 2.0f * (q1[r] - scratch_.y[r]);
+  }
+  double loss1_acc = 0.0;
+  for (size_t r = 0; r < B; ++r) {
+    loss1_acc += 0.5 * (q1[r] - scratch_.y[r]) * (q1[r] - scratch_.y[r]);
+  }
+  critic1_->BackwardBatch(scratch_.dq, B, /*need_input_grad=*/false);
+  const auto q2 = critic2_->ForwardBatch(scratch_.in, B);
+  double loss2_acc = 0.0;
+  for (size_t r = 0; r < B; ++r) {
+    loss2_acc += 0.5 * (q2[r] - scratch_.y[r]) * (q2[r] - scratch_.y[r]);
+    scratch_.dq[r] = 2.0f * (q2[r] - scratch_.y[r]);
+  }
+  critic2_->BackwardBatch(scratch_.dq, B, /*need_input_grad=*/false);
+  const float batch_scale = static_cast<float>(B);
+  ClipGradNorm(critic1_->grads(), config_.grad_clip_norm, batch_scale);
+  ClipGradNorm(critic2_->grads(), config_.grad_clip_norm, batch_scale);
+  critic1_opt_->Step(critic1_->params(), critic1_->grads(), batch_scale);
+  critic2_opt_->Step(critic2_->params(), critic2_->grads(), batch_scale);
+  diag.critic_loss = (loss1_acc + loss2_acc) / static_cast<double>(B);
+
+  ++update_count_;
+  diag.updates = update_count_;
+
+  // ---- Delayed actor update + target sync (TD3).
+  if (update_count_ % config_.policy_delay == 0) {
+    actor_->ZeroGrad();
+    const auto actions = actor_->ForwardBatch(scratch_.local, B);
+    for (size_t r = 0; r < B; ++r) {
+      std::copy(actions.begin() + r * adim, actions.begin() + (r + 1) * adim,
+                scratch_.actor_in.begin() + r * cdim + gdim + sdim);
+    }
+    const auto q = critic1_->ForwardBatch(scratch_.actor_in, B);
+    double q_acc = 0.0;
+    for (size_t r = 0; r < B; ++r) {
+      q_acc += q[r];
+      scratch_.dq[r] = 1.0f;
+    }
+    // dQ/d(input) of the critic; the action slice drives the actor update.
+    // We maximize Q, so the actor receives -dQ/da as its loss gradient.
+    critic1_->ZeroGrad();  // this probe's critic grads are discarded
+    const auto dq_din = critic1_->BackwardBatch(scratch_.dq, B);
+    scratch_.next_action.resize(B * adim);  // reuse as the -dQ/da buffer
+    for (size_t r = 0; r < B; ++r) {
+      const float* da = dq_din.data() + r * cdim + gdim + sdim;
+      for (size_t k = 0; k < adim; ++k) {
+        scratch_.next_action[r * adim + k] = -da[k];
+      }
+    }
+    actor_->BackwardBatch(scratch_.next_action, B, /*need_input_grad=*/false);
+    ClipGradNorm(actor_->grads(), config_.grad_clip_norm, batch_scale);
+    actor_opt_->Step(actor_->params(), actor_->grads(), batch_scale);
+    diag.actor_objective = q_acc / static_cast<double>(B);
+
+    target_actor_->PolyakUpdateFrom(*actor_, config_.tau);
+    target_critic1_->PolyakUpdateFrom(*critic1_, config_.tau);
+    target_critic2_->PolyakUpdateFrom(*critic2_, config_.tau);
+  }
+  return diag;
+}
+
+Td3Diagnostics Td3Trainer::UpdateReference(const ReplayBuffer& buffer, Rng* rng) {
+  Td3Diagnostics diag;
+  if (buffer.size() < config_.batch_size) {
+    return diag;
+  }
+  const std::vector<size_t> batch = buffer.SampleIndices(config_.batch_size, rng);
 
   // ---- Critic update: y = r + gamma * (1 - done) * min(Q1', Q2')(g', s', a~).
   critic1_->ZeroGrad();

@@ -49,8 +49,14 @@ class Td3Trainer {
   Td3Trainer(Td3Config config, Rng* rng);
 
   // One gradient update (Algorithm 1, lines 3-6). No-op when the buffer has
-  // fewer than batch_size transitions.
+  // fewer than batch_size transitions. Runs on the flat batched kernels
+  // (Mlp::ForwardBatch / BackwardBatch); draws from `rng` in the same order as
+  // UpdateReference so both paths consume identical random streams.
   Td3Diagnostics Update(const ReplayBuffer& buffer, Rng* rng);
+
+  // Per-sample reference implementation of the same update, kept for parity
+  // testing the batched path (and as executable documentation of Algorithm 1).
+  Td3Diagnostics UpdateReference(const ReplayBuffer& buffer, Rng* rng);
 
   // Deterministic action from the current policy (deployment path).
   std::vector<float> Act(std::span<const float> local_state) const;
@@ -83,6 +89,20 @@ class Td3Trainer {
   std::unique_ptr<Adam> critic1_opt_;
   std::unique_ptr<Adam> critic2_opt_;
   int64_t update_count_ = 0;
+
+  // Grow-only gather buffers reused across Update() calls so the steady-state
+  // training loop performs no heap allocation.
+  struct Scratch {
+    std::vector<float> local;        // [B x s]
+    std::vector<float> next_local;   // [B x s]
+    std::vector<float> next_action;  // [B x a]
+    std::vector<float> next_in;      // [B x (g+s+a)]
+    std::vector<float> in;           // [B x (g+s+a)] — critic fit inputs
+    std::vector<float> actor_in;     // [B x (g+s+a)] — actor-probe inputs
+    std::vector<float> y;            // [B] TD targets
+    std::vector<float> dq;           // [B] critic output grads
+  };
+  Scratch scratch_;
 };
 
 }  // namespace astraea

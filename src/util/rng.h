@@ -23,6 +23,18 @@ class Rng {
     return Rng(s);
   }
 
+  // Stateless splittable seed derivation (SplitMix64 finalizer): maps a
+  // (stream, index) pair to a decorrelated 64-bit seed. Unlike additive bases
+  // (stream_base + index), two distinct streams can never collide however
+  // large the index grows, and the result does not depend on call order — the
+  // property the parallel experiment harness relies on for rep seeds.
+  static uint64_t DeriveSeed(uint64_t stream, uint64_t index) {
+    uint64_t z = stream + 0x9E3779B97F4A7C15ULL * (index + 1);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
   double Uniform() { return uniform_(engine_); }  // [0, 1)
   double Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
 

@@ -1,0 +1,141 @@
+// A deliberately simple fixed-size worker pool (no work stealing): one shared
+// FIFO queue, a mutex and two condition variables. The experiment harness fans
+// independent scenario reps out over it; each rep carries its own
+// deterministically derived seed (see Rng::DeriveSeed), so results are
+// identical regardless of worker count or scheduling order.
+//
+// ParallelMap is the only pattern the harness needs: run fn(0..n-1), collect
+// results in index order. With `workers <= 1` (or n == 1) it runs inline on
+// the calling thread, which is what the determinism tests compare against.
+
+#ifndef SRC_UTIL_THREAD_POOL_H_
+#define SRC_UTIL_THREAD_POOL_H_
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace astraea {
+
+class ThreadPool {
+ public:
+  // `workers` = 0 picks DefaultWorkerCount().
+  explicit ThreadPool(size_t workers = 0) {
+    if (workers == 0) {
+      workers = DefaultWorkerCount();
+    }
+    threads_.reserve(workers);
+    for (size_t i = 0; i < workers; ++i) {
+      threads_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      stopping_ = true;
+    }
+    work_ready_.notify_all();
+    for (std::thread& t : threads_) {
+      t.join();
+    }
+  }
+
+  size_t worker_count() const { return threads_.size(); }
+
+  void Submit(std::function<void()> fn) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_.push_back(std::move(fn));
+      ++outstanding_;
+    }
+    work_ready_.notify_one();
+  }
+
+  // Blocks until every submitted task has finished executing.
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    all_done_.wait(lock, [this] { return outstanding_ == 0; });
+  }
+
+  // Worker-count policy: the ASTRAEA_WORKERS environment variable when set to
+  // a positive integer, otherwise std::thread::hardware_concurrency().
+  static size_t DefaultWorkerCount() {
+    if (const char* env = std::getenv("ASTRAEA_WORKERS")) {
+      const long v = std::atol(env);
+      if (v > 0) {
+        return static_cast<size_t>(v);
+      }
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+  }
+
+ private:
+  void WorkerLoop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        work_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) {
+          return;  // stopping_ and drained
+        }
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        if (--outstanding_ == 0) {
+          all_done_.notify_all();
+        }
+      }
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  size_t outstanding_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> threads_;
+};
+
+// Runs fn(i) for every i in [0, n) and returns the results in index order —
+// the caller's aggregation is therefore independent of scheduling. `workers`
+// = 0 uses ThreadPool::DefaultWorkerCount(); 1 runs inline with no threads.
+template <typename Fn>
+auto ParallelMap(size_t n, Fn&& fn, size_t workers = 0)
+    -> std::vector<decltype(fn(size_t{0}))> {
+  using R = decltype(fn(size_t{0}));
+  std::vector<R> results(n);
+  if (workers == 0) {
+    workers = ThreadPool::DefaultWorkerCount();
+  }
+  if (workers <= 1 || n <= 1) {
+    for (size_t i = 0; i < n; ++i) {
+      results[i] = fn(i);
+    }
+    return results;
+  }
+  ThreadPool pool(std::min(workers, n));
+  for (size_t i = 0; i < n; ++i) {
+    pool.Submit([&results, &fn, i] { results[i] = fn(i); });
+  }
+  pool.Wait();
+  return results;
+}
+
+}  // namespace astraea
+
+#endif  // SRC_UTIL_THREAD_POOL_H_

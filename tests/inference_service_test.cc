@@ -69,6 +69,40 @@ TEST(InferenceServiceTest, ActionsAreClamped) {
   EXPECT_LE(action, 1.0);
 }
 
+// A callback that re-Submits while Flush() is dispatching must not corrupt
+// the pending queues: the resubmission lands in the *next* batch, untouched.
+TEST(InferenceServiceTest, CallbackMayResubmitDuringFlush) {
+  Mlp actor = MakeActor();
+  Mlp reference = MakeActor();
+  InferenceService service(std::move(actor));
+
+  const std::vector<float> s1(8, 0.25f);
+  const std::vector<float> s2(8, -0.5f);
+  std::vector<double> first_round;
+  double second_round = -99.0;
+  for (const auto& s : {s1, s2}) {
+    service.Submit(s, [&service, &first_round, &second_round, s2](double a) {
+      first_round.push_back(a);
+      // Reentrant submission from inside the dispatch loop.
+      service.Submit(s2, [&second_round](double b) { second_round = b; });
+    });
+  }
+
+  EXPECT_EQ(service.Flush(), 2u);
+  ASSERT_EQ(first_round.size(), 2u);
+  EXPECT_NEAR(first_round[0], reference.Infer(s1)[0], 1e-6);
+  EXPECT_NEAR(first_round[1], reference.Infer(s2)[0], 1e-6);
+  // Both reentrant submissions are pending, none was served early.
+  EXPECT_EQ(service.pending(), 2u);
+  EXPECT_EQ(second_round, -99.0);
+
+  EXPECT_EQ(service.Flush(), 2u);
+  EXPECT_NEAR(second_round, reference.Infer(s2)[0], 1e-6);
+  EXPECT_EQ(service.pending(), 0u);
+  EXPECT_EQ(service.total_requests(), 4u);
+  EXPECT_EQ(service.total_batches(), 2u);
+}
+
 TEST(InferenceServiceTest, DefaultBatchWindowIsFiveMs) {
   InferenceService service(MakeActor());
   EXPECT_EQ(service.batch_window(), Milliseconds(5));

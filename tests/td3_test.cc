@@ -157,6 +157,56 @@ TEST(Td3Test, CriticExploitsGlobalState) {
   EXPECT_GT(q_good, q_bad + 0.5f);
 }
 
+// The batched Update (flat ForwardBatch/BackwardBatch kernels) must match the
+// per-sample reference path: identical RNG consumption, near-identical floats.
+TEST(Td3Test, BatchedUpdateMatchesReferencePath) {
+  Td3Config config = SmallConfig();
+  config.batch_size = 48;
+
+  Rng init_a(21);
+  Td3Trainer batched(config, &init_a);
+  Rng init_b(21);
+  Td3Trainer reference(config, &init_b);
+
+  ReplayBuffer buf(4096);
+  Rng data_rng(22);
+  for (int i = 0; i < 600; ++i) {
+    Transition t;
+    t.global_state = {static_cast<float>(data_rng.Uniform(-1, 1)),
+                      static_cast<float>(data_rng.Uniform(-1, 1))};
+    t.local_state = {static_cast<float>(data_rng.Uniform(-1, 1)),
+                     static_cast<float>(data_rng.Uniform(-1, 1)),
+                     static_cast<float>(data_rng.Uniform(-1, 1))};
+    t.action = {static_cast<float>(data_rng.Uniform(-1, 1))};
+    t.reward = static_cast<float>(data_rng.Uniform(-1, 1));
+    t.next_global_state = t.global_state;
+    t.next_local_state = t.local_state;
+    t.terminal = data_rng.Bernoulli(0.1);
+    buf.Add(std::move(t));
+  }
+
+  Rng update_a(23);
+  Rng update_b(23);
+  for (int step = 0; step < 10; ++step) {
+    const Td3Diagnostics da = batched.Update(buf, &update_a);
+    const Td3Diagnostics db = reference.UpdateReference(buf, &update_b);
+    EXPECT_NEAR(da.critic_loss, db.critic_loss, 1e-4) << "step " << step;
+    EXPECT_NEAR(da.actor_objective, db.actor_objective, 1e-4) << "step " << step;
+  }
+
+  const auto pa = batched.actor().params();
+  const auto pb = reference.actor().params();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t i = 0; i < pa.size(); ++i) {
+    ASSERT_NEAR(pa[i], pb[i], 1e-4) << "actor param " << i;
+  }
+  const auto ca = batched.critic1().params();
+  const auto cb = reference.critic1().params();
+  for (size_t i = 0; i < ca.size(); ++i) {
+    ASSERT_NEAR(ca[i], cb[i], 1e-4) << "critic param " << i;
+  }
+}
+
 TEST(Td3Test, SaveLoadActorRoundTrip) {
   Rng rng(6);
   Td3Trainer trainer(SmallConfig(), &rng);

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "bench/harness/experiments.h"
+#include "src/util/rng.h"
+#include "src/util/thread_pool.h"
+
+namespace astraea {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.worker_count(), 4u);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsReusableAcrossBatches) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 10; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.Wait();
+    EXPECT_EQ(counter.load(), (round + 1) * 10);
+  }
+}
+
+TEST(ThreadPoolTest, ParallelMapPreservesIndexOrder) {
+  const auto squares = ParallelMap(
+      50, [](size_t i) { return static_cast<int>(i * i); }, 4);
+  ASSERT_EQ(squares.size(), 50u);
+  for (size_t i = 0; i < squares.size(); ++i) {
+    EXPECT_EQ(squares[i], static_cast<int>(i * i));
+  }
+}
+
+TEST(ThreadPoolTest, ParallelMapInlineAndThreadedAgree) {
+  auto fn = [](size_t i) { return 3.0 * static_cast<double>(i) + 1.0; };
+  EXPECT_EQ(ParallelMap(20, fn, 1), ParallelMap(20, fn, 5));
+}
+
+TEST(RngDeriveSeedTest, StreamsNeverCollideUnlikeAdditiveBases) {
+  // The old scheme (1000 + rep vs 2000 + rep) collides at rep = 1000+.
+  // DeriveSeed keeps distinct streams apart at any index.
+  std::set<uint64_t> seen;
+  const uint64_t streams[] = {kConvergenceSeedStream, kJainSeedStream, 1000, 2000};
+  for (uint64_t stream : streams) {
+    for (uint64_t rep = 0; rep < 2000; ++rep) {
+      EXPECT_TRUE(seen.insert(Rng::DeriveSeed(stream, rep)).second)
+          << "collision at stream " << stream << " rep " << rep;
+    }
+  }
+}
+
+TEST(RngDeriveSeedTest, IsAPureFunction) {
+  EXPECT_EQ(Rng::DeriveSeed(7, 9), Rng::DeriveSeed(7, 9));
+  EXPECT_NE(Rng::DeriveSeed(7, 9), Rng::DeriveSeed(9, 7));
+}
+
+StaggeredConfig TinyConfig() {
+  StaggeredConfig config = DefaultStaggeredConfig();
+  config.start_interval = Seconds(6.0);
+  config.flow_duration = Seconds(18.0);
+  config.until = Seconds(30.0);
+  return config;
+}
+
+// The headline determinism guarantee: fanning reps across N workers yields
+// bit-identical results to running them inline on one thread.
+TEST(ParallelHarnessTest, ConvergenceSummaryIdenticalForOneAndManyWorkers) {
+  const SchemeConvergenceSummary serial =
+      MeasureStaggeredConvergence("cubic", TinyConfig(), 3, 0.10, /*workers=*/1);
+  const SchemeConvergenceSummary parallel =
+      MeasureStaggeredConvergence("cubic", TinyConfig(), 3, 0.10, /*workers=*/3);
+  EXPECT_EQ(serial.total_events, parallel.total_events);
+  EXPECT_EQ(serial.converged_events, parallel.converged_events);
+  EXPECT_EQ(serial.avg_convergence_s, parallel.avg_convergence_s);
+  EXPECT_EQ(serial.avg_stability_mbps, parallel.avg_stability_mbps);
+  EXPECT_EQ(serial.avg_jain, parallel.avg_jain);
+  EXPECT_EQ(serial.utilization, parallel.utilization);
+}
+
+TEST(ParallelHarnessTest, JainSamplesIdenticalForOneAndManyWorkers) {
+  const std::vector<double> serial =
+      CollectJainSamples("vegas", TinyConfig(), 4, /*workers=*/1);
+  const std::vector<double> parallel =
+      CollectJainSamples("vegas", TinyConfig(), 4, /*workers=*/4);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(ParallelHarnessTest, RunRepsDerivesSeedsFromTheStream) {
+  const auto seeds = RunReps<uint64_t>(
+      4, kJainSeedStream, [](int /*rep*/, uint64_t seed) { return seed; }, 2);
+  for (int rep = 0; rep < 4; ++rep) {
+    EXPECT_EQ(seeds[static_cast<size_t>(rep)],
+              Rng::DeriveSeed(kJainSeedStream, static_cast<uint64_t>(rep)));
+  }
+}
+
+}  // namespace
+}  // namespace astraea
