@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/util/failpoint.h"
 #include "src/util/logging.h"
 
 namespace astraea {
@@ -17,6 +18,10 @@ void InferenceService::Submit(std::vector<float> state, Callback callback) {
 }
 
 size_t InferenceService::Flush() {
+  // Fault-injection site: fires before the pending queues are swapped out,
+  // so an injected error leaves every submitted request intact for the next
+  // Flush() — tests assert no request is lost across an injected failure.
+  ASTRAEA_FAILPOINT("inference.flush");
   const size_t batch = pending_callbacks_.size();
   if (batch == 0) {
     return 0;

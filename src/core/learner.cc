@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/util/checkpoint.h"
+#include "src/util/failpoint.h"
 #include "src/util/logging.h"
 
 namespace astraea {
@@ -21,9 +23,20 @@ Learner::Learner(LearnerConfig config) : config_(config), rng_(config.seed) {
 
 void Learner::Train(int episodes,
                     const std::function<void(const EpisodeDiagnostics&)>& on_episode) {
+  // Fix the exploration-decay horizon once (first call or config) so the
+  // noise at global episode g is the same whether training ran straight
+  // through or was checkpointed, killed and resumed.
+  if (decay_horizon_ == 0) {
+    decay_horizon_ =
+        config_.exploration_decay_episodes > 0 ? config_.exploration_decay_episodes : episodes;
+  }
   for (int e = 0; e < episodes; ++e) {
-    // Linear exploration decay across this call's episode budget.
-    const double frac = episodes > 1 ? static_cast<double>(e) / (episodes - 1) : 1.0;
+    ASTRAEA_FAILPOINT("learner.episode");
+    // Linear exploration decay across the global horizon.
+    const double frac =
+        decay_horizon_ > 1
+            ? std::min(1.0, static_cast<double>(episodes_done_) / (decay_horizon_ - 1))
+            : 1.0;
     const double noise = config_.exploration_noise +
                          frac * (config_.exploration_noise_final - config_.exploration_noise);
 
@@ -102,6 +115,44 @@ double Learner::EvaluateFairness() {
     ++slots;
   }
   return slots > 0 ? jain_sum / slots : 0.0;
+}
+
+namespace {
+
+constexpr uint32_t kLearnerStateMagic = 0x41'53'54'4B;  // "ASTK"
+constexpr uint32_t kLearnerStateVersion = 1;
+
+}  // namespace
+
+void Learner::SaveState(const std::string& path) const {
+  CheckpointWriter ckpt(path);
+  BinaryWriter* w = ckpt.payload();
+  w->WriteU32(kLearnerStateMagic);
+  w->WriteU32(kLearnerStateVersion);
+  w->WriteU32(static_cast<uint32_t>(episodes_done_));
+  w->WriteU32(static_cast<uint32_t>(decay_horizon_));
+  rng_.SaveState(w);
+  trainer_->SaveState(w);
+  buffer_->Save(w);
+  ckpt.Commit();
+}
+
+void Learner::LoadState(const std::string& path) {
+  CheckpointReader ckpt(path);
+  BinaryReader* r = ckpt.payload();
+  if (r->ReadU32() != kLearnerStateMagic) {
+    throw SerializationError("not a learner training-state checkpoint: " + path);
+  }
+  if (r->ReadU32() != kLearnerStateVersion) {
+    throw SerializationError("unsupported learner training-state version: " + path);
+  }
+  const int episodes_done = static_cast<int>(r->ReadU32());
+  const int decay_horizon = static_cast<int>(r->ReadU32());
+  rng_.LoadState(r);
+  trainer_->LoadState(r);
+  buffer_->Load(r);
+  episodes_done_ = episodes_done;
+  decay_horizon_ = decay_horizon;
 }
 
 }  // namespace astraea

@@ -32,6 +32,13 @@ struct LearnerConfig {
   // them land in the common buffer.
   int env_instances = 1;
   uint64_t seed = 7;
+  // Episode count over which exploration noise decays from exploration_noise
+  // to exploration_noise_final. 0 (default) means "the budget of the first
+  // Train() call", matching the pre-resume behavior. Runs that will be
+  // checkpointed and resumed should set this to the total planned episode
+  // count so the decay schedule is a function of the global episode index,
+  // not of any single Train() call's budget.
+  int exploration_decay_episodes = 0;
 };
 
 struct EpisodeDiagnostics {
@@ -56,8 +63,20 @@ class Learner {
   ReplayBuffer& buffer() { return *buffer_; }
   const LearnerConfig& config() const { return config_; }
 
+  // Deployment artifact: actor weights only, loadable by
+  // MlpPolicy::LoadFromFile. Not enough to resume training.
   void SaveCheckpoint(const std::string& path) const { trainer_->SaveActor(path); }
   void LoadCheckpoint(const std::string& path) { trainer_->LoadActor(path); }
+
+  // Crash-safe full training state: trainer (networks + optimizers), replay
+  // buffer, RNG stream, episode counter and exploration-decay position, in
+  // an atomic CRC-protected checkpoint file (src/util/checkpoint.h).
+  // Training resumed from such a checkpoint is bit-identical to a run that
+  // was never interrupted.
+  void SaveState(const std::string& path) const;
+  void LoadState(const std::string& path);
+
+  int episodes_done() const { return episodes_done_; }
 
  private:
   LearnerConfig config_;
@@ -65,6 +84,10 @@ class Learner {
   std::unique_ptr<Td3Trainer> trainer_;
   std::unique_ptr<ReplayBuffer> buffer_;
   int episodes_done_ = 0;
+  // Exploration-decay horizon in episodes; fixed at the first Train() call
+  // (or from config) and carried across checkpoints so resumed runs continue
+  // the same noise schedule.
+  int decay_horizon_ = 0;
 };
 
 }  // namespace astraea

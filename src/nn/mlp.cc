@@ -638,6 +638,36 @@ Adam::Adam(size_t parameter_count, float lr, float beta1, float beta2, float eps
     : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps), m_(parameter_count, 0.0f),
       v_(parameter_count, 0.0f) {}
 
+void Adam::SaveState(BinaryWriter* writer) const {
+  writer->WriteF32(lr_);
+  writer->WriteF32(beta1_);
+  writer->WriteF32(beta2_);
+  writer->WriteF32(eps_);
+  writer->WriteU64(static_cast<uint64_t>(t_));
+  writer->WriteFloatVec(m_);
+  writer->WriteFloatVec(v_);
+}
+
+void Adam::LoadState(BinaryReader* reader) {
+  const float lr = reader->ReadF32();
+  const float beta1 = reader->ReadF32();
+  const float beta2 = reader->ReadF32();
+  const float eps = reader->ReadF32();
+  const uint64_t t = reader->ReadU64();
+  std::vector<float> m = reader->ReadFloatVec();
+  std::vector<float> v = reader->ReadFloatVec();
+  if (m.size() != m_.size() || v.size() != v_.size()) {
+    throw SerializationError("Adam state size mismatch in checkpoint");
+  }
+  lr_ = lr;
+  beta1_ = beta1;
+  beta2_ = beta2;
+  eps_ = eps;
+  t_ = static_cast<int64_t>(t);
+  m_ = std::move(m);
+  v_ = std::move(v);
+}
+
 ASTRAEA_HOT_CLONES
 void Adam::Step(std::span<float> params, std::span<const float> grads, float scale) {
   ASTRAEA_CHECK(params.size() == m_.size());

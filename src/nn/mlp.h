@@ -156,6 +156,12 @@ class Adam {
   void set_lr(float lr) { lr_ = lr; }
   int64_t steps() const { return t_; }
 
+  // Full optimizer-state (de)serialization: hyperparameters, step count and
+  // both moment vectors. LoadState validates the moment-vector length against
+  // this instance's parameter count and throws SerializationError on mismatch.
+  void SaveState(BinaryWriter* writer) const;
+  void LoadState(BinaryReader* reader);
+
  private:
   float lr_;
   float beta1_;

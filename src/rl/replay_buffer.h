@@ -13,6 +13,7 @@
 
 #include "src/util/logging.h"
 #include "src/util/rng.h"
+#include "src/util/serialization.h"
 
 namespace astraea {
 
@@ -57,6 +58,52 @@ class ReplayBuffer {
       idx = static_cast<size_t>(rng->UniformInt(0, static_cast<int64_t>(entries_.size()) - 1));
     }
     return out;
+  }
+
+  // Serializes the entire buffer — ring contents, write cursor and lifetime
+  // counter — so a resumed training run samples exactly what an uninterrupted
+  // one would.
+  void Save(BinaryWriter* writer) const {
+    writer->WriteU64(capacity_);
+    writer->WriteU64(write_pos_);
+    writer->WriteU64(total_added_);
+    writer->WriteU64(entries_.size());
+    for (const Transition& t : entries_) {
+      writer->WriteFloatVec(t.global_state);
+      writer->WriteFloatVec(t.local_state);
+      writer->WriteFloatVec(t.action);
+      writer->WriteF32(t.reward);
+      writer->WriteFloatVec(t.next_global_state);
+      writer->WriteFloatVec(t.next_local_state);
+      writer->WriteU32(t.terminal ? 1 : 0);
+    }
+  }
+
+  void Load(BinaryReader* reader) {
+    const uint64_t capacity = reader->ReadU64();
+    const uint64_t write_pos = reader->ReadU64();
+    const uint64_t total_added = reader->ReadU64();
+    const uint64_t count = reader->ReadU64();
+    if (capacity == 0 || count > capacity || write_pos >= capacity) {
+      throw SerializationError("inconsistent replay buffer geometry in checkpoint");
+    }
+    std::vector<Transition> entries;
+    entries.reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      Transition t;
+      t.global_state = reader->ReadFloatVec();
+      t.local_state = reader->ReadFloatVec();
+      t.action = reader->ReadFloatVec();
+      t.reward = reader->ReadF32();
+      t.next_global_state = reader->ReadFloatVec();
+      t.next_local_state = reader->ReadFloatVec();
+      t.terminal = reader->ReadU32() != 0;
+      entries.push_back(std::move(t));
+    }
+    capacity_ = capacity;
+    write_pos_ = write_pos;
+    total_added_ = total_added;
+    entries_ = std::move(entries);
   }
 
  private:

@@ -309,6 +309,13 @@ Td3Diagnostics Td3Trainer::UpdateReference(const ReplayBuffer& buffer, Rng* rng)
 void Td3Trainer::SaveActor(const std::string& path) const {
   BinaryWriter writer(path);
   actor_->Save(&writer);
+  // Write* throws as soon as the stream goes bad, but buffered bytes can
+  // still fail at the final flush (disk full) — surface that too instead of
+  // leaving a silently truncated checkpoint behind.
+  writer.Flush();
+  if (!writer.ok()) {
+    throw SerializationError("actor checkpoint left in bad state: " + path);
+  }
 }
 
 void Td3Trainer::LoadActor(const std::string& path) {
@@ -316,6 +323,56 @@ void Td3Trainer::LoadActor(const std::string& path) {
   Mlp loaded = Mlp::Load(&reader);
   actor_->CopyParamsFrom(loaded);
   target_actor_->CopyParamsFrom(loaded);
+}
+
+namespace {
+
+constexpr uint32_t kTd3StateMagic = 0x41'53'54'44;  // "ASTD"
+constexpr uint32_t kTd3StateVersion = 1;
+
+// Loads one network section and copies it into `dst`, enforcing shape match.
+void LoadInto(BinaryReader* reader, Mlp* dst, const char* which) {
+  Mlp loaded = Mlp::Load(reader);
+  if (loaded.dims() != dst->dims()) {
+    throw SerializationError(std::string("TD3 checkpoint shape mismatch for ") + which);
+  }
+  dst->CopyParamsFrom(loaded);
+}
+
+}  // namespace
+
+void Td3Trainer::SaveState(BinaryWriter* writer) const {
+  writer->WriteU32(kTd3StateMagic);
+  writer->WriteU32(kTd3StateVersion);
+  actor_->Save(writer);
+  critic1_->Save(writer);
+  critic2_->Save(writer);
+  target_actor_->Save(writer);
+  target_critic1_->Save(writer);
+  target_critic2_->Save(writer);
+  actor_opt_->SaveState(writer);
+  critic1_opt_->SaveState(writer);
+  critic2_opt_->SaveState(writer);
+  writer->WriteU64(static_cast<uint64_t>(update_count_));
+}
+
+void Td3Trainer::LoadState(BinaryReader* reader) {
+  if (reader->ReadU32() != kTd3StateMagic) {
+    throw SerializationError("bad TD3 training-state magic");
+  }
+  if (reader->ReadU32() != kTd3StateVersion) {
+    throw SerializationError("unsupported TD3 training-state version");
+  }
+  LoadInto(reader, actor_.get(), "actor");
+  LoadInto(reader, critic1_.get(), "critic1");
+  LoadInto(reader, critic2_.get(), "critic2");
+  LoadInto(reader, target_actor_.get(), "target actor");
+  LoadInto(reader, target_critic1_.get(), "target critic1");
+  LoadInto(reader, target_critic2_.get(), "target critic2");
+  actor_opt_->LoadState(reader);
+  critic1_opt_->LoadState(reader);
+  critic2_opt_->LoadState(reader);
+  update_count_ = static_cast<int64_t>(reader->ReadU64());
 }
 
 }  // namespace astraea

@@ -69,8 +69,19 @@ class Td3Trainer {
   Mlp& mutable_actor() { return *actor_; }
   const Mlp& critic1() const { return *critic1_; }
 
+  // Deployment/policy artifact: actor weights only, in the stable MLP format
+  // consumed by MlpPolicy::LoadFromFile. Throws SerializationError if the
+  // write cannot be completed (disk full, bad path).
   void SaveActor(const std::string& path) const;
   void LoadActor(const std::string& path);
+
+  // Full training state — actor, both critics, all three target networks,
+  // all three Adam optimizers and the update counter — for crash-safe
+  // resume. Streams (not files) so the Learner can embed this in its own
+  // checkpoint payload. LoadState validates network shapes against this
+  // instance and throws SerializationError on any mismatch.
+  void SaveState(BinaryWriter* writer) const;
+  void LoadState(BinaryReader* reader);
 
   int64_t update_count() const { return update_count_; }
 

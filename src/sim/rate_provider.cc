@@ -133,6 +133,13 @@ void SaveMahimahiTrace(const RateTrace& trace, const std::string& path, TimeNs d
       out << (t / kNanosPerMilli) << "\n";
       credit_bits -= bits_per_pkt;
     }
+    if (!out.good()) {
+      throw SerializationError("trace write failed (disk full?): " + path);
+    }
+  }
+  out.flush();
+  if (!out.good()) {
+    throw SerializationError("trace flush failed (disk full?): " + path);
   }
 }
 

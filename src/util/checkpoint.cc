@@ -1,0 +1,167 @@
+#include "src/util/checkpoint.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#include "src/util/failpoint.h"
+
+namespace astraea {
+
+namespace {
+
+std::array<uint32_t, 256> BuildCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+std::string Errno(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+// write(2) loop that survives partial writes and EINTR.
+void WriteAllOrThrow(int fd, const char* data, size_t n, const std::string& path) {
+  while (n > 0) {
+    const ssize_t w = ::write(fd, data, n);
+    if (w < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      const int saved = errno;
+      ::close(fd);
+      errno = saved;
+      throw SerializationError(Errno("checkpoint write to " + path + " failed"));
+    }
+    data += w;
+    n -= static_cast<size_t>(w);
+  }
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::string ReadAndVerify(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw SerializationError("cannot open checkpoint: " + path);
+  }
+  std::string blob((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  if (!in.good() && !in.eof()) {
+    throw SerializationError("failed reading checkpoint: " + path);
+  }
+  if (blob.size() < kCheckpointFooterSize) {
+    throw SerializationError("checkpoint too short for footer: " + path);
+  }
+  const char* footer = blob.data() + blob.size() - kCheckpointFooterSize;
+  uint64_t payload_size;
+  uint32_t crc;
+  uint32_t magic;
+  std::memcpy(&payload_size, footer, sizeof(payload_size));
+  std::memcpy(&crc, footer + 8, sizeof(crc));
+  std::memcpy(&magic, footer + 12, sizeof(magic));
+  if (magic != kCheckpointFooterMagic) {
+    throw SerializationError("bad checkpoint footer magic: " + path);
+  }
+  if (payload_size != blob.size() - kCheckpointFooterSize) {
+    throw SerializationError("checkpoint payload size mismatch (truncated?): " + path);
+  }
+  if (Crc32(blob.data(), payload_size) != crc) {
+    throw SerializationError("checkpoint CRC mismatch (corrupt): " + path);
+  }
+  blob.resize(payload_size);
+  return blob;
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t len) {
+  static const std::array<uint32_t, 256> table = BuildCrcTable();
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint32_t c = 0xFFFFFFFFu;
+  for (size_t i = 0; i < len; ++i) {
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+CheckpointWriter::CheckpointWriter(std::string path)
+    : path_(std::move(path)), writer_(&buf_) {}
+
+void CheckpointWriter::Commit() {
+  if (committed_) {
+    throw SerializationError("checkpoint already committed: " + path_);
+  }
+  std::string blob = buf_.str();
+  const uint64_t payload_size = blob.size();
+  const uint32_t crc = Crc32(blob.data(), blob.size());
+  PutU64(&blob, payload_size);
+  PutU32(&blob, crc);
+  PutU32(&blob, kCheckpointFooterMagic);
+
+  const std::string tmp = path_ + ".tmp";
+  ASTRAEA_FAILPOINT("ckpt.commit.begin");
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    throw SerializationError(Errno("cannot create checkpoint tmp file " + tmp));
+  }
+  // Two half-writes with a failpoint between them let tests inject a torn
+  // write — the on-disk state a real crash mid-write(2) would leave behind.
+  const size_t half = blob.size() / 2;
+  WriteAllOrThrow(fd, blob.data(), half, tmp);
+  ASTRAEA_FAILPOINT("ckpt.commit.torn_write");
+  WriteAllOrThrow(fd, blob.data() + half, blob.size() - half, tmp);
+  ASTRAEA_FAILPOINT("ckpt.commit.before_fsync");
+  if (::fsync(fd) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw SerializationError(Errno("fsync of checkpoint tmp file " + tmp + " failed"));
+  }
+  if (::close(fd) != 0) {
+    throw SerializationError(Errno("close of checkpoint tmp file " + tmp + " failed"));
+  }
+  ASTRAEA_FAILPOINT("ckpt.commit.before_rename");
+  if (::rename(tmp.c_str(), path_.c_str()) != 0) {
+    throw SerializationError(Errno("rename " + tmp + " -> " + path_ + " failed"));
+  }
+  ASTRAEA_FAILPOINT("ckpt.commit.before_dirsync");
+  // Make the directory entry durable too; without this the rename itself can
+  // be lost on power failure even though both files' contents were synced.
+  std::string dir = path_;
+  const size_t slash = dir.find_last_of('/');
+  dir = slash == std::string::npos ? "." : dir.substr(0, slash + 1);
+  const int dirfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dirfd < 0) {
+    throw SerializationError(Errno("cannot open checkpoint directory " + dir));
+  }
+  if (::fsync(dirfd) != 0) {
+    const int saved = errno;
+    ::close(dirfd);
+    errno = saved;
+    throw SerializationError(Errno("fsync of checkpoint directory " + dir + " failed"));
+  }
+  ::close(dirfd);
+  committed_ = true;
+}
+
+CheckpointReader::CheckpointReader(const std::string& path)
+    : buf_(ReadAndVerify(path)), reader_(&buf_) {}
+
+}  // namespace astraea

@@ -1,0 +1,74 @@
+// Durable, corruption-evident checkpoint container.
+//
+// A checkpoint file is [payload bytes][footer]; the footer is
+//   u64 payload_size | u32 crc32(payload) | u32 kFooterMagic
+// (16 bytes, little-endian). The payload is an ordinary BinaryWriter stream;
+// the container does not interpret it.
+//
+// Durability protocol (CheckpointWriter::Commit):
+//   1. write payload+footer to "<path>.tmp"
+//   2. fsync the tmp file
+//   3. rename(tmp, path)        — atomic on POSIX
+//   4. fsync the parent directory
+// A crash at any step leaves either the previous checkpoint intact (steps
+// 1-3) or the new one fully in place (step 4); a torn write is caught by the
+// CRC/footer check on load. Every step is failpoint-instrumented (see
+// failpoint.h) so tests can prove this.
+//
+// CheckpointReader verifies footer magic, size and CRC up front and throws
+// SerializationError on any mismatch — a corrupt checkpoint never parses.
+
+#ifndef SRC_UTIL_CHECKPOINT_H_
+#define SRC_UTIL_CHECKPOINT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "src/util/serialization.h"
+
+namespace astraea {
+
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), the zlib convention:
+// Crc32("123456789") == 0xCBF43926.
+uint32_t Crc32(const void* data, size_t len);
+
+inline constexpr uint32_t kCheckpointFooterMagic = 0x4153434Bu;  // "ASCK"
+inline constexpr size_t kCheckpointFooterSize = 16;
+
+class CheckpointWriter {
+ public:
+  explicit CheckpointWriter(std::string path);
+
+  // Payload sink; buffered in memory until Commit().
+  BinaryWriter* payload() { return &writer_; }
+
+  // Runs the durability protocol above. Throws SerializationError on any I/O
+  // failure (the previous checkpoint at `path`, if any, is left untouched).
+  // Must be called at most once.
+  void Commit();
+
+ private:
+  std::string path_;
+  std::ostringstream buf_;
+  BinaryWriter writer_;
+  bool committed_ = false;
+};
+
+class CheckpointReader {
+ public:
+  // Reads the whole file and verifies footer magic, payload size and CRC;
+  // throws SerializationError if anything is off.
+  explicit CheckpointReader(const std::string& path);
+
+  BinaryReader* payload() { return &reader_; }
+
+ private:
+  std::istringstream buf_;  // must be initialized before reader_
+  BinaryReader reader_;
+};
+
+}  // namespace astraea
+
+#endif  // SRC_UTIL_CHECKPOINT_H_

@@ -1,0 +1,75 @@
+// Strict numeric parsing for tool command lines.
+//
+// The tools historically used bare atoi/atof, which silently turn
+// "--episodes banana" into 0 and accept out-of-range values. These helpers
+// require the whole token to parse and the value to sit inside a
+// caller-declared range; on violation they print one clear line to stderr
+// and exit(1). CLI-only by design — library code should never exit.
+
+#ifndef SRC_UTIL_CLI_FLAGS_H_
+#define SRC_UTIL_CLI_FLAGS_H_
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+namespace astraea {
+namespace cli {
+
+[[noreturn]] inline void FlagError(const char* flag, const char* value, const char* why) {
+  std::fprintf(stderr, "invalid value for %s: '%s' (%s)\n", flag, value, why);
+  std::exit(1);
+}
+
+inline int64_t ParseInt(const char* flag, const char* value, int64_t lo, int64_t hi) {
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(value, &end, 10);
+  if (end == value || *end != '\0') {
+    FlagError(flag, value, "not an integer");
+  }
+  if (errno == ERANGE || v < lo || v > hi) {
+    char why[96];
+    std::snprintf(why, sizeof(why), "must be in [%" PRId64 ", %" PRId64 "]", lo, hi);
+    FlagError(flag, value, why);
+  }
+  return v;
+}
+
+inline uint64_t ParseU64(const char* flag, const char* value) {
+  errno = 0;
+  char* end = nullptr;
+  if (value[0] == '-') {
+    FlagError(flag, value, "must be non-negative");
+  }
+  const unsigned long long v = std::strtoull(value, &end, 10);
+  if (end == value || *end != '\0') {
+    FlagError(flag, value, "not an integer");
+  }
+  if (errno == ERANGE) {
+    FlagError(flag, value, "out of range for uint64");
+  }
+  return v;
+}
+
+inline double ParseDouble(const char* flag, const char* value, double lo, double hi) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(value, &end);
+  if (end == value || *end != '\0') {
+    FlagError(flag, value, "not a number");
+  }
+  if (errno == ERANGE || !(v >= lo && v <= hi)) {  // !(>=) also rejects NaN
+    char why[96];
+    std::snprintf(why, sizeof(why), "must be in [%g, %g]", lo, hi);
+    FlagError(flag, value, why);
+  }
+  return v;
+}
+
+}  // namespace cli
+}  // namespace astraea
+
+#endif  // SRC_UTIL_CLI_FLAGS_H_

@@ -1,0 +1,145 @@
+#include "src/util/failpoint.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+namespace astraea {
+namespace failpoint {
+
+std::atomic<bool> g_any_armed{false};
+
+namespace {
+
+struct Entry {
+  long remaining = 0;  // trigger when a hit decrements this to zero
+  bool throws = false;
+};
+
+std::mutex& RegistryMutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::map<std::string, Entry>& Registry() {
+  static std::map<std::string, Entry> r;
+  return r;
+}
+
+void RecomputeArmed() {
+  bool armed = false;
+  for (const auto& [name, e] : Registry()) {
+    if (e.remaining > 0) {
+      armed = true;
+      break;
+    }
+  }
+  g_any_armed.store(armed, std::memory_order_relaxed);
+}
+
+void ConfigureLocked(const std::string& spec) {
+  Registry().clear();
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t end = spec.find(',', pos);
+    if (end == std::string::npos) {
+      end = spec.size();
+    }
+    const std::string item = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (item.empty()) {
+      continue;
+    }
+    const size_t eq = item.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw std::invalid_argument("failpoint spec item missing 'site=N': " + item);
+    }
+    const std::string site = item.substr(0, eq);
+    std::string count = item.substr(eq + 1);
+    Entry e;
+    const size_t colon = count.find(':');
+    if (colon != std::string::npos) {
+      const std::string action = count.substr(colon + 1);
+      count.resize(colon);
+      if (action == "throw") {
+        e.throws = true;
+      } else if (action != "crash") {
+        throw std::invalid_argument("unknown failpoint action: " + action);
+      }
+    }
+    char* parse_end = nullptr;
+    e.remaining = std::strtol(count.c_str(), &parse_end, 10);
+    if (parse_end == count.c_str() || *parse_end != '\0' || e.remaining <= 0) {
+      throw std::invalid_argument("bad failpoint count in: " + item);
+    }
+    Registry()[site] = e;
+  }
+  RecomputeArmed();
+}
+
+// Parse ASTRAEA_FAILPOINTS before main so the g_any_armed fast path can never
+// miss an env-armed site.
+struct EnvInit {
+  EnvInit() {
+    const char* env = std::getenv("ASTRAEA_FAILPOINTS");
+    if (env != nullptr && env[0] != '\0') {
+      try {
+        std::lock_guard<std::mutex> lock(RegistryMutex());
+        ConfigureLocked(env);
+      } catch (const std::invalid_argument& e) {
+        // Runs before main: exit cleanly instead of letting the exception
+        // escape a static initializer and terminate().
+        std::fprintf(stderr, "bad ASTRAEA_FAILPOINTS: %s\n", e.what());
+        std::exit(2);
+      }
+    }
+  }
+};
+const EnvInit g_env_init;
+
+}  // namespace
+
+void Configure(const std::string& spec) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  ConfigureLocked(spec);
+}
+
+void Clear() {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  Registry().clear();
+  RecomputeArmed();
+}
+
+bool IsArmed(const char* site) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  const auto it = Registry().find(site);
+  return it != Registry().end() && it->second.remaining > 0;
+}
+
+void Hit(const char* site) {
+  bool do_throw = false;
+  {
+    std::lock_guard<std::mutex> lock(RegistryMutex());
+    const auto it = Registry().find(site);
+    if (it == Registry().end() || it->second.remaining <= 0) {
+      return;
+    }
+    if (--it->second.remaining > 0) {
+      return;
+    }
+    do_throw = it->second.throws;
+    RecomputeArmed();
+  }
+  if (do_throw) {
+    throw Injected(std::string("failpoint triggered: ") + site);
+  }
+  // Hard crash: no stream flushing, no atexit handlers, no destructors —
+  // whatever is not already durable on disk is lost, as in a real kill.
+  ::_exit(kCrashExitCode);
+}
+
+}  // namespace failpoint
+}  // namespace astraea

@@ -9,6 +9,9 @@
 
 #include <cstdint>
 #include <random>
+#include <sstream>
+
+#include "src/util/serialization.h"
 
 namespace astraea {
 
@@ -58,6 +61,23 @@ class Rng {
   bool Bernoulli(double p) { return Uniform() < p; }
 
   std::mt19937_64& engine() { return engine_; }
+
+  // Full stream-state capture for deterministic resume: serializes the
+  // mt19937_64 engine and the cached uniform distribution via their standard
+  // text representations (exact — engine state is integral).
+  void SaveState(BinaryWriter* writer) const {
+    std::ostringstream os;
+    os << engine_ << ' ' << uniform_;
+    writer->WriteString(os.str());
+  }
+
+  void LoadState(BinaryReader* reader) {
+    std::istringstream is(reader->ReadString());
+    is >> engine_ >> uniform_;
+    if (!is) {
+      throw SerializationError("corrupt RNG state in checkpoint");
+    }
+  }
 
  private:
   std::mt19937_64 engine_;

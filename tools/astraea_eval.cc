@@ -28,8 +28,15 @@ struct Score {
 int Main(int argc, char** argv) {
   std::string model;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--model") == 0 && i + 1 < argc) {
+    if (std::strcmp(argv[i], "--model") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for --model\n");
+        return 1;
+      }
       model = argv[++i];
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 1;
     }
   }
   SchemeOptions options;

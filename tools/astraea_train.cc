@@ -2,19 +2,29 @@
 //
 //   astraea_train --episodes 80 --out models/astraea_policy.ckpt [--seed 7]
 //                 [--episode-len 30] [--envs 4] [--print-config]
+//                 [--resume models/astraea_policy.ckpt.state-40]
+//                 [--checkpoint-every 10] [--keep 3]
 //
 // Episodes are sampled from the Table-3 ranges (bandwidth 40-160 Mbps, RTT
 // 10-140 ms, buffer 0.1-16 BDP, 2-5 flows with heterogeneous RTTs and Poisson
 // arrivals). Every 5 s of environment time the learner performs 20 TD3
 // updates on the shared replay buffer. Every 10 episodes a deterministic
 // 3-flow evaluation reports the average Jain index.
+//
+// Crash safety: every --checkpoint-every episodes the full training state
+// (networks, optimizers, replay buffer, RNG stream, episode counter) is
+// written atomically to "<out>.state-<episode>", keeping the last --keep
+// files. --episodes is the TOTAL target, so after a crash, rerunning the
+// same command with --resume pointing at the newest state file continues to
+// the same end state — bit-identical to a run that was never interrupted.
 
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
+#include <deque>
 #include <string>
 
 #include "src/core/learner.h"
+#include "src/util/cli_flags.h"
 
 namespace astraea {
 namespace {
@@ -24,6 +34,9 @@ int Main(int argc, char** argv) {
   int env_instances = 1;
   double episode_len_s = 30.0;
   std::string out = "models/astraea_policy.ckpt";
+  std::string resume;
+  int checkpoint_every = 10;
+  int keep = 3;
   uint64_t seed = 7;
   bool print_config = false;
 
@@ -36,15 +49,21 @@ int Main(int argc, char** argv) {
       return argv[++i];
     };
     if (std::strcmp(argv[i], "--episodes") == 0) {
-      episodes = std::atoi(next());
+      episodes = static_cast<int>(cli::ParseInt("--episodes", next(), 1, 1'000'000));
     } else if (std::strcmp(argv[i], "--episode-len") == 0) {
-      episode_len_s = std::atof(next());
+      episode_len_s = cli::ParseDouble("--episode-len", next(), 0.1, 36000.0);
     } else if (std::strcmp(argv[i], "--envs") == 0) {
-      env_instances = std::atoi(next());
+      env_instances = static_cast<int>(cli::ParseInt("--envs", next(), 1, 64));
     } else if (std::strcmp(argv[i], "--out") == 0) {
       out = next();
+    } else if (std::strcmp(argv[i], "--resume") == 0) {
+      resume = next();
+    } else if (std::strcmp(argv[i], "--checkpoint-every") == 0) {
+      checkpoint_every = static_cast<int>(cli::ParseInt("--checkpoint-every", next(), 0, 1'000'000));
+    } else if (std::strcmp(argv[i], "--keep") == 0) {
+      keep = static_cast<int>(cli::ParseInt("--keep", next(), 1, 1000));
     } else if (std::strcmp(argv[i], "--seed") == 0) {
-      seed = std::strtoull(next(), nullptr, 10);
+      seed = cli::ParseU64("--seed", next());
     } else if (std::strcmp(argv[i], "--print-config") == 0) {
       print_config = true;
     } else {
@@ -57,6 +76,9 @@ int Main(int argc, char** argv) {
   config.seed = seed;
   config.episode_length = Seconds(episode_len_s);
   config.env_instances = env_instances;
+  // Pin the noise schedule to the total target so checkpointed/resumed runs
+  // and straight-through runs follow identical decay.
+  config.exploration_decay_episodes = episodes;
 
   if (print_config) {
     std::printf("%s", DescribeConfig(config.hp, config.ranges).c_str());
@@ -64,13 +86,44 @@ int Main(int argc, char** argv) {
   }
 
   Learner learner(config);
-  std::printf("training Astraea for %d episodes (episode length %.0fs)\n", episodes,
-              episode_len_s);
+  if (!resume.empty()) {
+    try {
+      learner.LoadState(resume);
+    } catch (const SerializationError& e) {
+      std::fprintf(stderr, "cannot resume from %s: %s\n", resume.c_str(), e.what());
+      return 1;
+    }
+    std::printf("resumed from %s at episode %d\n", resume.c_str(), learner.episodes_done());
+  }
+  const int remaining = episodes - learner.episodes_done();
+  if (remaining <= 0) {
+    std::printf("checkpoint already at episode %d >= target %d; nothing to do\n",
+                learner.episodes_done(), episodes);
+    return 0;
+  }
+
+  std::printf("training Astraea to episode %d (%d to go, episode length %.0fs)\n", episodes,
+              remaining, episode_len_s);
   std::printf("%-8s %-12s %-10s %-10s %-12s %-10s\n", "episode", "mean_reward", "r_fair",
               "r_thr", "critic_loss", "eval_jain");
 
+  // Last-K rotation of full-state checkpoints written by this process. Files
+  // from a previous (crashed) run are left alone — the one being resumed
+  // from must survive, and a rerun regenerates the same episodes anyway.
+  std::deque<std::string> state_files;
+  auto save_state = [&](int episode) {
+    const std::string path = out + ".state-" + std::to_string(episode);
+    learner.SaveState(path);
+    state_files.push_back(path);
+    while (static_cast<int>(state_files.size()) > keep) {
+      std::remove(state_files.front().c_str());
+      state_files.pop_front();
+    }
+    return path;
+  };
+
   double best_jain = -1.0;
-  learner.Train(episodes, [&](const EpisodeDiagnostics& d) {
+  learner.Train(remaining, [&](const EpisodeDiagnostics& d) {
     std::printf("%-8d %-12.4f %-10.4f %-10.3f %-12.5f ", d.episode, d.env.mean_reward,
                 d.env.mean_r_fair, d.env.mean_r_thr, d.td3.critic_loss);
     if (d.eval_jain >= 0.0) {
@@ -81,11 +134,19 @@ int Main(int argc, char** argv) {
         std::printf("  [checkpoint saved]");
       }
     }
+    if (checkpoint_every > 0 && d.episode % checkpoint_every == 0) {
+      const std::string path = save_state(d.episode);
+      std::printf("  [state %s]", path.c_str());
+    }
     std::printf("\n");
     std::fflush(stdout);
   });
 
-  // Always leave a final checkpoint behind if evaluation never improved.
+  // Leave a resumable state file at the exact end of the run, plus a final
+  // policy artifact if evaluation never improved.
+  if (checkpoint_every > 0 && learner.episodes_done() % checkpoint_every != 0) {
+    save_state(learner.episodes_done());
+  }
   if (best_jain < 0.0) {
     learner.SaveCheckpoint(out);
   }

@@ -15,6 +15,7 @@
 #include "src/rl/replay_buffer.h"
 #include "src/rl/td3.h"
 #include "src/sim/network.h"
+#include "src/util/cli_flags.h"
 #include "src/util/rng.h"
 
 namespace astraea {
@@ -101,11 +102,11 @@ int Main(int argc, char** argv) {
       return argv[++i];
     };
     if (std::strcmp(argv[i], "--episodes") == 0) {
-      episodes = std::atoi(next());
+      episodes = static_cast<int>(cli::ParseInt("--episodes", next(), 1, 1'000'000));
     } else if (std::strcmp(argv[i], "--out") == 0) {
       out = next();
     } else if (std::strcmp(argv[i], "--seed") == 0) {
-      seed = std::strtoull(next(), nullptr, 10);
+      seed = cli::ParseU64("--seed", next());
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return 1;

@@ -16,6 +16,7 @@
 #include "bench/harness/metrics.h"
 #include "bench/harness/scenario.h"
 #include "bench/harness/table.h"
+#include "src/util/cli_flags.h"
 
 namespace astraea {
 namespace {
@@ -50,23 +51,23 @@ Args Parse(int argc, char** argv) {
     if (std::strcmp(argv[i], "--scheme") == 0) {
       a.scheme = next("--scheme");
     } else if (std::strcmp(argv[i], "--flows") == 0) {
-      a.flows = std::atoi(next("--flows"));
+      a.flows = static_cast<int>(cli::ParseInt("--flows", next("--flows"), 1, 10000));
     } else if (std::strcmp(argv[i], "--bw") == 0) {
-      a.bw_mbps = std::atof(next("--bw"));
+      a.bw_mbps = cli::ParseDouble("--bw", next("--bw"), 0.001, 1e6);
     } else if (std::strcmp(argv[i], "--rtt") == 0) {
-      a.rtt_ms = std::atof(next("--rtt"));
+      a.rtt_ms = cli::ParseDouble("--rtt", next("--rtt"), 0.01, 60000.0);
     } else if (std::strcmp(argv[i], "--buffer") == 0) {
-      a.buffer_bdp = std::atof(next("--buffer"));
+      a.buffer_bdp = cli::ParseDouble("--buffer", next("--buffer"), 0.001, 10000.0);
     } else if (std::strcmp(argv[i], "--loss") == 0) {
-      a.loss = std::atof(next("--loss"));
+      a.loss = cli::ParseDouble("--loss", next("--loss"), 0.0, 1.0);
     } else if (std::strcmp(argv[i], "--interval") == 0) {
-      a.interval_s = std::atof(next("--interval"));
+      a.interval_s = cli::ParseDouble("--interval", next("--interval"), 0.0, 1e6);
     } else if (std::strcmp(argv[i], "--duration") == 0) {
-      a.duration_s = std::atof(next("--duration"));
+      a.duration_s = cli::ParseDouble("--duration", next("--duration"), -1.0, 1e6);
     } else if (std::strcmp(argv[i], "--until") == 0) {
-      a.until_s = std::atof(next("--until"));
+      a.until_s = cli::ParseDouble("--until", next("--until"), 0.1, 1e6);
     } else if (std::strcmp(argv[i], "--seed") == 0) {
-      a.seed = std::strtoull(next("--seed"), nullptr, 10);
+      a.seed = cli::ParseU64("--seed", next("--seed"));
     } else if (std::strcmp(argv[i], "--qdisc") == 0) {
       a.qdisc = next("--qdisc");
     } else if (std::strcmp(argv[i], "--trace") == 0) {
