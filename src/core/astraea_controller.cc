@@ -139,6 +139,11 @@ void AstraeaController::OnMtpTick(const MtpReport& report) {
   }
   last_action_ = action;
   cwnd_ = ApplyActionToCwnd(cwnd_, action, hp_.action_alpha, mss_);
+  if (tracer_ != nullptr) {
+    tracer_->Record(report.now, TraceEventType::kAction, trace_flow_id_, -1,
+                    static_cast<uint64_t>(epoch_index), action,
+                    static_cast<double>(cwnd_));
+  }
 }
 
 }  // namespace astraea

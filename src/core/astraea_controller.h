@@ -44,6 +44,13 @@ class AstraeaController : public CongestionController {
   std::optional<double> pacing_bps() const override;
   std::string name() const override { return "astraea"; }
 
+  // Records one kAction event per MTP decision (a = applied action in [-1,1],
+  // b = resulting cwnd in bytes).
+  void set_tracer(Tracer* tracer, int32_t flow_id) override {
+    tracer_ = tracer;
+    trace_flow_id_ = flow_id;
+  }
+
   bool in_slow_start() const { return slow_start_; }
   bool draining() const { return draining_; }
   double last_action() const { return last_action_; }
@@ -62,6 +69,8 @@ class AstraeaController : public CongestionController {
   AstraeaHyperparameters hp_;
   StateBlock state_block_;
   ActionHook hook_;
+  Tracer* tracer_ = nullptr;
+  int32_t trace_flow_id_ = -1;
 
   uint32_t mss_ = 1500;
   uint64_t cwnd_ = 0;

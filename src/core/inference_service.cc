@@ -1,9 +1,11 @@
 #include "src/core/inference_service.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "src/util/failpoint.h"
 #include "src/util/logging.h"
+#include "src/util/metrics.h"
 
 namespace astraea {
 
@@ -38,7 +40,14 @@ size_t InferenceService::Flush() {
 
   // Copy the scores out of the actor's scratch so a reentrant Flush cannot
   // clobber them under us (out_dim is 1 for the paper's actor — this is tiny).
+  const auto flush_start = std::chrono::steady_clock::now();
   const std::vector<float> out = actor_.InferBatch(states, batch);
+  const double flush_us = std::chrono::duration<double, std::micro>(
+                              std::chrono::steady_clock::now() - flush_start)
+                              .count();
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.GetHistogram("inference.batch_size").Observe(static_cast<double>(batch));
+  reg.GetHistogram("inference.flush_latency_us").Observe(flush_us);
   const size_t out_dim = static_cast<size_t>(actor_.output_size());
   for (size_t i = 0; i < batch; ++i) {
     if (callbacks[i]) {

@@ -5,6 +5,7 @@
 #include "src/util/checkpoint.h"
 #include "src/util/failpoint.h"
 #include "src/util/logging.h"
+#include "src/util/metrics.h"
 
 namespace astraea {
 
@@ -73,9 +74,25 @@ void Learner::Train(int episodes,
     diag.episode = episodes_done_;
     diag.env = stats;
     diag.td3 = last_td3;
+    diag.replay_size = buffer_->size();
+    diag.exploration_noise = noise;
     if (episodes_done_ % 10 == 0) {
       diag.eval_jain = EvaluateFairness();
     }
+
+    // Mirror the episode into the process-wide registry so any embedding
+    // binary can scrape training health without threading callbacks through.
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    reg.GetCounter("learner.episodes").Increment();
+    reg.GetGauge("learner.replay_size").Set(static_cast<double>(buffer_->size()));
+    reg.GetGauge("learner.exploration_noise").Set(noise);
+    reg.GetHistogram("learner.episode_reward").Observe(stats.mean_reward);
+    reg.GetHistogram("learner.critic_loss").Observe(last_td3.critic_loss);
+    reg.GetHistogram("learner.critic_grad_norm").Observe(last_td3.critic_grad_norm);
+    if (last_td3.actor_grad_norm > 0.0) {
+      reg.GetHistogram("learner.actor_grad_norm").Observe(last_td3.actor_grad_norm);
+    }
+
     if (on_episode) {
       on_episode(diag);
     }

@@ -46,6 +46,8 @@ struct EpisodeDiagnostics {
   EpisodeStats env;
   Td3Diagnostics td3;
   double eval_jain = -1.0;  // filled when an eval ran this episode
+  size_t replay_size = 0;   // replay-buffer occupancy after the episode
+  double exploration_noise = 0.0;  // noise std used this episode
 };
 
 class Learner {

@@ -139,6 +139,9 @@ double MultiFlowEnv::OnDecision(int flow_id, const StateView& view, double propo
     stats_.mean_reward += reward.total;
     stats_.mean_r_fair += reward.r_fair;
     stats_.mean_r_thr += reward.r_thr;
+    stats_.mean_r_lat += reward.r_lat;
+    stats_.mean_r_loss += reward.r_loss;
+    stats_.mean_r_stab += reward.r_stab;
     ++stats_.decisions;
   }
   pending.valid = true;
@@ -161,6 +164,9 @@ EpisodeStats MultiFlowEnv::Run(const std::function<void()>& on_update) {
     stats_.mean_reward /= stats_.decisions;
     stats_.mean_r_fair /= stats_.decisions;
     stats_.mean_r_thr /= stats_.decisions;
+    stats_.mean_r_lat /= stats_.decisions;
+    stats_.mean_r_loss /= stats_.decisions;
+    stats_.mean_r_stab /= stats_.decisions;
   }
   return stats_;
 }

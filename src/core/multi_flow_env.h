@@ -45,10 +45,15 @@ struct EnvEpisodeConfig {
 // start times (§3.2's arrival randomization).
 EnvEpisodeConfig SampleEpisode(const TrainingEnvRanges& ranges, Rng* rng);
 
+// Per-episode means of the total reward and each Eq. 4-8 component, averaged
+// over completed transitions.
 struct EpisodeStats {
   double mean_reward = 0.0;
   double mean_r_fair = 0.0;
   double mean_r_thr = 0.0;
+  double mean_r_lat = 0.0;
+  double mean_r_loss = 0.0;
+  double mean_r_stab = 0.0;
   int decisions = 0;
 };
 

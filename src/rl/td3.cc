@@ -10,8 +10,8 @@ namespace astraea {
 namespace {
 
 // Scales `grads` in place so its global L2 norm is at most `max_norm`
-// (after dividing by `scale`, the batch size).
-void ClipGradNorm(std::span<float> grads, float max_norm, float scale) {
+// (after dividing by `scale`, the batch size). Returns the pre-clip norm.
+double ClipGradNorm(std::span<float> grads, float max_norm, float scale) {
   double sq = 0.0;
   for (float g : grads) {
     const double v = g / scale;
@@ -24,6 +24,7 @@ void ClipGradNorm(std::span<float> grads, float max_norm, float scale) {
       g *= factor;
     }
   }
+  return norm;
 }
 
 std::vector<int> WithEndpoints(int in, const std::vector<int>& hidden, int out) {
@@ -174,11 +175,12 @@ Td3Diagnostics Td3Trainer::Update(const ReplayBuffer& buffer, Rng* rng) {
   }
   critic2_->BackwardBatch(scratch_.dq, B, /*need_input_grad=*/false);
   const float batch_scale = static_cast<float>(B);
-  ClipGradNorm(critic1_->grads(), config_.grad_clip_norm, batch_scale);
-  ClipGradNorm(critic2_->grads(), config_.grad_clip_norm, batch_scale);
+  const double c1_norm = ClipGradNorm(critic1_->grads(), config_.grad_clip_norm, batch_scale);
+  const double c2_norm = ClipGradNorm(critic2_->grads(), config_.grad_clip_norm, batch_scale);
   critic1_opt_->Step(critic1_->params(), critic1_->grads(), batch_scale);
   critic2_opt_->Step(critic2_->params(), critic2_->grads(), batch_scale);
   diag.critic_loss = (loss1_acc + loss2_acc) / static_cast<double>(B);
+  diag.critic_grad_norm = 0.5 * (c1_norm + c2_norm);
 
   ++update_count_;
   diag.updates = update_count_;
@@ -209,7 +211,7 @@ Td3Diagnostics Td3Trainer::Update(const ReplayBuffer& buffer, Rng* rng) {
       }
     }
     actor_->BackwardBatch(scratch_.next_action, B, /*need_input_grad=*/false);
-    ClipGradNorm(actor_->grads(), config_.grad_clip_norm, batch_scale);
+    diag.actor_grad_norm = ClipGradNorm(actor_->grads(), config_.grad_clip_norm, batch_scale);
     actor_opt_->Step(actor_->params(), actor_->grads(), batch_scale);
     diag.actor_objective = q_acc / static_cast<double>(B);
 
@@ -262,11 +264,12 @@ Td3Diagnostics Td3Trainer::UpdateReference(const ReplayBuffer& buffer, Rng* rng)
     loss_acc += 0.5 * ((q1 - y) * (q1 - y) + (q2 - y) * (q2 - y));
   }
   const float batch_scale = static_cast<float>(config_.batch_size);
-  ClipGradNorm(critic1_->grads(), config_.grad_clip_norm, batch_scale);
-  ClipGradNorm(critic2_->grads(), config_.grad_clip_norm, batch_scale);
+  const double c1_norm = ClipGradNorm(critic1_->grads(), config_.grad_clip_norm, batch_scale);
+  const double c2_norm = ClipGradNorm(critic2_->grads(), config_.grad_clip_norm, batch_scale);
   critic1_opt_->Step(critic1_->params(), critic1_->grads(), batch_scale);
   critic2_opt_->Step(critic2_->params(), critic2_->grads(), batch_scale);
   diag.critic_loss = loss_acc / config_.batch_size;
+  diag.critic_grad_norm = 0.5 * (c1_norm + c2_norm);
 
   ++update_count_;
   diag.updates = update_count_;
@@ -295,7 +298,7 @@ Td3Diagnostics Td3Trainer::UpdateReference(const ReplayBuffer& buffer, Rng* rng)
       }
       actor_->Backward(dq_da);
     }
-    ClipGradNorm(actor_->grads(), config_.grad_clip_norm, batch_scale);
+    diag.actor_grad_norm = ClipGradNorm(actor_->grads(), config_.grad_clip_norm, batch_scale);
     actor_opt_->Step(actor_->params(), actor_->grads(), batch_scale);
     diag.actor_objective = q_acc / config_.batch_size;
 

@@ -41,6 +41,10 @@ struct Td3Config {
 struct Td3Diagnostics {
   double critic_loss = 0.0;
   double actor_objective = 0.0;  // mean Q under the current policy
+  // Pre-clip global L2 gradient norms (per-sample scale). critic_grad_norm is
+  // the mean of the two critics'; actor_grad_norm stays 0 on non-delayed steps.
+  double critic_grad_norm = 0.0;
+  double actor_grad_norm = 0.0;
   int64_t updates = 0;
 };
 

@@ -17,6 +17,7 @@
 #include <optional>
 #include <string>
 
+#include "src/sim/trace.h"
 #include "src/util/time.h"
 
 namespace astraea {
@@ -72,6 +73,11 @@ class CongestionController {
   virtual std::optional<double> pacing_bps() const { return std::nullopt; }
 
   virtual std::string name() const = 0;
+
+  // Optional event tracing: the sender forwards its tracer (and flow id) so
+  // learning controllers can record per-decision events (kAction). The base
+  // implementation ignores it; schemes that trace override.
+  virtual void set_tracer(Tracer* /*tracer*/, int32_t /*flow_id*/) {}
 };
 
 }  // namespace astraea

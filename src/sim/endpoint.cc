@@ -10,13 +10,20 @@ namespace astraea {
 
 void Receiver::Accept(Packet pkt) {
   received_bytes_ += pkt.size_bytes;
-  // The reverse path is uncongested: deliver the ACK after a pure delay.
+  if (sender_ == nullptr) {
+    return;
+  }
+  // The reverse path is uncongested: deliver the ACK after a pure delay. The
+  // lambda holds only a weak handle — if the sender is torn down before the
+  // ACK lands, the handle has expired and the ACK is silently discarded.
   const uint64_t seq = pkt.seq;
   const TimeNs sent = pkt.sent_time;
   const uint32_t size = pkt.size_bytes;
-  Sender* sender = sender_;
-  events_->ScheduleAfter(ack_return_delay_, [sender, seq, sent, size] {
-    sender->OnAckArrival(seq, sent, size);
+  std::weak_ptr<Sender*> weak = sender_->weak_handle();
+  events_->ScheduleAfter(ack_return_delay_, [weak, seq, sent, size] {
+    if (auto alive = weak.lock()) {
+      (*alive)->OnAckArrival(seq, sent, size);
+    }
   });
 }
 
@@ -33,6 +40,11 @@ Sender::Sender(EventQueue* events, int flow_id, Route data_route,
 
 Sender::~Sender() = default;
 
+void Sender::set_tracer(Tracer* tracer) {
+  tracer_ = tracer;
+  cc_->set_tracer(tracer, flow_id_);
+}
+
 void Sender::Start() {
   ASTRAEA_CHECK(!running_);
   running_ = true;
@@ -43,9 +55,15 @@ void Sender::Start() {
 
   // Arm the MTP clock.
   const uint64_t gen = ++mtp_generation_;
-  events_->ScheduleAfter(config_.mtp, [this, gen] {
-    if (gen == mtp_generation_ && running_) {
-      MtpTick();
+  std::weak_ptr<Sender*> weak = alive_;
+  events_->ScheduleAfter(config_.mtp, [weak, gen] {
+    auto alive = weak.lock();
+    if (!alive) {
+      return;
+    }
+    Sender* self = *alive;
+    if (gen == self->mtp_generation_ && self->running_) {
+      self->MtpTick();
     }
   });
 
@@ -88,17 +106,24 @@ void Sender::SchedulePacedSend() {
   const TimeNs now = events_->now();
   next_send_time_ = std::max(next_send_time_, now);
   pace_pending_ = true;
-  events_->Schedule(next_send_time_, [this] {
-    pace_pending_ = false;
-    if (!running_ || inflight_bytes_ + config_.mss > EffectiveCwnd()) {
+  std::weak_ptr<Sender*> weak = alive_;
+  events_->Schedule(next_send_time_, [weak] {
+    auto alive = weak.lock();
+    if (!alive) {
       return;
     }
-    SendPacket();
-    const double rate = cc_->pacing_bps().value_or(0.0);
-    if (rate > 0.0) {
-      next_send_time_ += TransmissionDelay(config_.mss, rate);
+    Sender* self = *alive;
+    self->pace_pending_ = false;
+    if (!self->running_ ||
+        self->inflight_bytes_ + self->config_.mss > self->EffectiveCwnd()) {
+      return;
     }
-    SchedulePacedSend();
+    self->SendPacket();
+    const double rate = self->cc_->pacing_bps().value_or(0.0);
+    if (rate > 0.0) {
+      self->next_send_time_ += TransmissionDelay(self->config_.mss, rate);
+    }
+    self->SchedulePacedSend();
   });
 }
 
@@ -114,6 +139,11 @@ void Sender::SendPacket() {
   inflight_bytes_ += pkt.size_bytes;
   stats_.bytes_sent += pkt.size_bytes;
   mtp_sent_bytes_ += pkt.size_bytes;
+  if (tracer_ != nullptr) {
+    tracer_->Record(pkt.sent_time, TraceEventType::kSend, flow_id_, -1, pkt.seq,
+                    static_cast<double>(pkt.size_bytes),
+                    static_cast<double>(inflight_bytes_));
+  }
   route_[0]->Accept(pkt);
 }
 
@@ -144,6 +174,10 @@ void Sender::DetectGapLosses(uint64_t acked_seq) {
     inflight_bytes_ -= lost;
     stats_.bytes_lost += lost;
     mtp_lost_bytes_ += lost;
+    if (tracer_ != nullptr) {
+      tracer_->Record(events_->now(), TraceEventType::kLoss, flow_id_, -1, acked_seq,
+                      static_cast<double>(lost), static_cast<double>(inflight_bytes_));
+    }
     LossEvent ev;
     ev.now = events_->now();
     ev.lost_bytes = lost;
@@ -179,6 +213,10 @@ void Sender::OnAckArrival(uint64_t seq, TimeNs data_sent_time, uint32_t size_byt
 
   const TimeNs rtt = now - data_sent_time;
   UpdateRttEstimators(rtt);
+  if (tracer_ != nullptr) {
+    tracer_->Record(now, TraceEventType::kAck, flow_id_, -1, seq, ToMillis(rtt),
+                    static_cast<double>(inflight_bytes_));
+  }
 
   // Maintain the windowed goodput estimate (window = max(srtt, 50ms)).
   delivered_window_.emplace_back(now, size_bytes);
@@ -224,7 +262,12 @@ TimeNs Sender::CurrentRto() const {
 
 void Sender::ArmRtoTimer() {
   const uint64_t gen = ++rto_generation_;
-  events_->ScheduleAfter(CurrentRto(), [this, gen] { OnRtoCheck(gen); });
+  std::weak_ptr<Sender*> weak = alive_;
+  events_->ScheduleAfter(CurrentRto(), [weak, gen] {
+    if (auto alive = weak.lock()) {
+      (*alive)->OnRtoCheck(gen);
+    }
+  });
 }
 
 void Sender::OnRtoCheck(uint64_t generation) {
@@ -252,6 +295,10 @@ void Sender::OnRtoCheck(uint64_t generation) {
   inflight_bytes_ = 0;
   stats_.bytes_lost += lost;
   mtp_lost_bytes_ += lost;
+  if (tracer_ != nullptr) {
+    tracer_->Record(events_->now(), TraceEventType::kRtoFire, flow_id_, -1, next_seq_,
+                    static_cast<double>(lost), ToMillis(CurrentRto()));
+  }
 
   LossEvent ev;
   ev.now = events_->now();
@@ -310,6 +357,12 @@ void Sender::MtpTick() {
   mtp_rtt_sum_ms_ = 0.0;
 
   cc_->OnMtpTick(report);
+  if (tracer_ != nullptr) {
+    // Post-decision cwnd/pacing, one record per MTP.
+    tracer_->Record(now, TraceEventType::kCwnd, flow_id_, -1, mtp_generation_,
+                    static_cast<double>(cc_->cwnd_bytes()),
+                    cc_->pacing_bps().value_or(0.0));
+  }
 
   // The controller may have changed cwnd/pacing: give it a chance to send.
   if (cc_->pacing_bps().has_value()) {
@@ -319,9 +372,15 @@ void Sender::MtpTick() {
   }
 
   const uint64_t gen = mtp_generation_;
-  events_->ScheduleAfter(config_.mtp, [this, gen] {
-    if (gen == mtp_generation_ && running_) {
-      MtpTick();
+  std::weak_ptr<Sender*> weak = alive_;
+  events_->ScheduleAfter(config_.mtp, [weak, gen] {
+    auto alive = weak.lock();
+    if (!alive) {
+      return;
+    }
+    Sender* self = *alive;
+    if (gen == self->mtp_generation_ && self->running_) {
+      self->MtpTick();
     }
   });
 }

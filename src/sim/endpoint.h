@@ -26,7 +26,9 @@ namespace astraea {
 class Sender;
 
 // Terminal sink of a data route: acknowledges each packet back to the sender
-// after the configured reverse-path delay.
+// after the configured reverse-path delay. The ACK-delivery lambda holds a
+// weak handle to the sender, so a sender destroyed while ACKs are in flight
+// (teardown mid-simulation) silently expires them instead of dangling.
 class Receiver : public PacketSink {
  public:
   Receiver(EventQueue* events, Sender* sender, TimeNs ack_return_delay)
@@ -102,6 +104,14 @@ class Sender {
   TimeNs min_rtt() const { return min_rtt_; }
   const MtpReport& last_report() const { return last_report_; }
 
+  // Liveness token: scheduled lambdas (ACK delivery, timers) capture this
+  // weakly and no-op once the sender is destroyed. Expires in ~Sender().
+  std::weak_ptr<Sender*> weak_handle() const { return alive_; }
+
+  // Attaches an event tracer recording send/ack/loss/rto-fire/cwnd for this
+  // flow, and forwards it to the controller (kAction decisions). Null detaches.
+  void set_tracer(Tracer* tracer);
+
  private:
   struct Outstanding {
     uint64_t seq;
@@ -126,6 +136,11 @@ class Sender {
   Route route_;
   std::unique_ptr<CongestionController> cc_;
   SenderConfig config_;
+  Tracer* tracer_ = nullptr;
+
+  // See weak_handle(). shared_ptr-to-self-pointer rather than
+  // enable_shared_from_this because senders are held by unique_ptr/value.
+  std::shared_ptr<Sender*> alive_ = std::make_shared<Sender*>(this);
 
   bool running_ = false;
   uint64_t next_seq_ = 0;

@@ -18,6 +18,12 @@ Link::Link(EventQueue* events, LinkConfig config, Rng rng)
   }
 }
 
+void Link::set_tracer(Tracer* tracer, int32_t link_id) {
+  tracer_ = tracer;
+  trace_link_id_ = link_id;
+  queue_->set_tracer(tracer, link_id);
+}
+
 void Link::Accept(Packet pkt) {
   accepted_bytes_ += pkt.size_bytes;
   if (!busy_) {
@@ -25,8 +31,12 @@ void Link::Accept(Packet pkt) {
     return;
   }
   // Enqueue (or drop, per the discipline): dropped packets silently vanish;
-  // senders infer the loss from the ACK gap.
-  queue_->Enqueue(pkt, events_->now());
+  // senders infer the loss from the ACK gap. The discipline traces drops.
+  if (queue_->Enqueue(pkt, events_->now()) && tracer_ != nullptr) {
+    tracer_->Record(events_->now(), TraceEventType::kEnqueue, pkt.flow_id, trace_link_id_,
+                    pkt.seq, static_cast<double>(pkt.size_bytes),
+                    static_cast<double>(queue_->queued_bytes()));
+  }
 }
 
 void Link::StartService(Packet pkt) {
@@ -45,6 +55,11 @@ void Link::FinishService(Packet pkt) {
   }
   std::optional<Packet> next = queue_->Dequeue(events_->now());
   if (next.has_value()) {
+    if (tracer_ != nullptr) {
+      tracer_->Record(events_->now(), TraceEventType::kDequeue, next->flow_id, trace_link_id_,
+                      next->seq, static_cast<double>(next->size_bytes),
+                      static_cast<double>(queue_->queued_bytes()));
+    }
     StartService(*next);
   } else {
     busy_ = false;

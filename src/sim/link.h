@@ -12,6 +12,7 @@
 #include "src/sim/packet.h"
 #include "src/sim/queue_disc.h"
 #include "src/sim/rate_provider.h"
+#include "src/sim/trace.h"
 #include "src/util/rng.h"
 #include "src/util/time.h"
 
@@ -50,6 +51,10 @@ class Link : public PacketSink {
   const RateProvider& provider() const { return *provider_; }
   const QueueDiscipline& queue() const { return *queue_; }
 
+  // Attaches an event tracer recording enqueue/dequeue/drop at this link.
+  // Null detaches; when off the per-packet cost is one pointer test.
+  void set_tracer(Tracer* tracer, int32_t link_id);
+
  private:
   void StartService(Packet pkt);
   void FinishService(Packet pkt);
@@ -61,6 +66,8 @@ class Link : public PacketSink {
 
   std::unique_ptr<QueueDiscipline> queue_;
   bool busy_ = false;
+  Tracer* tracer_ = nullptr;
+  int32_t trace_link_id_ = -1;
 
   uint64_t accepted_bytes_ = 0;
   uint64_t delivered_bytes_ = 0;

@@ -1,5 +1,6 @@
 #include "src/sim/network.h"
 
+#include <cstdlib>
 #include <utility>
 
 #include "src/util/logging.h"
@@ -70,9 +71,25 @@ void Network::SampleLinks() {
   events_.ScheduleAfter(sample_interval_, [this] { SampleLinks(); });
 }
 
+void Network::SetTracer(Tracer* tracer) {
+  tracer_ = tracer;
+  for (size_t i = 0; i < links_.size(); ++i) {
+    links_[i]->set_tracer(tracer, static_cast<int32_t>(i));
+  }
+  for (auto& record : flows_) {
+    record.sender->set_tracer(tracer);
+  }
+}
+
 void Network::Run(TimeNs until) {
   if (!started_) {
     started_ = true;
+    // CI hook: force every Record() path on without writing any file, to
+    // verify tracing cannot perturb results (see .github/workflows/ci.yml).
+    if (tracer_ == nullptr && std::getenv("ASTRAEA_FORCE_TRACE") != nullptr) {
+      forced_tracer_ = std::make_unique<Tracer>("", Tracer::Format::kNone);
+      SetTracer(forced_tracer_.get());
+    }
     for (auto& record : flows_) {
       Sender* sender = record.sender.get();
       events_.Schedule(record.spec.start, [sender] { sender->Start(); });

@@ -57,6 +57,12 @@ class Network {
   // Begins periodic link sampling (call before Run).
   void EnableLinkSampling(TimeNs interval);
 
+  // Attaches an event tracer to every link (enqueue/dequeue/drop), sender
+  // (send/ack/loss/rto/cwnd) and controller (action). Tracing is purely
+  // observational: the event schedule and RNG streams are untouched, so a
+  // traced run is bit-identical to an untraced one. Null detaches.
+  void SetTracer(Tracer* tracer);
+
   // Runs the scenario until `until` (simulated time).
   void Run(TimeNs until);
 
@@ -98,6 +104,10 @@ class Network {
   std::vector<FlowRecord> flows_;
   TimeNs sample_interval_ = 0;
   bool started_ = false;
+  Tracer* tracer_ = nullptr;
+  // Owned in-memory tracer when ASTRAEA_FORCE_TRACE is set (CI perturbation
+  // check): exercises every Record() path without touching the filesystem.
+  std::unique_ptr<Tracer> forced_tracer_;
 };
 
 }  // namespace astraea

@@ -7,9 +7,10 @@ namespace astraea {
 
 // ---------------------------------------------------------------- DropTail
 
-bool DropTailQueue::Enqueue(Packet pkt, TimeNs /*now*/) {
+bool DropTailQueue::Enqueue(Packet pkt, TimeNs now) {
   if (bytes_ + pkt.size_bytes > capacity_) {
     dropped_ += pkt.size_bytes;
+    TraceDrop(now, pkt, bytes_);
     return false;
   }
   bytes_ += pkt.size_bytes;
@@ -29,7 +30,18 @@ std::optional<Packet> DropTailQueue::Dequeue(TimeNs /*now*/) {
 
 // --------------------------------------------------------------------- RED
 
-bool RedQueue::Enqueue(Packet pkt, TimeNs /*now*/) {
+bool RedQueue::Enqueue(Packet pkt, TimeNs now) {
+  // Floyd/Jacobson idle-time correction: while the queue sat empty the EWMA
+  // saw no arrivals and froze at its last (possibly high) value. Decay it as
+  // if m = idle / idle_pkt_tx_time packets had departed during the gap, so a
+  // burst after an idle period is not greeted with stale-high drop pressure.
+  if (queue_.empty() && idle_since_ >= 0 && now > idle_since_) {
+    const double m = static_cast<double>(now - idle_since_) /
+                     static_cast<double>(std::max<TimeNs>(config_.idle_pkt_tx_time, 1));
+    avg_ *= std::pow(1.0 - config_.ewma_weight, m);
+  }
+  idle_since_ = -1;
+
   // EWMA of the instantaneous queue size (per arriving packet).
   avg_ = (1.0 - config_.ewma_weight) * avg_ + config_.ewma_weight * static_cast<double>(bytes_);
 
@@ -51,6 +63,10 @@ bool RedQueue::Enqueue(Packet pkt, TimeNs /*now*/) {
   if (drop) {
     dropped_ += pkt.size_bytes;
     count_since_drop_ = 0;
+    TraceDrop(now, pkt, bytes_);
+    if (queue_.empty()) {
+      idle_since_ = now;  // the drop left the queue empty: idle clock restarts
+    }
     return false;
   }
   ++count_since_drop_;
@@ -59,13 +75,16 @@ bool RedQueue::Enqueue(Packet pkt, TimeNs /*now*/) {
   return true;
 }
 
-std::optional<Packet> RedQueue::Dequeue(TimeNs /*now*/) {
+std::optional<Packet> RedQueue::Dequeue(TimeNs now) {
   if (queue_.empty()) {
     return std::nullopt;
   }
   Packet pkt = queue_.front();
   queue_.pop_front();
   bytes_ -= pkt.size_bytes;
+  if (queue_.empty()) {
+    idle_since_ = now;
+  }
   return pkt;
 }
 
@@ -74,6 +93,7 @@ std::optional<Packet> RedQueue::Dequeue(TimeNs /*now*/) {
 bool CoDelQueue::Enqueue(Packet pkt, TimeNs now) {
   if (bytes_ + pkt.size_bytes > config_.capacity_bytes) {
     dropped_ += pkt.size_bytes;
+    TraceDrop(now, pkt, bytes_);
     return false;
   }
   bytes_ += pkt.size_bytes;
@@ -87,7 +107,7 @@ bool CoDelQueue::OkToDrop(TimeNs now) {
     return false;
   }
   const TimeNs sojourn = now - queue_.front().enqueued_at;
-  if (sojourn < config_.target || bytes_ <= 1500) {
+  if (sojourn < config_.target || bytes_ <= config_.mtu) {
     first_above_time_ = 0;
     return false;
   }
@@ -110,6 +130,7 @@ std::optional<Packet> CoDelQueue::Dequeue(TimeNs now) {
         queue_.pop_front();
         bytes_ -= victim.pkt.size_bytes;
         dropped_ += victim.pkt.size_bytes;
+        TraceDrop(now, victim.pkt, bytes_);
         ++drop_count_;
         drop_next_ = now + static_cast<TimeNs>(static_cast<double>(config_.interval) /
                                                std::sqrt(static_cast<double>(drop_count_)));
@@ -121,6 +142,7 @@ std::optional<Packet> CoDelQueue::Dequeue(TimeNs now) {
       queue_.pop_front();
       bytes_ -= victim.pkt.size_bytes;
       dropped_ += victim.pkt.size_bytes;
+      TraceDrop(now, victim.pkt, bytes_);
       dropping_ = true;
       // Restart the schedule, faster if we were dropping recently.
       drop_count_ = drop_count_ > 2 ? drop_count_ - 2 : 1;

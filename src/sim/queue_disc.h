@@ -17,6 +17,7 @@
 #include <optional>
 
 #include "src/sim/packet.h"
+#include "src/sim/trace.h"
 #include "src/util/rng.h"
 #include "src/util/time.h"
 
@@ -36,6 +37,24 @@ class QueueDiscipline {
   virtual size_t queued_packets() const = 0;
   // Bytes dropped by the discipline (at enqueue or dequeue).
   virtual uint64_t dropped_bytes() const = 0;
+
+  // Attaches an event tracer (drop events carry the owning link's id). The
+  // discipline records only drops; enqueue/dequeue events come from the Link.
+  void set_tracer(Tracer* tracer, int32_t link_id) {
+    tracer_ = tracer;
+    trace_link_id_ = link_id;
+  }
+
+ protected:
+  void TraceDrop(TimeNs now, const Packet& pkt, uint64_t queued_bytes_now) {
+    if (tracer_ != nullptr) {
+      tracer_->Record(now, TraceEventType::kDrop, pkt.flow_id, trace_link_id_, pkt.seq,
+                      static_cast<double>(pkt.size_bytes), static_cast<double>(queued_bytes_now));
+    }
+  }
+
+  Tracer* tracer_ = nullptr;
+  int32_t trace_link_id_ = -1;
 };
 
 using QueueFactory = std::function<std::unique_ptr<QueueDiscipline>(Rng rng)>;
@@ -63,6 +82,11 @@ struct RedConfig {
   double max_threshold_frac = 0.6;
   double max_drop_probability = 0.1;
   double ewma_weight = 0.002;
+  // Floyd/Jacobson idle-time correction: the typical transmission time of one
+  // packet at line rate. After an idle period of length T the EWMA is decayed
+  // by (1-w)^m with m = T / idle_pkt_tx_time — the packets that *could* have
+  // departed while the queue sat empty. Default: 1500 B at 100 Mbps.
+  TimeNs idle_pkt_tx_time = Microseconds(120);
 };
 
 class RedQueue : public QueueDiscipline {
@@ -84,12 +108,17 @@ class RedQueue : public QueueDiscipline {
   uint64_t dropped_ = 0;
   double avg_ = 0.0;
   int count_since_drop_ = 0;
+  TimeNs idle_since_ = 0;  // start of the current idle period; -1 while busy
 };
 
 struct CoDelConfig {
   uint64_t capacity_bytes = 1'500'000;  // hard limit (CoDel still needs one)
   TimeNs target = Milliseconds(5);
   TimeNs interval = Milliseconds(100);
+  // One-MTU exit condition: dropping never engages while the backlog is at or
+  // below a single maximum-size packet. Must match the simulation's MSS for
+  // non-1500-byte configurations (RFC 8289 §4.4).
+  uint32_t mtu = 1500;
 };
 
 class CoDelQueue : public QueueDiscipline {

@@ -1,0 +1,222 @@
+#include "src/util/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace astraea {
+
+// ----------------------------------------------------------------- Counter
+
+size_t Counter::ThreadSlot() {
+  // Distinct threads get consecutive slots; with more than kCounterShards
+  // live threads some share a cell, which is still correct (atomic adds),
+  // just occasionally contended.
+  static std::atomic<size_t> next{0};
+  thread_local const size_t slot = next.fetch_add(1, std::memory_order_relaxed) % kCounterShards;
+  return slot;
+}
+
+uint64_t Counter::Value() const {
+  uint64_t total = 0;
+  for (const Cell& c : cells_) {
+    total += c.v.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::Reset() {
+  for (Cell& c : cells_) {
+    c.v.store(0, std::memory_order_relaxed);
+  }
+}
+
+// ------------------------------------------------------------------- Gauge
+
+void Gauge::Add(double delta) {
+  double cur = value_.load(std::memory_order_relaxed);
+  while (!value_.compare_exchange_weak(cur, cur + delta, std::memory_order_relaxed)) {
+  }
+}
+
+// --------------------------------------------------------------- Histogram
+
+int Histogram::BucketFor(double v) {
+  if (!(v > 0.0)) {
+    return 0;  // zero, negatives and NaN all land in the floor bucket
+  }
+  const int e = std::ilogb(v);  // floor(log2(v)) for normal doubles
+  // Values exactly on a power of two belong to the lower bucket (upper bound
+  // is inclusive), so bump only when v is strictly above 2^e.
+  const int adj = (std::exp2(e) < v) ? 1 : 0;
+  return std::clamp(e + adj + kZeroExponent + 1, 0, kBuckets - 1);
+}
+
+double Histogram::BucketUpperBound(int b) { return std::exp2(b - kZeroExponent - 1); }
+
+void Histogram::Observe(double v) {
+  buckets_[static_cast<size_t>(BucketFor(v))].fetch_add(1, std::memory_order_relaxed);
+  const uint64_t n = count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+  if (n == 0) {
+    // First observation seeds min/max; racing observers fix it up below.
+    min_.store(v, std::memory_order_relaxed);
+    max_.store(v, std::memory_order_relaxed);
+  }
+  double mn = min_.load(std::memory_order_relaxed);
+  while (v < mn && !min_.compare_exchange_weak(mn, v, std::memory_order_relaxed)) {
+  }
+  double mx = max_.load(std::memory_order_relaxed);
+  while (v > mx && !max_.compare_exchange_weak(mx, v, std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::Sum() const { return sum_.load(std::memory_order_relaxed); }
+double Histogram::Min() const { return min_.load(std::memory_order_relaxed); }
+double Histogram::Max() const { return max_.load(std::memory_order_relaxed); }
+
+double Histogram::Mean() const {
+  const uint64_t n = Count();
+  return n == 0 ? 0.0 : Sum() / static_cast<double>(n);
+}
+
+double Histogram::Quantile(double q) const {
+  const uint64_t n = Count();
+  if (n == 0) {
+    return 0.0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(n - 1));
+  uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += buckets_[static_cast<size_t>(b)].load(std::memory_order_relaxed);
+    if (seen > rank) {
+      // Clip the coarse bucket bound to the observed extremes so single-value
+      // histograms report the value itself rather than the next power of two.
+      return std::clamp(BucketUpperBound(b), Min(), Max());
+    }
+  }
+  return Max();
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) {
+    b.store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------- Registry
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* instance = new MetricsRegistry();
+  return *instance;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) {
+    slot = std::make_unique<Counter>();
+  }
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) {
+    slot = std::make_unique<Gauge>();
+  }
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) {
+    slot = std::make_unique<Histogram>();
+  }
+  return *slot;
+}
+
+namespace {
+
+// Compact numeric rendering that round-trips and never emits bare "nan"/"inf"
+// (invalid JSON); metrics should never produce those, but a sink must not be
+// corrupted if one does.
+void AppendNumber(std::ostringstream* os, double v) {
+  if (!std::isfinite(v)) {
+    *os << "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  *os << buf;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) {
+      os << ",";
+    }
+    first = false;
+  };
+  for (const auto& [name, c] : counters_) {
+    sep();
+    os << "\"" << name << "\":{\"type\":\"counter\",\"value\":" << c->Value() << "}";
+  }
+  for (const auto& [name, g] : gauges_) {
+    sep();
+    os << "\"" << name << "\":{\"type\":\"gauge\",\"value\":";
+    AppendNumber(&os, g->Value());
+    os << "}";
+  }
+  for (const auto& [name, h] : histograms_) {
+    sep();
+    os << "\"" << name << "\":{\"type\":\"histogram\",\"count\":" << h->Count() << ",\"sum\":";
+    AppendNumber(&os, h->Sum());
+    os << ",\"min\":";
+    AppendNumber(&os, h->Min());
+    os << ",\"max\":";
+    AppendNumber(&os, h->Max());
+    os << ",\"mean\":";
+    AppendNumber(&os, h->Mean());
+    os << ",\"p50\":";
+    AppendNumber(&os, h->Quantile(0.50));
+    os << ",\"p95\":";
+    AppendNumber(&os, h->Quantile(0.95));
+    os << ",\"p99\":";
+    AppendNumber(&os, h->Quantile(0.99));
+    os << "}";
+  }
+  os << "}";
+  return os.str();
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) {
+    c->Reset();
+  }
+  for (auto& [name, g] : gauges_) {
+    g->Reset();
+  }
+  for (auto& [name, h] : histograms_) {
+    h->Reset();
+  }
+}
+
+}  // namespace astraea

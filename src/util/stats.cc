@@ -50,6 +50,9 @@ double Percentile(std::vector<double> values, double p) {
   if (values.empty()) {
     return 0.0;
   }
+  // Out-of-range p saturates at the extremes; without the clamp a negative
+  // rank cast to size_t is undefined behavior (and p > 100 reads past the end).
+  p = std::clamp(p, 0.0, 100.0);
   std::sort(values.begin(), values.end());
   const double rank = (p / 100.0) * static_cast<double>(values.size() - 1);
   const size_t lo = static_cast<size_t>(rank);

@@ -180,5 +180,30 @@ TEST(ReceiverTest, CountsReceivedBytes) {
   EXPECT_GT(t.net->flow_stats(0).bytes_acked, 0u);
 }
 
+// Regression: the receiver's delayed-ACK lambda used to capture a raw
+// Sender*, so destroying a sender with ACKs still in flight (mid-simulation
+// teardown) dereferenced freed memory when those events later fired. The
+// lambda now holds a weak liveness handle; expired ACKs — and the sender's
+// own pending MTP/RTO/pacing timers — must be silently discarded. Run under
+// ASan to catch the use-after-free pre-fix.
+TEST(ReceiverTest, AckAfterSenderDestroyedIsDiscarded) {
+  EventQueue events;
+  Receiver receiver(&events, nullptr, /*ack_return_delay=*/Milliseconds(15));
+  SenderConfig config;
+  auto sender = std::make_unique<Sender>(&events, /*flow_id=*/0, Route{&receiver},
+                                         std::make_unique<FixedWindow>(20 * 1500), config);
+  receiver.set_sender(sender.get());
+
+  // Start and deliver a few packets: each Accept schedules a delayed ACK.
+  sender->Start();
+  events.RunUntil(Milliseconds(5));
+  EXPECT_GT(receiver.received_bytes(), 0u);
+
+  // Tear the sender down while ACKs (and its MTP/RTO timers) are pending.
+  sender.reset();
+  events.RunUntil(Seconds(2.0));  // fires every stale event; must not crash
+  EXPECT_GT(receiver.received_bytes(), 0u);
+}
+
 }  // namespace
 }  // namespace astraea

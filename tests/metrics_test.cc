@@ -1,0 +1,141 @@
+#include "src/util/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace astraea {
+namespace {
+
+TEST(CounterTest, IncrementAndValue) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.Value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.Value(), 0u);
+}
+
+TEST(CounterTest, ConcurrentIncrementsMerge) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 100'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.Increment();
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(c.Value(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(GaugeTest, SetAddValue) {
+  Gauge g;
+  EXPECT_DOUBLE_EQ(g.Value(), 0.0);
+  g.Set(2.5);
+  EXPECT_DOUBLE_EQ(g.Value(), 2.5);
+  g.Add(-1.0);
+  EXPECT_DOUBLE_EQ(g.Value(), 1.5);
+  g.Reset();
+  EXPECT_DOUBLE_EQ(g.Value(), 0.0);
+}
+
+TEST(HistogramTest, TracksCountSumMinMaxMean) {
+  Histogram h;
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Max(), 0.0);
+  h.Observe(1.0);
+  h.Observe(3.0);
+  h.Observe(8.0);
+  EXPECT_EQ(h.Count(), 3u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 12.0);
+  EXPECT_DOUBLE_EQ(h.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.Max(), 8.0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 4.0);
+}
+
+TEST(HistogramTest, QuantileIsBucketResolution) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) {
+    h.Observe(static_cast<double>(i));
+  }
+  // Log2 buckets: the estimate is the bucket upper bound, so p50 of 1..1000
+  // (true value 500) lands in (256, 512] -> 512, clipped to observed range.
+  const double p50 = h.Quantile(0.5);
+  EXPECT_GE(p50, 500.0 / 2.0);
+  EXPECT_LE(p50, 500.0 * 2.0);
+  const double p99 = h.Quantile(0.99);
+  EXPECT_GE(p99, p50);
+  EXPECT_LE(p99, 1000.0);  // clipped to the observed max
+  // Quantile argument saturates outside [0, 1].
+  EXPECT_LE(h.Quantile(2.0), 1000.0);
+  EXPECT_GE(h.Quantile(-1.0), 0.0);
+}
+
+TEST(HistogramTest, HandlesZeroAndTinyValues) {
+  Histogram h;
+  h.Observe(0.0);
+  h.Observe(1e-12);
+  EXPECT_EQ(h.Count(), 2u);
+  EXPECT_DOUBLE_EQ(h.Min(), 0.0);
+}
+
+TEST(MetricsRegistryTest, ReturnsStableReferences) {
+  MetricsRegistry reg;
+  Counter& a = reg.GetCounter("x");
+  Counter& b = reg.GetCounter("x");
+  EXPECT_EQ(&a, &b);
+  a.Increment(7);
+  EXPECT_EQ(reg.GetCounter("x").Value(), 7u);
+  // Distinct namespaces per metric kind.
+  reg.GetGauge("x").Set(1.0);
+  EXPECT_EQ(reg.GetCounter("x").Value(), 7u);
+}
+
+TEST(MetricsRegistryTest, ToJsonRendersEveryMetric) {
+  MetricsRegistry reg;
+  reg.GetCounter("events.total").Increment(3);
+  reg.GetGauge("replay.size").Set(128.0);
+  reg.GetHistogram("batch.size").Observe(4.0);
+  const std::string json = reg.ToJson();
+  EXPECT_NE(json.find("\"events.total\""), std::string::npos);
+  EXPECT_NE(json.find("\"type\":\"counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"replay.size\""), std::string::npos);
+  EXPECT_NE(json.find("\"batch.size\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(MetricsRegistryTest, ResetAllZeroesButKeepsRegistrations) {
+  MetricsRegistry reg;
+  Counter& c = reg.GetCounter("c");
+  Gauge& g = reg.GetGauge("g");
+  Histogram& h = reg.GetHistogram("h");
+  c.Increment(5);
+  g.Set(9.0);
+  h.Observe(2.0);
+  reg.ResetAll();
+  EXPECT_EQ(c.Value(), 0u);   // same references still valid
+  EXPECT_DOUBLE_EQ(g.Value(), 0.0);
+  EXPECT_EQ(h.Count(), 0u);
+}
+
+TEST(MetricsRegistryTest, GlobalIsASingleton) {
+  MetricsRegistry& a = MetricsRegistry::Global();
+  MetricsRegistry& b = MetricsRegistry::Global();
+  EXPECT_EQ(&a, &b);
+}
+
+}  // namespace
+}  // namespace astraea

@@ -63,6 +63,40 @@ TEST(RedQueueTest, ProbabilisticDropsBetweenThresholds) {
   EXPECT_GT(accepted, dropped);  // drops are early/probabilistic, not total
 }
 
+// Regression (Floyd/Jacobson Sec. 11): the EWMA froze while the queue sat
+// empty, so a burst after a long idle period was greeted with the stale
+// pre-idle average — deterministic drops at avg >= max_th despite an empty
+// queue. The idle correction decays avg by (1-w)^m, m = idle / pkt-tx-time.
+TEST(RedQueueTest, IdleTimeDecaysAverage) {
+  RedConfig config;
+  config.capacity_bytes = 150'000;  // 100 packets
+  config.ewma_weight = 0.2;
+  config.max_drop_probability = 0.0;  // isolate the EWMA from random drops
+  config.idle_pkt_tx_time = Microseconds(120);
+  RedQueue q(config, Rng(7));
+
+  // Back-to-back fill: the average climbs above the max threshold (60%).
+  TimeNs now = 0;
+  for (int i = 0; i < 100; ++i) {
+    q.Enqueue(MakePacket(static_cast<uint64_t>(i)), now);
+    now += Microseconds(10);
+  }
+  EXPECT_GE(q.average_queue_bytes(), 0.6 * 150'000);
+  const double avg_before_idle = q.average_queue_bytes();
+
+  // Drain completely, then idle for a second (~8300 packet slots).
+  while (q.Dequeue(now).has_value()) {
+    now += Microseconds(10);
+  }
+  now += Seconds(1.0);
+
+  // The first post-idle arrival must see a (nearly) fully decayed average and
+  // be accepted; without the correction avg stays near avg_before_idle.
+  EXPECT_TRUE(q.Enqueue(MakePacket(1000), now));
+  EXPECT_LT(q.average_queue_bytes(), 3000.0);
+  EXPECT_LT(q.average_queue_bytes(), 0.05 * avg_before_idle);
+}
+
 TEST(RedQueueTest, HardLimitAlwaysDrops) {
   RedConfig config;
   config.capacity_bytes = 4500;
@@ -104,6 +138,35 @@ TEST(CoDelQueueTest, DropsAfterPersistentQueueing) {
   }
   EXPECT_GT(q.dropped_bytes(), 0u);
   EXPECT_GT(served, 0u);
+}
+
+// Regression (RFC 8289 Sec. 4.4): the one-MTU exit condition was hardcoded to
+// 1500 bytes, so with small packets (mss 500) a persistent 3-deep standing
+// queue — 1500 bytes of backlog with sojourn far above target — never
+// triggered dropping. The MTU is now configurable and must match the MSS.
+TEST(CoDelQueueTest, MtuExitConditionMatchesPacketSize) {
+  auto standing_queue_drops = [](uint32_t mtu) {
+    CoDelConfig config;
+    config.mtu = mtu;
+    CoDelQueue q(config);
+    TimeNs now = 0;
+    uint64_t seq = 0;
+    // Maintain a 3-packet standing queue of 500-byte packets; each packet
+    // waits 150ms before service — 30x the 5ms target.
+    for (int i = 0; i < 3; ++i) {
+      q.Enqueue(MakePacket(seq++, 500), now);
+    }
+    for (int i = 0; i < 400; ++i) {
+      now += Milliseconds(50);
+      q.Dequeue(now);
+      q.Enqueue(MakePacket(seq++, 500), now);
+    }
+    return q.dropped_bytes();
+  };
+  // Backlog is 1500 bytes: a 1500-byte MTU exempts it forever (the old
+  // hardcoded behavior); with the MTU at the true packet size CoDel engages.
+  EXPECT_EQ(standing_queue_drops(1500), 0u);
+  EXPECT_GT(standing_queue_drops(500), 0u);
 }
 
 TEST(CoDelQueueTest, RecoversWhenQueueDrains) {

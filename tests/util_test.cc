@@ -107,6 +107,16 @@ TEST(StatsTest, PercentileInterpolates) {
   EXPECT_DOUBLE_EQ(Percentile(v, 50.0), 2.5);
 }
 
+// Regression: out-of-range p used to cast a negative rank to size_t (UB) and
+// read past the end for p > 100. It now saturates at the extremes.
+TEST(StatsTest, PercentileClampsOutOfRangeP) {
+  std::vector<double> v = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, -50.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 1000.0), 3.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, -0.0001), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100.0001), 3.0);
+}
+
 TEST(RunningStatTest, MatchesBatchComputation) {
   RunningStat rs;
   const double values[] = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};

@@ -4,6 +4,11 @@
 //                 [--episode-len 30] [--envs 4] [--print-config]
 //                 [--resume models/astraea_policy.ckpt.state-40]
 //                 [--checkpoint-every 10] [--keep 3]
+//                 [--metrics-out train_metrics.jsonl]
+//
+// --metrics-out appends one JSON object per episode (reward components, TD
+// losses, gradient norms, replay occupancy) plus a final registry snapshot —
+// the machine-readable twin of the stdout table.
 //
 // Episodes are sampled from the Table-3 ranges (bandwidth 40-160 Mbps, RTT
 // 10-140 ms, buffer 0.1-16 BDP, 2-5 flows with heterogeneous RTTs and Poisson
@@ -25,6 +30,7 @@
 
 #include "src/core/learner.h"
 #include "src/util/cli_flags.h"
+#include "src/util/metrics.h"
 
 namespace astraea {
 namespace {
@@ -39,6 +45,7 @@ int Main(int argc, char** argv) {
   int keep = 3;
   uint64_t seed = 7;
   bool print_config = false;
+  std::string metrics_out;
 
   for (int i = 1; i < argc; ++i) {
     auto next = [&]() -> const char* {
@@ -64,6 +71,8 @@ int Main(int argc, char** argv) {
       keep = static_cast<int>(cli::ParseInt("--keep", next(), 1, 1000));
     } else if (std::strcmp(argv[i], "--seed") == 0) {
       seed = cli::ParseU64("--seed", next());
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0) {
+      metrics_out = next();
     } else if (std::strcmp(argv[i], "--print-config") == 0) {
       print_config = true;
     } else {
@@ -122,8 +131,31 @@ int Main(int argc, char** argv) {
     return path;
   };
 
+  std::FILE* metrics_file = nullptr;
+  if (!metrics_out.empty()) {
+    metrics_file = std::fopen(metrics_out.c_str(), "w");
+    if (metrics_file == nullptr) {
+      std::fprintf(stderr, "cannot open --metrics-out file: %s\n", metrics_out.c_str());
+      return 1;
+    }
+  }
+
   double best_jain = -1.0;
   learner.Train(remaining, [&](const EpisodeDiagnostics& d) {
+    if (metrics_file != nullptr) {
+      std::fprintf(metrics_file,
+                   "{\"episode\":%d,\"mean_reward\":%.6g,\"r_thr\":%.6g,\"r_lat\":%.6g,"
+                   "\"r_loss\":%.6g,\"r_fair\":%.6g,\"r_stab\":%.6g,\"decisions\":%d,"
+                   "\"critic_loss\":%.6g,\"actor_objective\":%.6g,\"critic_grad_norm\":%.6g,"
+                   "\"actor_grad_norm\":%.6g,\"td3_updates\":%lld,\"replay_size\":%zu,"
+                   "\"exploration_noise\":%.6g,\"eval_jain\":%.6g}\n",
+                   d.episode, d.env.mean_reward, d.env.mean_r_thr, d.env.mean_r_lat,
+                   d.env.mean_r_loss, d.env.mean_r_fair, d.env.mean_r_stab, d.env.decisions,
+                   d.td3.critic_loss, d.td3.actor_objective, d.td3.critic_grad_norm,
+                   d.td3.actor_grad_norm, static_cast<long long>(d.td3.updates), d.replay_size,
+                   d.exploration_noise, d.eval_jain);
+      std::fflush(metrics_file);  // each episode survives a later crash
+    }
     std::printf("%-8d %-12.4f %-10.4f %-10.3f %-12.5f ", d.episode, d.env.mean_reward,
                 d.env.mean_r_fair, d.env.mean_r_thr, d.td3.critic_loss);
     if (d.eval_jain >= 0.0) {
@@ -149,6 +181,13 @@ int Main(int argc, char** argv) {
   }
   if (best_jain < 0.0) {
     learner.SaveCheckpoint(out);
+  }
+  if (metrics_file != nullptr) {
+    // Final line: the whole process-wide registry (learner.* gauges and
+    // histograms, inference.* if any ran) as one JSON object.
+    std::fprintf(metrics_file, "{\"registry\":%s}\n",
+                 MetricsRegistry::Global().ToJson().c_str());
+    std::fclose(metrics_file);
   }
   std::printf("done; best eval Jain %.4f; checkpoint: %s\n", best_jain, out.c_str());
   return 0;

@@ -3,9 +3,16 @@
 //   run_scenario --scheme astraea --flows 3 --bw 100 --rtt 30 --buffer 1 \
 //                --interval 40 --duration 120 --until 200 [--timeline]
 //                [--qdisc droptail|red|codel] [--trace file.mahimahi]
+//                [--trace-out run.trace] [--trace-format binary|jsonl]
+//                [--metrics-out metrics.json]
 //
 // Prints per-flow mean throughputs, the average Jain index, utilization and
 // latency, optionally with a 1-second throughput timeline.
+//
+// --trace-out records every packet event (enqueue/dequeue/drop/send/ack/loss/
+// rto/cwnd/action) to a file — binary by default (convert with trace_dump),
+// JSONL with --trace-format jsonl. Tracing never perturbs the simulation: a
+// traced run produces bit-identical results to an untraced one.
 
 #include <cstdio>
 #include <cstdlib>
@@ -16,7 +23,9 @@
 #include "bench/harness/metrics.h"
 #include "bench/harness/scenario.h"
 #include "bench/harness/table.h"
+#include "src/sim/trace.h"
 #include "src/util/cli_flags.h"
+#include "src/util/metrics.h"
 
 namespace astraea {
 namespace {
@@ -36,6 +45,9 @@ struct Args {
   std::string qdisc = "droptail";
   std::string trace_file;
   std::string csv_out;
+  std::string trace_out;
+  std::string trace_format = "binary";
+  std::string metrics_out;
 };
 
 Args Parse(int argc, char** argv) {
@@ -74,6 +86,16 @@ Args Parse(int argc, char** argv) {
       a.trace_file = next("--trace");
     } else if (std::strcmp(argv[i], "--csv") == 0) {
       a.csv_out = next("--csv");
+    } else if (std::strcmp(argv[i], "--trace-out") == 0) {
+      a.trace_out = next("--trace-out");
+    } else if (std::strcmp(argv[i], "--trace-format") == 0) {
+      a.trace_format = next("--trace-format");
+      if (a.trace_format != "binary" && a.trace_format != "jsonl") {
+        std::fprintf(stderr, "--trace-format must be binary or jsonl\n");
+        std::exit(1);
+      }
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0) {
+      a.metrics_out = next("--metrics-out");
     } else if (std::strcmp(argv[i], "--timeline") == 0) {
       a.timeline = true;
     } else {
@@ -124,8 +146,21 @@ int Main(int argc, char** argv) {
     const TimeNs duration = args.duration_s > 0 ? Seconds(args.duration_s) : -1;
     scenario.AddFlow(args.scheme, start, duration);
   }
+  std::unique_ptr<Tracer> tracer;
+  if (!args.trace_out.empty()) {
+    tracer = std::make_unique<Tracer>(
+        args.trace_out,
+        args.trace_format == "jsonl" ? Tracer::Format::kJsonl : Tracer::Format::kBinary);
+    scenario.network().SetTracer(tracer.get());
+  }
+
   const TimeNs until = Seconds(args.until_s);
   scenario.Run(until);
+  if (tracer != nullptr) {
+    tracer->Close();
+    std::printf("%llu events traced to %s\n",
+                static_cast<unsigned long long>(tracer->recorded()), args.trace_out.c_str());
+  }
 
   const Network& net = scenario.network();
   if (args.timeline) {
@@ -161,6 +196,16 @@ int Main(int argc, char** argv) {
   std::printf("avg Jain: %.4f   utilization: %.3f   mean RTT: %.1f ms   loss: %.4f%%\n",
               AverageJain(net, 0, until, Milliseconds(500)), LinkUtilization(net, 0, 0, until),
               MeanRttMs(net, 0, until), 100.0 * AggregateLossRatio(net));
+  if (!args.metrics_out.empty()) {
+    std::FILE* f = std::fopen(args.metrics_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open --metrics-out file: %s\n", args.metrics_out.c_str());
+      return 1;
+    }
+    std::fprintf(f, "%s\n", MetricsRegistry::Global().ToJson().c_str());
+    std::fclose(f);
+    std::printf("metrics registry written to %s\n", args.metrics_out.c_str());
+  }
   return 0;
 }
 
