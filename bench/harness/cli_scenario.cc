@@ -1,0 +1,53 @@
+#include "bench/harness/cli_scenario.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/serve/remote_policy.h"
+#include "src/sim/queue_disc.h"
+
+namespace astraea {
+
+DumbbellConfig BuildDumbbellConfig(const ScenarioCliOptions& opts) {
+  DumbbellConfig config;
+  config.bandwidth = Mbps(opts.bw_mbps);
+  config.base_rtt = Milliseconds(static_cast<int64_t>(opts.rtt_ms));
+  config.buffer_bdp = opts.buffer_bdp;
+  config.random_loss = opts.loss;
+  config.seed = opts.seed;
+  if (!opts.trace_file.empty()) {
+    config.trace = std::make_shared<RateTrace>(LoadMahimahiTrace(opts.trace_file));
+  }
+  // AQM selection; capacity mirrors the DropTail sizing (buffer_bdp x BDP).
+  const uint64_t capacity = std::max<uint64_t>(
+      static_cast<uint64_t>(config.buffer_bdp *
+                            static_cast<double>(BdpBytes(config.bandwidth, config.base_rtt))),
+      3000);
+  if (opts.qdisc == "red") {
+    config.queue_factory = [capacity](Rng rng) -> std::unique_ptr<QueueDiscipline> {
+      RedConfig red;
+      red.capacity_bytes = capacity;
+      return std::make_unique<RedQueue>(red, rng);
+    };
+  } else if (opts.qdisc == "codel") {
+    config.queue_factory = [capacity](Rng) -> std::unique_ptr<QueueDiscipline> {
+      CoDelConfig codel;
+      codel.capacity_bytes = capacity;
+      return std::make_unique<CoDelQueue>(codel);
+    };
+  } else if (opts.qdisc != "droptail") {
+    std::fprintf(stderr, "unknown qdisc: %s\n", opts.qdisc.c_str());
+    std::exit(1);
+  }
+  return config;
+}
+
+std::shared_ptr<const Policy> MakeCliPolicy(const PolicyCliOptions& opts) {
+  std::shared_ptr<const Policy> local = LoadDefaultPolicy(opts.model);
+  if (opts.serve_socket.empty()) {
+    return local;
+  }
+  return serve::MakeServedPolicy(opts.serve_socket, opts.rpc_timeout, std::move(local));
+}
+
+}  // namespace astraea

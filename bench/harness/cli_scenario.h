@@ -1,0 +1,54 @@
+// Scenario- and policy-construction helpers shared by the CLI tools
+// (run_scenario, astraea_eval). Previously each tool hand-rolled its own
+// DumbbellConfig assembly (AQM factory, buffer sizing, trace loading) and its
+// own policy resolution; centralizing both here means a new capability —
+// like serving inference from an out-of-process `astraea_serve` via
+// --serve-socket — lands in every tool at once.
+//
+// These helpers follow the cli_flags.h contract: invalid user input prints
+// one clear line and exits. CLI-only by design.
+
+#ifndef BENCH_HARNESS_CLI_SCENARIO_H_
+#define BENCH_HARNESS_CLI_SCENARIO_H_
+
+#include <memory>
+#include <string>
+
+#include "bench/harness/scenario.h"
+#include "src/core/policy.h"
+#include "src/util/time.h"
+
+namespace astraea {
+
+// Dumbbell parameters as tools accept them on the command line.
+struct ScenarioCliOptions {
+  double bw_mbps = 100.0;
+  double rtt_ms = 30.0;
+  double buffer_bdp = 1.0;
+  double loss = 0.0;
+  uint64_t seed = 1;
+  std::string qdisc = "droptail";  // droptail | red | codel
+  std::string trace_file;          // mahimahi trace; overrides bandwidth
+};
+
+// Builds the DumbbellConfig, including the AQM queue factory (sized like the
+// DropTail default: buffer_bdp x BDP, floor 3000 bytes) and trace loading.
+// Exits with a CLI error on an unknown qdisc name.
+DumbbellConfig BuildDumbbellConfig(const ScenarioCliOptions& opts);
+
+// Astraea policy selection as tools accept it on the command line.
+struct PolicyCliOptions {
+  std::string model;         // checkpoint path; "" = default resolution
+  std::string serve_socket;  // when set, serve decisions from astraea_serve
+  TimeNs rpc_timeout = Milliseconds(20);
+};
+
+// Resolves the policy: with --serve-socket, a RemotePolicy against the
+// server with the locally-resolved policy as its degradation fallback;
+// otherwise the local policy itself. Never fails (an unreachable server
+// degrades to pure fallback with a warning).
+std::shared_ptr<const Policy> MakeCliPolicy(const PolicyCliOptions& opts);
+
+}  // namespace astraea
+
+#endif  // BENCH_HARNESS_CLI_SCENARIO_H_

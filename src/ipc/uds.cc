@@ -1,0 +1,195 @@
+#include "src/ipc/uds.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+
+#include "src/ipc/shm_ring.h"  // MonotonicNowNs
+
+namespace astraea {
+namespace ipc {
+
+namespace {
+
+bool FillSockaddr(const std::string& path, sockaddr_un* addr) {
+  if (path.empty() || path.size() >= sizeof(addr->sun_path)) {
+    errno = ENAMETOOLONG;
+    return false;
+  }
+  memset(addr, 0, sizeof(*addr));
+  addr->sun_family = AF_UNIX;
+  memcpy(addr->sun_path, path.c_str(), path.size());
+  return true;
+}
+
+void SetCloexecNonblock(int fd) {
+  fcntl(fd, F_SETFD, FD_CLOEXEC);
+  fcntl(fd, F_SETFL, fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
+}
+
+}  // namespace
+
+int ListenUnix(const std::string& path) {
+  sockaddr_un addr;
+  if (!FillSockaddr(path, &addr)) {
+    return -1;
+  }
+  const int fd = socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return -1;
+  }
+  unlink(path.c_str());  // stale socket from a previous run
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 || listen(fd, 64) != 0) {
+    const int saved = errno;
+    close(fd);
+    errno = saved;
+    return -1;
+  }
+  SetCloexecNonblock(fd);
+  return fd;
+}
+
+int ConnectUnix(const std::string& path) {
+  sockaddr_un addr;
+  if (!FillSockaddr(path, &addr)) {
+    return -1;
+  }
+  const int fd = socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return -1;
+  }
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int saved = errno;
+    close(fd);
+    errno = saved;
+    return -1;
+  }
+  return fd;
+}
+
+int AcceptNonBlocking(int listen_fd) {
+  const int fd = accept4(listen_fd, nullptr, nullptr, SOCK_CLOEXEC);
+  return fd;  // -1 with EAGAIN when nothing is pending
+}
+
+bool SendWithFds(int sock, const void* buf, size_t len, const int* fds, size_t nfds) {
+  iovec iov;
+  iov.iov_base = const_cast<void*>(buf);
+  iov.iov_len = len;
+
+  msghdr msg;
+  memset(&msg, 0, sizeof(msg));
+  msg.msg_iov = &iov;
+  msg.msg_iovlen = 1;
+
+  alignas(cmsghdr) char control[CMSG_SPACE(8 * sizeof(int))];
+  if (nfds > 0) {
+    if (nfds > 8) {
+      return false;
+    }
+    memset(control, 0, sizeof(control));
+    msg.msg_control = control;
+    msg.msg_controllen = CMSG_SPACE(nfds * sizeof(int));
+    cmsghdr* cmsg = CMSG_FIRSTHDR(&msg);
+    cmsg->cmsg_level = SOL_SOCKET;
+    cmsg->cmsg_type = SCM_RIGHTS;
+    cmsg->cmsg_len = CMSG_LEN(nfds * sizeof(int));
+    memcpy(CMSG_DATA(cmsg), fds, nfds * sizeof(int));
+  }
+  const ssize_t sent = sendmsg(sock, &msg, MSG_NOSIGNAL);
+  return sent == static_cast<ssize_t>(len);
+}
+
+bool RecvWithFds(int sock, void* buf, size_t len, int* fds_out, size_t max_fds,
+                 size_t* nfds_out, TimeNs timeout) {
+  if (nfds_out != nullptr) {
+    *nfds_out = 0;
+  }
+  size_t got = 0;
+  const TimeNs deadline = MonotonicNowNs() + std::max<TimeNs>(timeout, 0);
+  while (got < len) {
+    const TimeNs remaining = deadline - MonotonicNowNs();
+    if (remaining <= 0) {
+      return false;
+    }
+    pollfd pfd{sock, POLLIN, 0};
+    const int timeout_ms =
+        static_cast<int>(std::clamp<TimeNs>((remaining + kNanosPerMilli - 1) / kNanosPerMilli,
+                                            1, 60'000));
+    const int rc = poll(&pfd, 1, timeout_ms);
+    if (rc < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    if (rc == 0) {
+      continue;  // deadline re-checked at loop top
+    }
+
+    iovec iov;
+    iov.iov_base = static_cast<char*>(buf) + got;
+    iov.iov_len = len - got;
+    msghdr msg;
+    memset(&msg, 0, sizeof(msg));
+    msg.msg_iov = &iov;
+    msg.msg_iovlen = 1;
+    alignas(cmsghdr) char control[CMSG_SPACE(8 * sizeof(int))];
+    msg.msg_control = control;
+    msg.msg_controllen = sizeof(control);
+
+    const ssize_t n = recvmsg(sock, &msg, MSG_CMSG_CLOEXEC);
+    if (n == 0) {
+      return false;  // EOF mid-message
+    }
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+        continue;
+      }
+      return false;
+    }
+    got += static_cast<size_t>(n);
+    for (cmsghdr* cmsg = CMSG_FIRSTHDR(&msg); cmsg != nullptr; cmsg = CMSG_NXTHDR(&msg, cmsg)) {
+      if (cmsg->cmsg_level != SOL_SOCKET || cmsg->cmsg_type != SCM_RIGHTS) {
+        continue;
+      }
+      const size_t count = (cmsg->cmsg_len - CMSG_LEN(0)) / sizeof(int);
+      int received[8];
+      memcpy(received, CMSG_DATA(cmsg), std::min(count, size_t{8}) * sizeof(int));
+      for (size_t i = 0; i < count && i < 8; ++i) {
+        const size_t idx = nfds_out != nullptr ? *nfds_out : max_fds;
+        if (fds_out != nullptr && idx < max_fds) {
+          fds_out[idx] = received[i];
+          ++*nfds_out;
+        } else {
+          close(received[i]);  // unexpected descriptor: don't leak it
+        }
+      }
+    }
+  }
+  return true;
+}
+
+bool PeerAlive(int sock) {
+  if (sock < 0) {
+    return false;
+  }
+  char byte;
+  const ssize_t n = recv(sock, &byte, 1, MSG_PEEK | MSG_DONTWAIT);
+  if (n == 0) {
+    return false;  // orderly shutdown
+  }
+  if (n < 0) {
+    return errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR;
+  }
+  return true;  // unexpected payload still means the peer is alive
+}
+
+}  // namespace ipc
+}  // namespace astraea

@@ -1,0 +1,51 @@
+// Unix-domain-socket helpers for the inference-serving control channel:
+// listen/connect, non-blocking accept, and fixed-size message exchange with
+// SCM_RIGHTS file-descriptor passing (the client ships its memfd ring region
+// to the server; the server ships its doorbell eventfd back).
+//
+// All receives take a deadline — the control channel is only used for the
+// one-shot handshake and liveness checks, and a stuck peer must never wedge
+// the caller.
+
+#ifndef SRC_IPC_UDS_H_
+#define SRC_IPC_UDS_H_
+
+#include <cstddef>
+#include <string>
+
+#include "src/util/time.h"
+
+namespace astraea {
+namespace ipc {
+
+// Binds and listens on `path` (unlinking any stale socket first). Returns the
+// listening fd (non-blocking, CLOEXEC) or -1 with errno set.
+int ListenUnix(const std::string& path);
+
+// Connects to `path`. Returns a blocking socket fd or -1 with errno set.
+int ConnectUnix(const std::string& path);
+
+// Non-blocking accept; returns the connection fd (CLOEXEC) or -1 when no
+// client is pending (or on error).
+int AcceptNonBlocking(int listen_fd);
+
+// Sends exactly `len` bytes plus up to `nfds` descriptors in one message.
+// Returns false on any error (EPIPE included; SIGPIPE is suppressed).
+bool SendWithFds(int sock, const void* buf, size_t len, const int* fds, size_t nfds);
+
+// Receives exactly `len` bytes (plus any passed descriptors, up to `max_fds`,
+// stored into `fds_out` with the count in `*nfds_out`). Returns true on a
+// complete message within `timeout`; false on EOF, error, or deadline. Any
+// descriptors received on a failed/partial read are closed.
+bool RecvWithFds(int sock, void* buf, size_t len, int* fds_out, size_t max_fds,
+                 size_t* nfds_out, TimeNs timeout);
+
+// True while the peer has neither closed nor reset the connection. Performs a
+// non-blocking 1-byte MSG_PEEK; the serving protocol never sends payload data
+// after the handshake, so readable-with-zero means EOF.
+bool PeerAlive(int sock);
+
+}  // namespace ipc
+}  // namespace astraea
+
+#endif  // SRC_IPC_UDS_H_

@@ -625,6 +625,22 @@ Mlp Mlp::Load(BinaryReader* reader) {
   for (auto& d : net.dims_) {
     d = static_cast<int>(reader->ReadU32());
   }
+  // Validate the layer sizes before BuildLayout allocates anything: a
+  // truncated or corrupt checkpoint (stale file, failed hot-reload source)
+  // must surface as SerializationError — which every caller handles with a
+  // fallback — not as bad_alloc from a multi-gigabyte resize.
+  uint64_t expected_params = 0;
+  for (size_t i = 0; i + 1 < net.dims_.size(); ++i) {
+    const int in = net.dims_[i];
+    const int out = net.dims_[i + 1];
+    if (in < 1 || out < 1 || in > (1 << 20) || out > (1 << 20)) {
+      throw SerializationError("implausible MLP layer size in checkpoint");
+    }
+    expected_params += (static_cast<uint64_t>(in) + 1) * static_cast<uint64_t>(out);
+  }
+  if (expected_params * sizeof(float) > reader->remaining()) {
+    throw SerializationError("MLP checkpoint truncated: fewer bytes than parameters");
+  }
   net.BuildLayout();
   std::vector<float> params = reader->ReadFloatVec();
   if (params.size() != net.params_.size()) {

@@ -1,0 +1,346 @@
+#include "src/serve/inference_server.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+#include <thread>
+#include <unordered_set>
+
+#include "src/ipc/uds.h"
+#include "src/serve/serve_protocol.h"
+#include "src/util/checkpoint.h"
+#include "src/util/failpoint.h"
+#include "src/util/logging.h"
+#include "src/util/metrics.h"
+
+namespace astraea {
+namespace serve {
+
+Mlp LoadActorFile(const std::string& path) {
+  // Sniff the trailing footer magic to decide between the durable checkpoint
+  // container (Learner::SaveState-style) and the raw actor stream that
+  // astraea_train --out writes.
+  bool container = false;
+  {
+    std::ifstream f(path, std::ios::binary | std::ios::ate);
+    if (!f) {
+      throw SerializationError("cannot open actor checkpoint: " + path);
+    }
+    const std::streamoff size = f.tellg();
+    if (size >= static_cast<std::streamoff>(kCheckpointFooterSize)) {
+      f.seekg(size - 4);
+      uint32_t magic = 0;
+      f.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+      container = f.good() && magic == kCheckpointFooterMagic;
+    }
+  }
+  if (container) {
+    CheckpointReader ckpt(path);
+    return Mlp::Load(ckpt.payload());
+  }
+  BinaryReader reader(path);
+  return Mlp::Load(&reader);
+}
+
+InferenceServer::InferenceServer(InferenceServerConfig config) : config_(std::move(config)) {
+  actor_ = std::make_unique<Mlp>(LoadActorFile(config_.model_path));
+  model_input_dim_.store(actor_->input_size(), std::memory_order_release);
+  if (actor_->input_size() > static_cast<int>(kMaxStateDim)) {
+    throw std::runtime_error("actor input dim exceeds serving slot capacity");
+  }
+
+  listen_fd_ = ipc::ListenUnix(config_.socket_path);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error("cannot listen on serve socket: " + config_.socket_path);
+  }
+  event_fd_ = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  if (event_fd_ < 0 || epoll_fd_ < 0) {
+    throw std::runtime_error("cannot create serve wakeup fds");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.fd = event_fd_;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, event_fd_, &ev);
+
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  requests_total_ = &reg.GetCounter("serve.requests_total");
+  batches_total_ = &reg.GetCounter("serve.batches_total");
+  bad_requests_total_ = &reg.GetCounter("serve.bad_requests_total");
+  responses_dropped_total_ = &reg.GetCounter("serve.responses_dropped_total");
+  reloads_total_ = &reg.GetCounter("serve.reloads_total");
+  reload_errors_total_ = &reg.GetCounter("serve.reload_errors_total");
+  clients_gauge_ = &reg.GetGauge("serve.clients");
+  queue_depth_gauge_ = &reg.GetGauge("serve.queue_depth");
+  batch_size_hist_ = &reg.GetHistogram("serve.batch_size");
+  service_latency_hist_ = &reg.GetHistogram("serve.service_latency_seconds");
+}
+
+InferenceServer::~InferenceServer() {
+  for (auto& client : clients_) {
+    if (client->sock >= 0) {
+      close(client->sock);
+    }
+  }
+  if (epoll_fd_ >= 0) {
+    close(epoll_fd_);
+  }
+  if (event_fd_ >= 0) {
+    close(event_fd_);
+  }
+  if (listen_fd_ >= 0) {
+    close(listen_fd_);
+    unlink(config_.socket_path.c_str());
+  }
+}
+
+void InferenceServer::Run() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    MaybeReload();
+    AcceptClients();
+    DrainRequests();
+    if (pending_.empty()) {
+      IdleWait();
+      continue;
+    }
+    const TimeNs now = ipc::MonotonicNowNs();
+    const TimeNs deadline = pending_.front().enqueue_ns + config_.batch_window;
+    // Clients are synchronous (one outstanding request each), so once every
+    // live client has a request pending, no more can arrive: flush now
+    // instead of burning the rest of the batch window on a full batch.
+    size_t live = 0;
+    for (const auto& client : clients_) {
+      live += client->dead ? 0 : 1;
+    }
+    if (pending_.size() >= config_.max_batch || pending_.size() >= live || now >= deadline) {
+      FlushBatch();
+    } else {
+      // Sub-window spin: keep draining so late arrivals join this batch. The
+      // yield bounds CPU burn without giving up sub-millisecond reactivity.
+      std::this_thread::yield();
+    }
+  }
+}
+
+void InferenceServer::AcceptClients() {
+  while (true) {
+    const int sock = ipc::AcceptNonBlocking(listen_fd_);
+    if (sock < 0) {
+      return;
+    }
+    ClientHello hello{};
+    int fds[2] = {-1, -1};
+    size_t nfds = 0;
+    const bool got = ipc::RecvWithFds(sock, &hello, sizeof(hello), fds, 2, &nfds,
+                                      config_.handshake_timeout);
+    for (size_t i = 1; i < nfds; ++i) {
+      close(fds[i]);  // protocol sends exactly one fd; drop extras
+    }
+    if (!got || nfds < 1) {
+      if (nfds >= 1) {
+        close(fds[0]);
+      }
+      close(sock);
+      continue;
+    }
+    const bool hello_ok = hello.magic == kProtocolMagic && hello.version == kProtocolVersion &&
+                          hello.ring_slots == ipc::kRingSlots &&
+                          hello.slot_payload_bytes == ipc::kSlotPayloadBytes;
+    ipc::MappedRegion region;
+    if (hello_ok) {
+      region = ipc::MapRegion(fds[0]);
+    }
+    ServerHello reply{};
+    reply.magic = kProtocolMagic;
+    reply.version = kProtocolVersion;
+    reply.accepted = region ? 1 : 0;
+    reply.model_input_dim = static_cast<uint32_t>(model_input_dim_.load());
+    if (!region) {
+      close(fds[0]);
+      ipc::SendWithFds(sock, &reply, sizeof(reply), nullptr, 0);
+      close(sock);
+      continue;
+    }
+    if (!ipc::SendWithFds(sock, &reply, sizeof(reply), &event_fd_, 1)) {
+      close(sock);
+      continue;  // region unmapped+closed by its destructor
+    }
+    auto client = std::make_unique<Client>();
+    client->sock = sock;
+    client->region = std::move(region);
+    clients_.push_back(std::move(client));
+    client_count_.store(clients_.size(), std::memory_order_release);
+    clients_gauge_->Set(static_cast<double>(clients_.size()));
+    ASTRAEA_LOG(Info) << "serve: client connected (" << clients_.size() << " active)";
+  }
+}
+
+void InferenceServer::RespondError(Client* client, uint64_t req_id, uint32_t status) {
+  ResponseRecord resp{};
+  resp.req_id = req_id;
+  resp.status = status;
+  resp.action = 0.0f;
+  resp.crc = ResponseCrc(resp);
+  if (!client->region->response.TryPush(&resp, sizeof(resp))) {
+    responses_dropped_total_->Increment();
+  }
+  ipc::WakeConsumer(&client->region->response);
+}
+
+void InferenceServer::DrainRequests() {
+  const int dim = model_input_dim_.load(std::memory_order_relaxed);
+  const TimeNs now = ipc::MonotonicNowNs();
+  for (size_t c = 0; c < clients_.size(); ++c) {
+    Client* client = clients_[c].get();
+    if (client->dead) {
+      continue;
+    }
+    RequestRecord req{};
+    while (pending_.size() < config_.max_batch &&
+           client->region->request.TryPop(&req, sizeof(req))) {
+      requests_total_->Increment();
+      if (!ValidRequest(req) || req.state_dim != static_cast<uint32_t>(dim)) {
+        bad_requests_total_->Increment();
+        RespondError(client, req.req_id, static_cast<uint32_t>(ResponseStatus::kBadRequest));
+        continue;
+      }
+      batch_states_.insert(batch_states_.end(), req.state, req.state + req.state_dim);
+      pending_.push_back(Pending{c, req.req_id, now});
+    }
+  }
+}
+
+void InferenceServer::FlushBatch() {
+  // A crash injected here is the worst case for clients: their requests have
+  // been consumed from the rings but no response will ever be written.
+  ASTRAEA_FAILPOINT("serve.flush.mid_batch");
+  const size_t n = pending_.size();
+  queue_depth_gauge_->Set(static_cast<double>(n));
+  batch_size_hist_->Observe(static_cast<double>(n));
+
+  bool infer_ok = true;
+  std::span<const float> out;
+  try {
+    out = actor_->InferBatchSpan(batch_states_, n);
+  } catch (const std::exception& e) {
+    ASTRAEA_LOG(Warning) << "serve: batched inference failed: " << e.what();
+    infer_ok = false;
+  }
+  const size_t out_dim = static_cast<size_t>(actor_->output_size());
+
+  const TimeNs now = ipc::MonotonicNowNs();
+  std::unordered_set<size_t> touched;
+  for (size_t i = 0; i < n; ++i) {
+    const Pending& p = pending_[i];
+    Client* client = clients_[p.client_index].get();
+    ResponseRecord resp{};
+    resp.req_id = p.req_id;
+    if (infer_ok) {
+      resp.status = static_cast<uint32_t>(ResponseStatus::kOk);
+      resp.action = std::clamp(out[i * out_dim], -1.0f, 1.0f);
+    } else {
+      resp.status = static_cast<uint32_t>(ResponseStatus::kServerError);
+      resp.action = 0.0f;
+    }
+    resp.crc = ResponseCrc(resp);
+    try {
+      ASTRAEA_FAILPOINT("serve.respond.corrupt");
+    } catch (const failpoint::Injected&) {
+      resp.crc ^= 0xA5A5A5A5u;  // deliberate CRC damage: client must reject it
+    }
+    if (!client->region->response.TryPush(&resp, sizeof(resp))) {
+      responses_dropped_total_->Increment();
+    }
+    service_latency_hist_->Observe(ToSeconds(std::max<TimeNs>(now - p.enqueue_ns, 0)));
+    touched.insert(p.client_index);
+  }
+  for (const size_t c : touched) {
+    ipc::WakeConsumer(&clients_[c]->region->response);
+  }
+  served_total_.fetch_add(n, std::memory_order_acq_rel);
+  batches_total_->Increment();
+  pending_.clear();
+  batch_states_.clear();
+}
+
+void InferenceServer::MaybeReload() {
+  if (!reload_.exchange(false, std::memory_order_acq_rel)) {
+    return;
+  }
+  try {
+    Mlp next = LoadActorFile(config_.model_path);
+    if (next.input_size() > static_cast<int>(kMaxStateDim)) {
+      throw SerializationError("reloaded actor input dim exceeds serving slot capacity");
+    }
+    actor_ = std::make_unique<Mlp>(std::move(next));
+    model_input_dim_.store(actor_->input_size(), std::memory_order_release);
+    reloads_total_->Increment();
+    reloads_done_.fetch_add(1, std::memory_order_acq_rel);
+    ASTRAEA_LOG(Info) << "serve: reloaded model from " << config_.model_path;
+  } catch (const std::exception& e) {
+    // Keep serving the previous actor; a bad swap must not take the service down.
+    reload_errors_total_->Increment();
+    ASTRAEA_LOG(Warning) << "serve: model reload failed (" << e.what()
+                         << "); keeping previous actor";
+  }
+}
+
+void InferenceServer::ReapDeadClients() {
+  bool changed = false;
+  for (auto it = clients_.begin(); it != clients_.end();) {
+    if ((*it)->dead || !ipc::PeerAlive((*it)->sock)) {
+      close((*it)->sock);
+      it = clients_.erase(it);
+      changed = true;
+    } else {
+      ++it;
+    }
+  }
+  if (changed) {
+    client_count_.store(clients_.size(), std::memory_order_release);
+    clients_gauge_->Set(static_cast<double>(clients_.size()));
+    ASTRAEA_LOG(Info) << "serve: client disconnected (" << clients_.size() << " active)";
+  }
+}
+
+void InferenceServer::IdleWait() {
+  // Only safe when pending_ is empty: reaping renumbers client indices.
+  ReapDeadClients();
+
+  // Arm the parked flags, then re-check every ring: a request published
+  // between the drain and the park must be noticed before we sleep.
+  for (auto& client : clients_) {
+    client->region->request.consumer_parked.store(1, std::memory_order_seq_cst);
+  }
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  bool work = false;
+  for (auto& client : clients_) {
+    if (client->region->request.SizeApprox() > 0) {
+      work = true;
+      break;
+    }
+  }
+  if (!work) {
+    epoll_event events[4];
+    const int timeout_ms = static_cast<int>(
+        std::clamp<TimeNs>(config_.idle_wait / kNanosPerMilli, 1, 1000));
+    epoll_wait(epoll_fd_, events, 4, timeout_ms);
+  }
+  for (auto& client : clients_) {
+    client->region->request.consumer_parked.store(0, std::memory_order_release);
+  }
+  // Drain the eventfd counter so the next doorbell write re-arms epoll.
+  uint64_t drained;
+  while (read(event_fd_, &drained, sizeof(drained)) > 0) {
+  }
+}
+
+}  // namespace serve
+}  // namespace astraea

@@ -1,0 +1,151 @@
+// Out-of-process inference server (paper §4, Fig. 16's serving boundary).
+//
+// One thread owns everything: it accepts clients over the unix-socket control
+// channel, maps their shared-memory ring pairs, and runs a deadline batcher —
+// requests drained from all client rings are flushed through one batched
+// forward pass when either `max_batch` requests are pending or the oldest
+// pending request has waited `batch_window`. This is the same
+// flush-on-occupancy-or-deadline policy as the in-process InferenceService,
+// applied across process boundaries.
+//
+// Hot reload: RequestReload() (wired to SIGHUP in tools/astraea_serve) makes
+// the loop re-load the actor from `model_path` between batches — never
+// mid-batch — so an atomic-symlink swap of the checkpoint upgrades the model
+// with zero dropped requests. A failed load keeps the old actor serving.
+//
+// Failure injection (src/util/failpoint.h):
+//   serve.flush.mid_batch   after requests are consumed from client rings,
+//                           before any response is written — a crash here is
+//                           the worst case for clients (requests swallowed),
+//                           and must degrade every one of them to their local
+//                           fallback policy.
+//   serve.respond.corrupt   "throw" action corrupts one response record's CRC
+//                           instead of throwing — exercises the client-side
+//                           validation path end to end.
+//
+// Metrics (MetricsRegistry::Global()):
+//   serve.requests_total / serve.batches_total / serve.bad_requests_total /
+//   serve.responses_dropped_total / serve.reloads_total /
+//   serve.reload_errors_total (counters)
+//   serve.clients / serve.queue_depth (gauges)
+//   serve.batch_size / serve.service_latency_seconds (histograms; latency is
+//   ring-enqueue-drain to response-publish, i.e. the server-side component of
+//   a decision's end-to-end latency)
+
+#ifndef SRC_SERVE_INFERENCE_SERVER_H_
+#define SRC_SERVE_INFERENCE_SERVER_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/ipc/shm_ring.h"
+#include "src/nn/mlp.h"
+#include "src/util/time.h"
+
+namespace astraea {
+
+class Counter;
+class Gauge;
+class Histogram;
+
+namespace serve {
+
+// Loads an actor network from `path`, accepting either a PR-2 checkpoint
+// container (CRC32 footer; detected by its trailing magic) or a raw
+// BinaryWriter stream (tools/astraea_train --out format). Throws
+// SerializationError when the file is missing or corrupt.
+Mlp LoadActorFile(const std::string& path);
+
+struct InferenceServerConfig {
+  std::string socket_path;
+  std::string model_path;
+  TimeNs batch_window = Microseconds(500);
+  size_t max_batch = 64;
+  // How long the accept path may wait for a client's hello message.
+  TimeNs handshake_timeout = Milliseconds(200);
+  // Idle park duration per wait (bounded so Stop() is prompt).
+  TimeNs idle_wait = Milliseconds(5);
+};
+
+class InferenceServer {
+ public:
+  // Binds the socket and loads the model; throws std::runtime_error /
+  // SerializationError on failure.
+  explicit InferenceServer(InferenceServerConfig config);
+  ~InferenceServer();
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  // Serves until Stop(). Run this on a dedicated thread (or as the main
+  // thread of astraea_serve).
+  void Run();
+
+  // Async-signal-safe: both only store an atomic flag read by the loop.
+  void Stop() { stop_.store(true, std::memory_order_release); }
+  void RequestReload() { reload_.store(true, std::memory_order_release); }
+
+  const InferenceServerConfig& config() const { return config_; }
+  int model_input_dim() const { return model_input_dim_.load(std::memory_order_acquire); }
+  // Observable progress for tests / the CLI status line.
+  uint64_t served_total() const { return served_total_.load(std::memory_order_acquire); }
+  size_t client_count() const { return client_count_.load(std::memory_order_acquire); }
+  uint64_t reload_count() const { return reloads_done_.load(std::memory_order_acquire); }
+
+ private:
+  struct Client {
+    int sock = -1;
+    ipc::MappedRegion region;
+    bool dead = false;
+  };
+  struct Pending {
+    size_t client_index;
+    uint64_t req_id;
+    TimeNs enqueue_ns;  // monotonic receive time on the server
+  };
+
+  void AcceptClients();
+  void DrainRequests();
+  void FlushBatch();
+  void MaybeReload();
+  void IdleWait();
+  void ReapDeadClients();
+  void RespondError(Client* client, uint64_t req_id, uint32_t status);
+
+  InferenceServerConfig config_;
+  std::unique_ptr<Mlp> actor_;
+  std::atomic<int> model_input_dim_{0};
+
+  int listen_fd_ = -1;
+  int event_fd_ = -1;
+  int epoll_fd_ = -1;
+
+  std::vector<std::unique_ptr<Client>> clients_;
+  std::vector<Pending> pending_;
+  std::vector<float> batch_states_;  // row-major [pending x model_input_dim]
+
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> reload_{false};
+  std::atomic<uint64_t> served_total_{0};
+  std::atomic<size_t> client_count_{0};
+  std::atomic<uint64_t> reloads_done_{0};
+
+  // Cached metric handles (registry references are stable).
+  Counter* requests_total_;
+  Counter* batches_total_;
+  Counter* bad_requests_total_;
+  Counter* responses_dropped_total_;
+  Counter* reloads_total_;
+  Counter* reload_errors_total_;
+  Gauge* clients_gauge_;
+  Gauge* queue_depth_gauge_;
+  Histogram* batch_size_hist_;
+  Histogram* service_latency_hist_;
+};
+
+}  // namespace serve
+}  // namespace astraea
+
+#endif  // SRC_SERVE_INFERENCE_SERVER_H_

@@ -1,0 +1,205 @@
+#include "src/serve/remote_policy.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+
+#include "src/ipc/uds.h"
+#include "src/serve/serve_protocol.h"
+#include "src/util/logging.h"
+#include "src/util/metrics.h"
+
+namespace astraea {
+namespace serve {
+
+std::unique_ptr<ServeClient> ServeClient::Connect(const ServeClientConfig& config) {
+  ipc::MappedRegion region = ipc::CreateRegion();
+  if (!region) {
+    return nullptr;
+  }
+  const int sock = ipc::ConnectUnix(config.socket_path);
+  if (sock < 0) {
+    return nullptr;
+  }
+  ClientHello hello{};
+  hello.magic = kProtocolMagic;
+  hello.version = kProtocolVersion;
+  hello.ring_slots = ipc::kRingSlots;
+  hello.slot_payload_bytes = ipc::kSlotPayloadBytes;
+  const int region_fd = region.fd();
+  if (!ipc::SendWithFds(sock, &hello, sizeof(hello), &region_fd, 1)) {
+    close(sock);
+    return nullptr;
+  }
+  ServerHello reply{};
+  int fds[2] = {-1, -1};
+  size_t nfds = 0;
+  if (!ipc::RecvWithFds(sock, &reply, sizeof(reply), fds, 2, &nfds, config.connect_timeout)) {
+    close(sock);
+    return nullptr;
+  }
+  for (size_t i = 1; i < nfds; ++i) {
+    close(fds[i]);
+  }
+  if (reply.magic != kProtocolMagic || reply.version != kProtocolVersion ||
+      reply.accepted == 0 || nfds < 1) {
+    if (nfds >= 1) {
+      close(fds[0]);
+    }
+    close(sock);
+    return nullptr;
+  }
+  return std::unique_ptr<ServeClient>(new ServeClient(
+      config, std::move(region), sock, fds[0], static_cast<int>(reply.model_input_dim)));
+}
+
+ServeClient::ServeClient(ServeClientConfig config, ipc::MappedRegion region, int sock,
+                         int event_fd, int model_input_dim)
+    : config_(std::move(config)),
+      region_(std::move(region)),
+      sock_(sock),
+      event_fd_(event_fd),
+      model_input_dim_(model_input_dim) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  requests_total_ = &reg.GetCounter("serve.client.requests_total");
+  timeouts_total_ = &reg.GetCounter("serve.client.timeouts_total");
+  corrupt_total_ = &reg.GetCounter("serve.client.corrupt_total");
+  outstanding_gauge_ = &reg.GetGauge("serve.client.outstanding");
+  latency_hist_ = &reg.GetHistogram("serve.client.latency_seconds");
+}
+
+ServeClient::~ServeClient() {
+  if (sock_ >= 0) {
+    close(sock_);
+  }
+  if (event_fd_ >= 0) {
+    close(event_fd_);
+  }
+}
+
+bool ServeClient::healthy() const { return healthy_; }
+
+void ServeClient::MarkDead() {
+  if (healthy_) {
+    healthy_ = false;
+    ASTRAEA_LOG(Warning) << "serve: server unreachable; degrading to local fallback policy";
+  }
+}
+
+bool ServeClient::CheckServerAlive() {
+  if (!ipc::PeerAlive(sock_)) {
+    MarkDead();
+    return false;
+  }
+  return true;
+}
+
+std::optional<double> ServeClient::Request(std::span<const float> state) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!healthy_) {
+    return std::nullopt;
+  }
+  if (state.empty() || state.size() > kMaxStateDim) {
+    return std::nullopt;
+  }
+  requests_total_->Increment();
+  const uint64_t id = ++next_req_id_;
+  RequestRecord req{};
+  req.req_id = id;
+  req.state_dim = static_cast<uint32_t>(state.size());
+  std::copy(state.begin(), state.end(), req.state);
+  req.crc = RequestCrc(req);
+
+  const TimeNs t0 = ipc::MonotonicNowNs();
+  if (!region_->request.TryPush(&req, sizeof(req))) {
+    // Ring full: the server has not consumed anything for a whole ring's
+    // worth of requests — check whether it is still there at all.
+    CheckServerAlive();
+    timeouts_total_->Increment();
+    return std::nullopt;
+  }
+  outstanding_gauge_->Add(1.0);
+  // Dekker handshake with the server's idle park (see SpscRing docs): the
+  // push's doorbell bump must be globally visible before the parked-flag
+  // read, and a parked server is woken through its shared eventfd.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (region_->request.consumer_parked.load(std::memory_order_relaxed) != 0) {
+    const uint64_t one = 1;
+    [[maybe_unused]] const ssize_t n = write(event_fd_, &one, sizeof(one));
+  }
+
+  const TimeNs deadline = t0 + std::max<TimeNs>(config_.rpc_timeout, 0);
+  uint32_t seen = region_->response.doorbell.load(std::memory_order_acquire);
+  while (true) {
+    ResponseRecord resp{};
+    while (region_->response.TryPop(&resp, sizeof(resp))) {
+      if (!ValidResponse(resp)) {
+        // A record that fails its CRC means the region can no longer be
+        // trusted; stop using it rather than risk acting on garbage.
+        corrupt_total_->Increment();
+        MarkDead();
+        outstanding_gauge_->Add(-1.0);
+        return std::nullopt;
+      }
+      if (resp.req_id < id) {
+        continue;  // stale answer to a request we already gave up on
+      }
+      outstanding_gauge_->Add(-1.0);
+      if (resp.req_id != id || resp.status != static_cast<uint32_t>(ResponseStatus::kOk) ||
+          !std::isfinite(resp.action)) {
+        return std::nullopt;
+      }
+      latency_hist_->Observe(ToSeconds(ipc::MonotonicNowNs() - t0));
+      return std::clamp(static_cast<double>(resp.action), -1.0, 1.0);
+    }
+    const TimeNs now = ipc::MonotonicNowNs();
+    if (now >= deadline) {
+      ++timeouts_;
+      timeouts_total_->Increment();
+      outstanding_gauge_->Add(-1.0);
+      // Distinguish "slow" (per-request fallback, keep trying) from "dead"
+      // (permanent fallback, stop paying the timeout on every decision).
+      CheckServerAlive();
+      return std::nullopt;
+    }
+    seen = ipc::WaitDoorbell(&region_->response, seen, deadline - now);
+  }
+}
+
+RemotePolicy::RemotePolicy(std::unique_ptr<ServeClient> client,
+                           std::shared_ptr<const Policy> fallback)
+    : client_(std::move(client)), fallback_(std::move(fallback)) {
+  fallback_total_ = &MetricsRegistry::Global().GetCounter("serve.fallback_total");
+}
+
+double RemotePolicy::Act(const StateView& view) const {
+  if (client_ != nullptr) {
+    if (const std::optional<double> action = client_->Request(view.state_vector)) {
+      return *action;
+    }
+  }
+  fallback_total_->Increment();
+  return fallback_->Act(view);
+}
+
+std::shared_ptr<const Policy> MakeServedPolicy(const std::string& socket_path,
+                                               TimeNs rpc_timeout,
+                                               std::shared_ptr<const Policy> fallback) {
+  if (fallback == nullptr) {
+    fallback = LoadDefaultPolicy();
+  }
+  ServeClientConfig config;
+  config.socket_path = socket_path;
+  config.rpc_timeout = rpc_timeout;
+  std::unique_ptr<ServeClient> client = ServeClient::Connect(config);
+  if (client == nullptr) {
+    ASTRAEA_LOG(Warning) << "serve: cannot reach inference server at " << socket_path
+                         << "; every decision will use the local fallback policy";
+  }
+  return std::make_shared<RemotePolicy>(std::move(client), std::move(fallback));
+}
+
+}  // namespace serve
+}  // namespace astraea

@@ -1,0 +1,135 @@
+// Client side of the inference-serving subsystem.
+//
+// `ServeClient` owns one shared-memory ring pair against a running
+// `astraea_serve` (it creates the memfd region, hands it over during the
+// unix-socket handshake, and keeps the socket open purely for death
+// detection). `Request()` is synchronous with a hard per-request deadline:
+// the caller gets either the served action or std::nullopt — never a stall.
+//
+// `RemotePolicy` adapts that to the existing `Policy` interface so
+// AstraeaController / run_scenario / astraea_eval can switch between
+// in-process and served inference with one flag. Degradation is graceful by
+// construction: any timeout, corruption, rejection, or server death makes
+// Act() fall back to a local policy (default: the distilled controller) and
+// bump `serve.fallback_total` — a sender never blocks on a sick server
+// longer than the RPC timeout, and a dead server costs nothing after it is
+// detected.
+//
+// Client-side metrics: serve.client.requests_total,
+// serve.client.timeouts_total, serve.client.corrupt_total,
+// serve.fallback_total (counters); serve.client.outstanding (gauge);
+// serve.client.latency_seconds (end-to-end decision latency histogram).
+
+#ifndef SRC_SERVE_REMOTE_POLICY_H_
+#define SRC_SERVE_REMOTE_POLICY_H_
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "src/core/policy.h"
+#include "src/ipc/shm_ring.h"
+#include "src/util/time.h"
+
+namespace astraea {
+
+class Counter;
+class Gauge;
+class Histogram;
+
+namespace serve {
+
+struct ServeClientConfig {
+  std::string socket_path;
+  // Per-request deadline; on expiry the caller falls back locally.
+  TimeNs rpc_timeout = Milliseconds(20);
+  TimeNs connect_timeout = Milliseconds(500);
+};
+
+class ServeClient {
+ public:
+  // Connects and completes the handshake. Returns nullptr on any failure
+  // (no server, protocol mismatch, handshake timeout).
+  static std::unique_ptr<ServeClient> Connect(const ServeClientConfig& config);
+  ~ServeClient();
+
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  // Blocking round trip, bounded by rpc_timeout. Returns the action in
+  // [-1, 1], or nullopt on timeout / corruption / rejection / dead server.
+  // Serialized internally (the ring is single-producer), so a shared client
+  // is safe to call from multiple threads, one request at a time.
+  std::optional<double> Request(std::span<const float> state);
+
+  // False once the server has been observed dead (socket EOF) or the rings
+  // are untrusted (corrupt record seen); Request() then fails immediately.
+  bool healthy() const;
+
+  int model_input_dim() const { return model_input_dim_; }
+  uint64_t timeouts() const { return timeouts_; }
+
+  // Test hook: direct access to the shared region (e.g. to inject
+  // corruption). The region stays valid for the client's lifetime.
+  ipc::ShmRegion* region_for_test() { return region_.get(); }
+
+ private:
+  ServeClient(ServeClientConfig config, ipc::MappedRegion region, int sock, int event_fd,
+              int model_input_dim);
+
+  void MarkDead();
+  bool CheckServerAlive();
+
+  ServeClientConfig config_;
+  ipc::MappedRegion region_;
+  int sock_ = -1;
+  int event_fd_ = -1;  // server's doorbell (shared across clients)
+  int model_input_dim_ = 0;
+
+  std::mutex mu_;  // serializes Request(): SPSC ring, one producer at a time
+  uint64_t next_req_id_ = 0;
+  uint64_t timeouts_ = 0;
+  bool healthy_ = true;
+
+  Counter* requests_total_;
+  Counter* timeouts_total_;
+  Counter* corrupt_total_;
+  Gauge* outstanding_gauge_;
+  Histogram* latency_hist_;
+};
+
+// Policy adapter: served inference with graceful local fallback.
+class RemotePolicy : public Policy {
+ public:
+  // `client` may be nullptr (e.g. the server was unreachable at startup);
+  // the policy is then a pure pass-through to `fallback`, still counting
+  // each miss in serve.fallback_total.
+  RemotePolicy(std::unique_ptr<ServeClient> client, std::shared_ptr<const Policy> fallback);
+
+  double Act(const StateView& view) const override;
+  std::string name() const override { return "astraea-remote"; }
+
+  const ServeClient* client() const { return client_.get(); }
+  ServeClient* mutable_client() { return client_.get(); }
+  const Policy& fallback() const { return *fallback_; }
+
+ private:
+  std::unique_ptr<ServeClient> client_;
+  std::shared_ptr<const Policy> fallback_;
+  Counter* fallback_total_;
+};
+
+// Convenience: connect to `socket_path` and wrap the result in a
+// RemotePolicy over `fallback` (default: LoadDefaultPolicy()). Logs a
+// warning and returns a fallback-only policy when the server is unreachable
+// — callers always get a usable policy.
+std::shared_ptr<const Policy> MakeServedPolicy(const std::string& socket_path,
+                                               TimeNs rpc_timeout,
+                                               std::shared_ptr<const Policy> fallback = nullptr);
+
+}  // namespace serve
+}  // namespace astraea
+
+#endif  // SRC_SERVE_REMOTE_POLICY_H_

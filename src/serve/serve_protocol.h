@@ -1,0 +1,105 @@
+// Wire protocol between `astraea_serve` and its clients.
+//
+// Control channel (unix stream socket): one fixed-size hello each way.
+//   client -> server: ClientHello + SCM_RIGHTS{memfd of the ShmRegion}
+//   server -> client: ServerHello + SCM_RIGHTS{server doorbell eventfd}
+// After the handshake the socket carries no payload; it exists so either side
+// can detect the other's death (EOF) cheaply.
+//
+// Data path (shared memory, see ipc/shm_ring.h): fixed-size request/response
+// records. Every record carries a CRC32 over its meaningful bytes, so a
+// bit-flipped slot is detected and dropped rather than interpreted — the
+// receiving side's reaction to corruption is always "treat as missing",
+// which the client converts into a local-policy fallback at its deadline.
+
+#ifndef SRC_SERVE_SERVE_PROTOCOL_H_
+#define SRC_SERVE_SERVE_PROTOCOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include "src/ipc/shm_ring.h"
+#include "src/util/checkpoint.h"
+
+namespace astraea {
+namespace serve {
+
+inline constexpr uint32_t kProtocolMagic = 0x41535256;  // "ASRV"
+inline constexpr uint32_t kProtocolVersion = 1;
+
+// Largest state vector a request slot can carry. The paper's deployed model
+// consumes 40 floats (8 features x w=5); 60 leaves headroom for deeper
+// history windows without changing the slot layout.
+inline constexpr size_t kMaxStateDim = 60;
+
+struct ClientHello {
+  uint32_t magic;
+  uint32_t version;
+  uint32_t ring_slots;          // must equal ipc::kRingSlots
+  uint32_t slot_payload_bytes;  // must equal ipc::kSlotPayloadBytes
+};
+
+struct ServerHello {
+  uint32_t magic;
+  uint32_t version;
+  uint32_t accepted;  // 0 = rejected (mismatched protocol/ring layout)
+  uint32_t model_input_dim;
+};
+
+struct RequestRecord {
+  uint64_t req_id;     // client-local, strictly increasing
+  uint32_t state_dim;  // number of valid floats in `state`
+  uint32_t crc;        // CRC32 over req_id, state_dim, state[0..state_dim)
+  float state[kMaxStateDim];
+};
+
+enum class ResponseStatus : uint32_t {
+  kOk = 0,
+  kBadRequest = 1,   // CRC/dim validation failed server-side
+  kServerError = 2,  // inference failed
+};
+
+struct ResponseRecord {
+  uint64_t req_id;
+  uint32_t status;  // ResponseStatus
+  uint32_t crc;     // CRC32 over req_id, status, action
+  float action;
+  float reserved[3];
+};
+
+static_assert(sizeof(RequestRecord) <= ipc::kSlotPayloadBytes);
+static_assert(sizeof(ResponseRecord) <= ipc::kSlotPayloadBytes);
+
+inline uint32_t RequestCrc(const RequestRecord& r) {
+  // CRC the fixed header fields and only the *valid* prefix of the state, so
+  // garbage beyond state_dim can't affect the checksum.
+  unsigned char buf[sizeof(uint64_t) + sizeof(uint32_t) + sizeof(r.state)];
+  std::memcpy(buf, &r.req_id, sizeof(r.req_id));
+  std::memcpy(buf + sizeof(r.req_id), &r.state_dim, sizeof(r.state_dim));
+  const size_t dim = r.state_dim <= kMaxStateDim ? r.state_dim : 0;
+  std::memcpy(buf + sizeof(r.req_id) + sizeof(r.state_dim), r.state, dim * sizeof(float));
+  return Crc32(buf, sizeof(r.req_id) + sizeof(r.state_dim) + dim * sizeof(float));
+}
+
+inline uint32_t ResponseCrc(const ResponseRecord& r) {
+  unsigned char buf[sizeof(uint64_t) + sizeof(uint32_t) + sizeof(float)];
+  std::memcpy(buf, &r.req_id, sizeof(r.req_id));
+  std::memcpy(buf + sizeof(r.req_id), &r.status, sizeof(r.status));
+  std::memcpy(buf + sizeof(r.req_id) + sizeof(r.status), &r.action, sizeof(r.action));
+  return Crc32(buf, sizeof(buf));
+}
+
+inline bool ValidRequest(const RequestRecord& r) {
+  return r.state_dim >= 1 && r.state_dim <= kMaxStateDim && r.crc == RequestCrc(r);
+}
+
+inline bool ValidResponse(const ResponseRecord& r) {
+  return r.status <= static_cast<uint32_t>(ResponseStatus::kServerError) &&
+         r.crc == ResponseCrc(r);
+}
+
+}  // namespace serve
+}  // namespace astraea
+
+#endif  // SRC_SERVE_SERVE_PROTOCOL_H_

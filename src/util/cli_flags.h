@@ -11,9 +11,13 @@
 
 #include <cerrno>
 #include <cinttypes>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+
+#include "src/util/time.h"
 
 namespace astraea {
 namespace cli {
@@ -67,6 +71,46 @@ inline double ParseDouble(const char* flag, const char* value, double lo, double
     FlagError(flag, value, why);
   }
   return v;
+}
+
+// Parses a human-readable duration — a nonnegative decimal number immediately
+// followed by one of the suffixes "ns", "us", "ms", "s" (e.g. "500us", "5ms",
+// "1.5s") — into nanoseconds. The suffix is mandatory: a bare number would
+// silently mean different things to different flags. The result must land in
+// [lo, hi] nanoseconds.
+inline TimeNs ParseDuration(const char* flag, const char* value, TimeNs lo, TimeNs hi) {
+  errno = 0;
+  char* end = nullptr;
+  const double magnitude = std::strtod(value, &end);
+  if (end == value) {
+    FlagError(flag, value, "not a duration (expected e.g. 500us, 5ms, 1s)");
+  }
+  if (errno == ERANGE || !(magnitude >= 0.0) || !std::isfinite(magnitude)) {
+    FlagError(flag, value, "duration must be a finite nonnegative number");
+  }
+  double scale = 0.0;
+  if (std::strcmp(end, "ns") == 0) {
+    scale = 1.0;
+  } else if (std::strcmp(end, "us") == 0) {
+    scale = static_cast<double>(kNanosPerMicro);
+  } else if (std::strcmp(end, "ms") == 0) {
+    scale = static_cast<double>(kNanosPerMilli);
+  } else if (std::strcmp(end, "s") == 0) {
+    scale = static_cast<double>(kNanosPerSec);
+  } else {
+    FlagError(flag, value, "missing or unknown unit (use ns, us, ms or s)");
+  }
+  const double ns = magnitude * scale;
+  if (ns > static_cast<double>(INT64_MAX)) {
+    FlagError(flag, value, "duration overflows the nanosecond range");
+  }
+  const TimeNs result = static_cast<TimeNs>(std::llround(ns));
+  if (result < lo || result > hi) {
+    char why[96];
+    std::snprintf(why, sizeof(why), "must be in [%" PRId64 "ns, %" PRId64 "ns]", lo, hi);
+    FlagError(flag, value, why);
+  }
+  return result;
 }
 
 }  // namespace cli

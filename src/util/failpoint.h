@@ -26,6 +26,10 @@
 //   ckpt.commit.before_dirsync renamed, directory entry not yet fsynced
 //   learner.episode            top of each Learner::Train episode
 //   inference.flush            entry of InferenceService::Flush
+//   serve.flush.mid_batch      astraea_serve: requests drained from client
+//                              rings, no response written yet (worst case)
+//   serve.respond.corrupt      astraea_serve: ":throw" corrupts one response
+//                              CRC instead, exercising client validation
 
 #ifndef SRC_UTIL_FAILPOINT_H_
 #define SRC_UTIL_FAILPOINT_H_

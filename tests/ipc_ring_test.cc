@@ -1,0 +1,283 @@
+// Tests for the shared-memory SPSC ring (src/ipc/shm_ring.h): single-thread
+// semantics, wraparound, full-ring backpressure, cross-thread stress (the
+// TSan target), doorbell wakeups, region mapping validation, and a
+// corruption fuzz pass — arbitrary bit flips in the shared region may make
+// records disappear, but must never crash, fault, or hang a bounded caller.
+
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "src/ipc/shm_ring.h"
+#include "src/util/rng.h"
+
+namespace astraea {
+namespace ipc {
+namespace {
+
+// Small self-checking payload used throughout.
+struct Record {
+  uint64_t index;
+  uint64_t check;
+};
+
+Record MakeRecord(uint64_t i) { return Record{i, i * 0x9E3779B97F4A7C15ull + 1}; }
+
+bool RecordOk(const Record& r) { return r.check == r.index * 0x9E3779B97F4A7C15ull + 1; }
+
+TEST(SpscRingTest, PushPopFifo) {
+  MappedRegion region = CreateRegion();
+  ASSERT_TRUE(region);
+  SpscRing* ring = &region->request;
+
+  EXPECT_EQ(ring->SizeApprox(), 0u);
+  Record out{};
+  EXPECT_FALSE(ring->TryPop(&out, sizeof(out)));
+
+  for (uint64_t i = 0; i < 10; ++i) {
+    const Record r = MakeRecord(i);
+    ASSERT_TRUE(ring->TryPush(&r, sizeof(r)));
+  }
+  EXPECT_EQ(ring->SizeApprox(), 10u);
+  for (uint64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(ring->TryPop(&out, sizeof(out)));
+    EXPECT_EQ(out.index, i);
+    EXPECT_TRUE(RecordOk(out));
+  }
+  EXPECT_FALSE(ring->TryPop(&out, sizeof(out)));
+}
+
+TEST(SpscRingTest, FullRingBackpressure) {
+  MappedRegion region = CreateRegion();
+  ASSERT_TRUE(region);
+  SpscRing* ring = &region->request;
+
+  for (uint64_t i = 0; i < kRingSlots; ++i) {
+    const Record r = MakeRecord(i);
+    ASSERT_TRUE(ring->TryPush(&r, sizeof(r))) << "slot " << i;
+  }
+  const Record extra = MakeRecord(999);
+  EXPECT_FALSE(ring->TryPush(&extra, sizeof(extra))) << "push into a full ring must fail";
+  EXPECT_EQ(ring->SizeApprox(), kRingSlots);
+
+  // Freeing exactly one slot re-admits exactly one record.
+  Record out{};
+  ASSERT_TRUE(ring->TryPop(&out, sizeof(out)));
+  EXPECT_EQ(out.index, 0u);
+  EXPECT_TRUE(ring->TryPush(&extra, sizeof(extra)));
+  EXPECT_FALSE(ring->TryPush(&extra, sizeof(extra)));
+}
+
+TEST(SpscRingTest, WraparoundPreservesData) {
+  MappedRegion region = CreateRegion();
+  ASSERT_TRUE(region);
+  SpscRing* ring = &region->request;
+
+  // Keep the ring near-full while cycling through it many times, so every
+  // slot's sequence header wraps repeatedly.
+  uint64_t next_push = 0;
+  uint64_t next_pop = 0;
+  const uint64_t total = 10 * kRingSlots + 7;
+  while (next_pop < total) {
+    while (next_push < total) {
+      const Record r = MakeRecord(next_push);
+      if (!ring->TryPush(&r, sizeof(r))) {
+        break;
+      }
+      ++next_push;
+    }
+    Record out{};
+    ASSERT_TRUE(ring->TryPop(&out, sizeof(out)));
+    EXPECT_EQ(out.index, next_pop);
+    EXPECT_TRUE(RecordOk(out));
+    ++next_pop;
+  }
+  EXPECT_EQ(ring->SizeApprox(), 0u);
+}
+
+// The TSan target: one producer thread, one consumer thread, both rings of a
+// region active at once (mirroring the request/response full duplex), futex
+// doorbells exercised on both sides.
+TEST(SpscRingTest, ConcurrentStressTwoRings) {
+  MappedRegion region = CreateRegion();
+  ASSERT_TRUE(region);
+  constexpr uint64_t kCount = 50'000;
+
+  auto produce = [](SpscRing* ring) {
+    for (uint64_t i = 0; i < kCount; ++i) {
+      const Record r = MakeRecord(i);
+      while (!ring->TryPush(&r, sizeof(r))) {
+        std::this_thread::yield();
+      }
+      WakeConsumer(ring);
+    }
+  };
+  auto consume = [](SpscRing* ring, uint64_t* bad) {
+    uint32_t seen = ring->doorbell.load(std::memory_order_acquire);
+    for (uint64_t i = 0; i < kCount;) {
+      Record out{};
+      if (ring->TryPop(&out, sizeof(out))) {
+        if (out.index != i || !RecordOk(out)) {
+          ++*bad;
+        }
+        ++i;
+        continue;
+      }
+      seen = WaitDoorbell(ring, seen, Milliseconds(1));
+    }
+  };
+
+  uint64_t bad_request = 0;
+  uint64_t bad_response = 0;
+  std::thread client([&] {
+    std::thread producer(produce, &region->request);
+    consume(&region->response, &bad_response);
+    producer.join();
+  });
+  std::thread server([&] {
+    std::thread producer(produce, &region->response);
+    consume(&region->request, &bad_request);
+    producer.join();
+  });
+  client.join();
+  server.join();
+  EXPECT_EQ(bad_request, 0u);
+  EXPECT_EQ(bad_response, 0u);
+  EXPECT_EQ(region->request.SizeApprox(), 0u);
+  EXPECT_EQ(region->response.SizeApprox(), 0u);
+}
+
+TEST(SpscRingTest, DoorbellWakesParkedConsumer) {
+  MappedRegion region = CreateRegion();
+  ASSERT_TRUE(region);
+  SpscRing* ring = &region->request;
+
+  Record out{};
+  std::thread consumer([&] {
+    uint32_t seen = ring->doorbell.load(std::memory_order_acquire);
+    const TimeNs deadline = MonotonicNowNs() + Seconds(10.0);
+    while (!ring->TryPop(&out, sizeof(out))) {
+      ASSERT_LT(MonotonicNowNs(), deadline) << "consumer never woke";
+      seen = WaitDoorbell(ring, seen, Milliseconds(50));
+    }
+  });
+  // Give the consumer time to finish its spin phase and park on the futex,
+  // so the wake path (not just the spin path) is exercised.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const Record r = MakeRecord(7);
+  ASSERT_TRUE(ring->TryPush(&r, sizeof(r)));
+  WakeConsumer(ring);
+  consumer.join();
+  EXPECT_EQ(out.index, 7u);
+}
+
+TEST(SpscRingTest, WaitDoorbellRespectsDeadlineWhenNothingArrives) {
+  MappedRegion region = CreateRegion();
+  ASSERT_TRUE(region);
+  SpscRing* ring = &region->request;
+
+  const uint32_t seen = ring->doorbell.load(std::memory_order_acquire);
+  const TimeNs start = MonotonicNowNs();
+  WaitDoorbell(ring, seen, Milliseconds(30));
+  const TimeNs elapsed = MonotonicNowNs() - start;
+  // Must come back around the deadline: not instantly forever-spinning the
+  // caller's budget away, and far from unbounded.
+  EXPECT_LT(elapsed, Seconds(5.0));
+}
+
+TEST(MappedRegionTest, SecondMappingSharesMemory) {
+  MappedRegion client = CreateRegion();
+  ASSERT_TRUE(client);
+  const int fd2 = dup(client.fd());
+  ASSERT_GE(fd2, 0);
+  MappedRegion server = MapRegion(fd2);
+  ASSERT_TRUE(server) << "server must accept a freshly created region";
+
+  const Record r = MakeRecord(42);
+  ASSERT_TRUE(client->request.TryPush(&r, sizeof(r)));
+  Record out{};
+  ASSERT_TRUE(server->request.TryPop(&out, sizeof(out)));
+  EXPECT_EQ(out.index, 42u);
+}
+
+TEST(MappedRegionTest, RejectsWrongSizeAndBadHeader) {
+  EXPECT_FALSE(MapRegion(-1));
+
+  // A too-small file must be rejected before any field is trusted.
+  char path[] = "/tmp/astraea_ring_bad_XXXXXX";
+  const int small_fd = mkstemp(path);
+  ASSERT_GE(small_fd, 0);
+  ASSERT_EQ(ftruncate(small_fd, 128), 0);
+  EXPECT_FALSE(MapRegion(small_fd));
+  close(small_fd);
+
+  // A right-sized file with a zeroed (wrong-magic) header is also rejected.
+  char path2[] = "/tmp/astraea_ring_bad2_XXXXXX";
+  const int zero_fd = mkstemp(path2);
+  ASSERT_GE(zero_fd, 0);
+  ASSERT_EQ(ftruncate(zero_fd, static_cast<off_t>(sizeof(ShmRegion))), 0);
+  EXPECT_FALSE(MapRegion(zero_fd));
+  close(zero_fd);
+  unlink(path);
+  unlink(path2);
+}
+
+// Corruption fuzz: flip random bits anywhere in a ring — cursors, sequence
+// headers, payload — then hammer it with bounded push/pop. The contract is
+// purely "no crash, no fault, no unbounded work"; lost or phantom records are
+// expected and handled by the protocol layer's CRCs.
+TEST(SpscRingTest, CorruptionFuzzNeverCrashesOrHangs) {
+  MappedRegion region = CreateRegion();
+  ASSERT_TRUE(region);
+  SpscRing* ring = &region->request;
+  Rng rng(1234);
+  unsigned char* raw = reinterpret_cast<unsigned char*>(ring);
+
+  for (int round = 0; round < 200; ++round) {
+    // Random legitimate traffic first, so corruption lands on live state.
+    for (int i = 0; i < 16; ++i) {
+      const Record r = MakeRecord(static_cast<uint64_t>(rng.UniformInt(0, 1 << 20)));
+      if (rng.Uniform() < 0.6) {
+        ring->TryPush(&r, sizeof(r));
+      } else {
+        Record out{};
+        ring->TryPop(&out, sizeof(out));
+      }
+    }
+    for (int flip = 0; flip < 8; ++flip) {
+      const size_t byte = static_cast<size_t>(rng.UniformInt(0, sizeof(SpscRing) - 1));
+      raw[byte] ^= static_cast<unsigned char>(1u << rng.UniformInt(0, 7));
+    }
+    // Every operation stays individually bounded on arbitrary garbage.
+    for (size_t i = 0; i < 2 * kRingSlots; ++i) {
+      Record out{};
+      ring->TryPop(&out, sizeof(out));
+      const Record r = MakeRecord(i);
+      ring->TryPush(&r, sizeof(r));
+      ring->SizeApprox();
+    }
+    // The deadline must hold even when the doorbell word itself is garbage.
+    WaitDoorbell(ring, ring->doorbell.load(std::memory_order_acquire) - 1, 0);
+  }
+
+  // Re-initialization restores a fully functional ring.
+  ring->Init();
+  for (uint64_t i = 0; i < kRingSlots; ++i) {
+    const Record r = MakeRecord(i);
+    ASSERT_TRUE(ring->TryPush(&r, sizeof(r)));
+  }
+  for (uint64_t i = 0; i < kRingSlots; ++i) {
+    Record out{};
+    ASSERT_TRUE(ring->TryPop(&out, sizeof(out)));
+    EXPECT_EQ(out.index, i);
+  }
+}
+
+}  // namespace
+}  // namespace ipc
+}  // namespace astraea

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <filesystem>
 
+#include "src/util/cli_flags.h"
 #include "src/util/rng.h"
 #include "src/util/serialization.h"
 #include "src/util/stats.h"
@@ -29,6 +30,40 @@ TEST(TimeTest, TransmissionDelayRoundsUp) {
 TEST(TimeTest, BdpBytes) {
   // 100 Mbps * 30 ms = 375000 bytes.
   EXPECT_EQ(BdpBytes(Mbps(100), Milliseconds(30)), 375'000u);
+}
+
+TEST(ParseDurationTest, AcceptsEveryUnit) {
+  constexpr TimeNs kLo = 0;
+  constexpr TimeNs kHi = Seconds(100.0);
+  EXPECT_EQ(cli::ParseDuration("--t", "250ns", kLo, kHi), 250);
+  EXPECT_EQ(cli::ParseDuration("--t", "500us", kLo, kHi), Microseconds(500));
+  EXPECT_EQ(cli::ParseDuration("--t", "5ms", kLo, kHi), Milliseconds(5));
+  EXPECT_EQ(cli::ParseDuration("--t", "1s", kLo, kHi), Seconds(1.0));
+  EXPECT_EQ(cli::ParseDuration("--t", "1.5ms", kLo, kHi), Microseconds(1500));
+  EXPECT_EQ(cli::ParseDuration("--t", "0.25s", kLo, kHi), Milliseconds(250));
+  EXPECT_EQ(cli::ParseDuration("--t", "0ns", kLo, kHi), 0);
+}
+
+TEST(ParseDurationDeathTest, RejectsMalformedValues) {
+  constexpr TimeNs kLo = Microseconds(10);
+  constexpr TimeNs kHi = Seconds(60.0);
+  // Unit suffixes are mandatory: a bare number would silently mean different
+  // things to different flags.
+  EXPECT_EXIT(cli::ParseDuration("--t", "500", kLo, kHi), testing::ExitedWithCode(1),
+              "invalid value for --t");
+  EXPECT_EXIT(cli::ParseDuration("--t", "banana", kLo, kHi), testing::ExitedWithCode(1),
+              "not a duration");
+  EXPECT_EXIT(cli::ParseDuration("--t", "5m", kLo, kHi), testing::ExitedWithCode(1),
+              "unknown unit");
+  EXPECT_EXIT(cli::ParseDuration("--t", "-5ms", kLo, kHi), testing::ExitedWithCode(1),
+              "nonnegative");
+  EXPECT_EXIT(cli::ParseDuration("--t", "1e300s", kLo, kHi), testing::ExitedWithCode(1),
+              "invalid value for --t");
+  // In-range enforcement: below lo and above hi both fail.
+  EXPECT_EXIT(cli::ParseDuration("--t", "1us", kLo, kHi), testing::ExitedWithCode(1),
+              "must be in");
+  EXPECT_EXIT(cli::ParseDuration("--t", "90s", kLo, kHi), testing::ExitedWithCode(1),
+              "must be in");
 }
 
 TEST(RngTest, DeterministicGivenSeed) {

@@ -3,6 +3,9 @@
 //
 //   astraea_eval                          # distilled / default policy
 //   astraea_eval --model models/foo.ckpt  # a specific checkpoint
+//   astraea_eval --serve-socket /tmp/astraea.sock [--rpc-timeout 20ms]
+//                                         # score decisions served by
+//                                         # astraea_serve over shm IPC
 //
 // Scenarios: single-flow utilization, 3-flow fairness/convergence,
 // RTT-heterogeneous fairness, CUBIC coexistence, cellular trace, satellite.
@@ -11,9 +14,11 @@
 #include <cstring>
 #include <string>
 
+#include "bench/harness/cli_scenario.h"
 #include "bench/harness/metrics.h"
 #include "bench/harness/scenario.h"
 #include "bench/harness/table.h"
+#include "src/util/cli_flags.h"
 
 namespace astraea {
 namespace {
@@ -26,21 +31,29 @@ struct Score {
 };
 
 int Main(int argc, char** argv) {
-  std::string model;
+  PolicyCliOptions policy_opts;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--model") == 0) {
+    auto next = [&](const char* flag) -> const char* {
       if (i + 1 >= argc) {
-        std::fprintf(stderr, "missing value for --model\n");
-        return 1;
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        std::exit(1);
       }
-      model = argv[++i];
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--model") == 0) {
+      policy_opts.model = next("--model");
+    } else if (std::strcmp(argv[i], "--serve-socket") == 0) {
+      policy_opts.serve_socket = next("--serve-socket");
+    } else if (std::strcmp(argv[i], "--rpc-timeout") == 0) {
+      policy_opts.rpc_timeout =
+          cli::ParseDuration("--rpc-timeout", next("--rpc-timeout"), Microseconds(10), Seconds(60.0));
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return 1;
     }
   }
   SchemeOptions options;
-  options.astraea_policy = LoadDefaultPolicy(model);
+  options.astraea_policy = MakeCliPolicy(policy_opts);
   std::printf("policy under evaluation: %s\n\n", options.astraea_policy->name().c_str());
 
   std::vector<Score> scores;

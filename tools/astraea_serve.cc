@@ -1,0 +1,123 @@
+// astraea_serve: the out-of-process inference server (paper §4). Senders —
+// run_scenario / astraea_eval with --serve-socket, or the Fig. 16 serving
+// benchmark — connect over a unix-domain control socket and exchange
+// decisions through shared-memory ring pairs; the server batches requests
+// across all clients into single forward passes.
+//
+//   astraea_serve --socket /tmp/astraea.sock --model models/policy.ckpt
+//                 [--batch-window 500us] [--max-batch 64]
+//                 [--metrics-out serve_metrics.json]
+//
+// Signals:
+//   SIGHUP          hot-reload the model between batches. Combined with an
+//                   atomic symlink swap of --model (ln -sfn new.ckpt tmp &&
+//                   mv -T tmp policy.ckpt), this upgrades the served policy
+//                   with zero dropped requests.
+//   SIGINT/SIGTERM  graceful shutdown (writes --metrics-out if given).
+//
+// The model file may be either a raw actor stream (astraea_train --out) or a
+// durable CRC-footer checkpoint container.
+
+#include <signal.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "src/serve/inference_server.h"
+#include "src/util/cli_flags.h"
+#include "src/util/metrics.h"
+
+namespace astraea {
+namespace {
+
+serve::InferenceServer* g_server = nullptr;
+
+void OnSignal(int signum) {
+  // Both handlers only store atomic flags — async-signal-safe.
+  if (g_server == nullptr) {
+    return;
+  }
+  if (signum == SIGHUP) {
+    g_server->RequestReload();
+  } else {
+    g_server->Stop();
+  }
+}
+
+int Main(int argc, char** argv) {
+  serve::InferenceServerConfig config;
+  config.socket_path = "/tmp/astraea.sock";
+  std::string metrics_out;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--socket") == 0) {
+      config.socket_path = next("--socket");
+    } else if (std::strcmp(argv[i], "--model") == 0) {
+      config.model_path = next("--model");
+    } else if (std::strcmp(argv[i], "--batch-window") == 0) {
+      config.batch_window = cli::ParseDuration("--batch-window", next("--batch-window"),
+                                               Microseconds(1), Seconds(1.0));
+    } else if (std::strcmp(argv[i], "--max-batch") == 0) {
+      config.max_batch = static_cast<size_t>(
+          cli::ParseInt("--max-batch", next("--max-batch"), 1, 4096));
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0) {
+      metrics_out = next("--metrics-out");
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 1;
+    }
+  }
+  if (config.model_path.empty()) {
+    std::fprintf(stderr, "astraea_serve: --model is required (a trained actor checkpoint, "
+                         "e.g. models/astraea_policy_trained.ckpt)\n");
+    return 1;
+  }
+
+  try {
+    serve::InferenceServer server(std::move(config));
+    g_server = &server;
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = OnSignal;
+    sigaction(SIGHUP, &sa, nullptr);
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+
+    std::printf("astraea_serve: model %s (input dim %d), socket %s, batch window %s, "
+                "max batch %zu\n",
+                server.config().model_path.c_str(), server.model_input_dim(),
+                server.config().socket_path.c_str(),
+                FormatTime(server.config().batch_window).c_str(), server.config().max_batch);
+    std::fflush(stdout);
+    server.Run();
+    g_server = nullptr;
+
+    std::printf("astraea_serve: served %llu decisions; shutting down\n",
+                static_cast<unsigned long long>(server.served_total()));
+    if (!metrics_out.empty()) {
+      std::FILE* f = std::fopen(metrics_out.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot open --metrics-out file: %s\n", metrics_out.c_str());
+        return 1;
+      }
+      std::fprintf(f, "%s\n", MetricsRegistry::Global().ToJson().c_str());
+      std::fclose(f);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "astraea_serve: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace astraea
+
+int main(int argc, char** argv) { return astraea::Main(argc, argv); }

@@ -4,10 +4,17 @@
 //                --interval 40 --duration 120 --until 200 [--timeline]
 //                [--qdisc droptail|red|codel] [--trace file.mahimahi]
 //                [--trace-out run.trace] [--trace-format binary|jsonl]
-//                [--metrics-out metrics.json]
+//                [--metrics-out metrics.json] [--model ckpt]
+//                [--serve-socket /tmp/astraea.sock] [--rpc-timeout 20ms]
 //
 // Prints per-flow mean throughputs, the average Jain index, utilization and
 // latency, optionally with a 1-second throughput timeline.
+//
+// --serve-socket routes every Astraea policy decision to an out-of-process
+// `astraea_serve` over shared-memory IPC instead of in-process inference;
+// requests that exceed --rpc-timeout (and all requests once the server dies)
+// degrade gracefully to the local fallback policy, counted in the
+// serve.fallback_total metric.
 //
 // --trace-out records every packet event (enqueue/dequeue/drop/send/ack/loss/
 // rto/cwnd/action) to a file — binary by default (convert with trace_dump),
@@ -20,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/harness/cli_scenario.h"
 #include "bench/harness/metrics.h"
 #include "bench/harness/scenario.h"
 #include "bench/harness/table.h"
@@ -33,17 +41,12 @@ namespace {
 struct Args {
   std::string scheme = "astraea";
   int flows = 2;
-  double bw_mbps = 100.0;
-  double rtt_ms = 30.0;
-  double buffer_bdp = 1.0;
-  double loss = 0.0;
+  ScenarioCliOptions dumbbell;
+  PolicyCliOptions policy;
   double interval_s = 0.0;  // stagger between flow starts
   double duration_s = -1.0;
   double until_s = 60.0;
   bool timeline = false;
-  uint64_t seed = 1;
-  std::string qdisc = "droptail";
-  std::string trace_file;
   std::string csv_out;
   std::string trace_out;
   std::string trace_format = "binary";
@@ -65,13 +68,13 @@ Args Parse(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--flows") == 0) {
       a.flows = static_cast<int>(cli::ParseInt("--flows", next("--flows"), 1, 10000));
     } else if (std::strcmp(argv[i], "--bw") == 0) {
-      a.bw_mbps = cli::ParseDouble("--bw", next("--bw"), 0.001, 1e6);
+      a.dumbbell.bw_mbps = cli::ParseDouble("--bw", next("--bw"), 0.001, 1e6);
     } else if (std::strcmp(argv[i], "--rtt") == 0) {
-      a.rtt_ms = cli::ParseDouble("--rtt", next("--rtt"), 0.01, 60000.0);
+      a.dumbbell.rtt_ms = cli::ParseDouble("--rtt", next("--rtt"), 0.01, 60000.0);
     } else if (std::strcmp(argv[i], "--buffer") == 0) {
-      a.buffer_bdp = cli::ParseDouble("--buffer", next("--buffer"), 0.001, 10000.0);
+      a.dumbbell.buffer_bdp = cli::ParseDouble("--buffer", next("--buffer"), 0.001, 10000.0);
     } else if (std::strcmp(argv[i], "--loss") == 0) {
-      a.loss = cli::ParseDouble("--loss", next("--loss"), 0.0, 1.0);
+      a.dumbbell.loss = cli::ParseDouble("--loss", next("--loss"), 0.0, 1.0);
     } else if (std::strcmp(argv[i], "--interval") == 0) {
       a.interval_s = cli::ParseDouble("--interval", next("--interval"), 0.0, 1e6);
     } else if (std::strcmp(argv[i], "--duration") == 0) {
@@ -79,11 +82,18 @@ Args Parse(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--until") == 0) {
       a.until_s = cli::ParseDouble("--until", next("--until"), 0.1, 1e6);
     } else if (std::strcmp(argv[i], "--seed") == 0) {
-      a.seed = cli::ParseU64("--seed", next("--seed"));
+      a.dumbbell.seed = cli::ParseU64("--seed", next("--seed"));
     } else if (std::strcmp(argv[i], "--qdisc") == 0) {
-      a.qdisc = next("--qdisc");
+      a.dumbbell.qdisc = next("--qdisc");
     } else if (std::strcmp(argv[i], "--trace") == 0) {
-      a.trace_file = next("--trace");
+      a.dumbbell.trace_file = next("--trace");
+    } else if (std::strcmp(argv[i], "--model") == 0) {
+      a.policy.model = next("--model");
+    } else if (std::strcmp(argv[i], "--serve-socket") == 0) {
+      a.policy.serve_socket = next("--serve-socket");
+    } else if (std::strcmp(argv[i], "--rpc-timeout") == 0) {
+      a.policy.rpc_timeout =
+          cli::ParseDuration("--rpc-timeout", next("--rpc-timeout"), Microseconds(10), Seconds(60.0));
     } else if (std::strcmp(argv[i], "--csv") == 0) {
       a.csv_out = next("--csv");
     } else if (std::strcmp(argv[i], "--trace-out") == 0) {
@@ -109,37 +119,8 @@ Args Parse(int argc, char** argv) {
 int Main(int argc, char** argv) {
   const Args args = Parse(argc, argv);
 
-  DumbbellConfig config;
-  config.bandwidth = Mbps(args.bw_mbps);
-  config.base_rtt = Milliseconds(static_cast<int64_t>(args.rtt_ms));
-  config.buffer_bdp = args.buffer_bdp;
-  config.random_loss = args.loss;
-  config.seed = args.seed;
-  if (!args.trace_file.empty()) {
-    config.trace = std::make_shared<RateTrace>(LoadMahimahiTrace(args.trace_file));
-  }
-  // AQM selection; capacity mirrors the DropTail sizing (buffer_bdp x BDP).
-  const uint64_t capacity = std::max<uint64_t>(
-      static_cast<uint64_t>(config.buffer_bdp *
-                            static_cast<double>(BdpBytes(config.bandwidth, config.base_rtt))),
-      3000);
-  if (args.qdisc == "red") {
-    config.queue_factory = [capacity](Rng rng) -> std::unique_ptr<QueueDiscipline> {
-      RedConfig red;
-      red.capacity_bytes = capacity;
-      return std::make_unique<RedQueue>(red, rng);
-    };
-  } else if (args.qdisc == "codel") {
-    config.queue_factory = [capacity](Rng) -> std::unique_ptr<QueueDiscipline> {
-      CoDelConfig codel;
-      codel.capacity_bytes = capacity;
-      return std::make_unique<CoDelQueue>(codel);
-    };
-  } else if (args.qdisc != "droptail") {
-    std::fprintf(stderr, "unknown qdisc: %s\n", args.qdisc.c_str());
-    return 1;
-  }
-  DumbbellScenario scenario(config);
+  DumbbellScenario scenario(BuildDumbbellConfig(args.dumbbell));
+  scenario.scheme_options().astraea_policy = MakeCliPolicy(args.policy);
 
   for (int i = 0; i < args.flows; ++i) {
     const TimeNs start = Seconds(args.interval_s * i);
