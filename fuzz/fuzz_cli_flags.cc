@@ -1,0 +1,33 @@
+// Fuzz target: the CLI flag/duration parsers (src/util/cli_flags.h), via
+// their non-exiting TryParse* cores. Contracts under arbitrary
+// (NUL-terminated) text: no crash, no exit, and any accepted value sits
+// inside the caller-declared range.
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "src/util/cli_flags.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  std::string why;
+
+  int64_t i = 0;
+  if (astraea::cli::TryParseInt(text.c_str(), -100, 100, &i, &why) && (i < -100 || i > 100)) {
+    std::abort();
+  }
+  uint64_t u = 0;
+  astraea::cli::TryParseU64(text.c_str(), &u, &why);
+  double d = 0.0;
+  if (astraea::cli::TryParseDouble(text.c_str(), 0.0, 1.0, &d, &why) && !(d >= 0.0 && d <= 1.0)) {
+    std::abort();
+  }
+  astraea::TimeNs t = 0;
+  if (astraea::cli::TryParseDuration(text.c_str(), astraea::Microseconds(10),
+                                     astraea::Seconds(60.0), &t, &why) &&
+      (t < astraea::Microseconds(10) || t > astraea::Seconds(60.0))) {
+    std::abort();
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Fuzz target: the astraea_serve shared-memory record formats
+// (src/serve/serve_protocol.h). The first input byte selects the record
+// kind; the rest is splatted over the record. Contracts: the validators and
+// CRC functions never read past the record under any field values (notably
+// state_dim far beyond kMaxStateDim), a record that validates has in-range
+// fields, and re-stamping a record with its own CRC makes it valid iff its
+// structural fields are in range.
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/serve/serve_protocol.h"
+
+namespace {
+
+void FuzzRequest(const uint8_t* data, size_t size) {
+  astraea::serve::RequestRecord r{};
+  std::memcpy(&r, data, size < sizeof(r) ? size : sizeof(r));
+  const bool valid = astraea::serve::ValidRequest(r);
+  if (valid && (r.state_dim < 1 || r.state_dim > astraea::serve::kMaxStateDim)) {
+    std::abort();  // validator accepted an out-of-range state_dim
+  }
+  // Round-trip: stamping the true CRC must validate exactly the structurally
+  // sound records.
+  r.crc = astraea::serve::RequestCrc(r);
+  const bool dim_ok = r.state_dim >= 1 && r.state_dim <= astraea::serve::kMaxStateDim;
+  if (astraea::serve::ValidRequest(r) != dim_ok) {
+    std::abort();
+  }
+}
+
+void FuzzResponse(const uint8_t* data, size_t size) {
+  astraea::serve::ResponseRecord r{};
+  std::memcpy(&r, data, size < sizeof(r) ? size : sizeof(r));
+  const bool valid = astraea::serve::ValidResponse(r);
+  if (valid &&
+      r.status > static_cast<uint32_t>(astraea::serve::ResponseStatus::kServerError)) {
+    std::abort();  // validator accepted an unknown status
+  }
+  r.crc = astraea::serve::ResponseCrc(r);
+  const bool status_ok =
+      r.status <= static_cast<uint32_t>(astraea::serve::ResponseStatus::kServerError);
+  if (astraea::serve::ValidResponse(r) != status_ok) {
+    std::abort();
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size < 1) {
+    return 0;
+  }
+  if (data[0] % 2 == 0) {
+    FuzzRequest(data + 1, size - 1);
+  } else {
+    FuzzResponse(data + 1, size - 1);
+  }
+  return 0;
+}

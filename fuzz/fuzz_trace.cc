@@ -1,0 +1,31 @@
+// Fuzz target: the binary trace reader (src/sim/trace.h). Contract under
+// arbitrary bytes: ParseBinaryTrace either returns events or throws
+// std::runtime_error — never crashes. Every returned event must carry a
+// known type tag, and the record arithmetic must account for every byte
+// (header + 41 B per record).
+
+#include <cstdint>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+#include "src/sim/trace.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  try {
+    const std::vector<astraea::TraceEvent> events = astraea::ParseBinaryTrace(data, size);
+    constexpr size_t kHeader = 12;   // magic + version + record size
+    constexpr size_t kRecord = 41;
+    if (size != kHeader + events.size() * kRecord) {
+      std::abort();  // parser accepted a partial record
+    }
+    for (const astraea::TraceEvent& ev : events) {
+      if (static_cast<uint8_t>(ev.type) > static_cast<uint8_t>(astraea::TraceEventType::kAction)) {
+        std::abort();  // parser let an unknown type tag through
+      }
+    }
+  } catch (const std::runtime_error&) {
+    // Expected for malformed input.
+  }
+  return 0;
+}

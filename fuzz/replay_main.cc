@@ -1,0 +1,35 @@
+// Replay driver linked into every fuzz target when ASTRAEA_FUZZ is OFF (the
+// default, and the only option on gcc-only machines — libFuzzer needs clang).
+// Each command-line argument is a corpus file; its bytes are fed once through
+// the target's LLVMFuzzerTestOneInput. This is how ctest runs the checked-in
+// seed corpus deterministically in every build, fuzzing engine or not; with
+// ASTRAEA_FUZZ=ON libFuzzer's own main provides the same file-replay
+// behavior plus mutation.
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s corpus-file...\n", argv[0]);
+    return 2;
+  }
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i], std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot open corpus file: %s\n", argv[i]);
+      return 2;
+    }
+    const std::string bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(bytes.data()), bytes.size());
+    std::printf("replayed %s (%zu bytes)\n", argv[i], bytes.size());
+  }
+  return 0;
+}

@@ -1,12 +1,24 @@
 #include "src/sim/endpoint.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
+#include <string>
 #include <utility>
 
+#include "src/sim/invariants.h"
 #include "src/util/logging.h"
 
 namespace astraea {
+
+namespace {
+// Every kDeepAuditPeriod-th check also recounts in-flight bytes against the
+// outstanding list (O(window)); the per-event checks stay O(1).
+constexpr uint64_t kDeepAuditPeriod = 256;
+// Generous cwnd ceiling: 1 TiB in flight means the controller's arithmetic
+// overflowed or went negative, not that the network is fast.
+constexpr uint64_t kMaxSaneCwndBytes = 1ULL << 40;
+}  // namespace
 
 void Receiver::Accept(Packet pkt) {
   received_bytes_ += pkt.size_bytes;
@@ -39,6 +51,58 @@ Sender::Sender(EventQueue* events, int flow_id, Route data_route,
 }
 
 Sender::~Sender() = default;
+
+void Sender::VerifyInvariants(const char* where, bool deep) const {
+  if (!invariants::Enabled()) {
+    return;
+  }
+  // Conservation: every sent byte is acked, declared lost, or still in
+  // flight. Wire/queue drops live in "in flight" until the ACK gap or the
+  // RTO writes them off, so this holds at every instant.
+  if (stats_.bytes_sent != stats_.bytes_acked + stats_.bytes_lost + inflight_bytes_) {
+    invariants::Report("flow.conservation",
+                       std::string(where) + " flow " + std::to_string(flow_id_) + ": sent " +
+                           std::to_string(stats_.bytes_sent) + " B != acked " +
+                           std::to_string(stats_.bytes_acked) + " + lost " +
+                           std::to_string(stats_.bytes_lost) + " + inflight " +
+                           std::to_string(inflight_bytes_) + " B");
+  }
+  // Controllers may legitimately report cwnd 0 before Start() or after a
+  // Stop() collapse, so the zero check only applies while the flow transmits.
+  const uint64_t cwnd = cc_->cwnd_bytes();
+  if ((cwnd == 0 && running_) || cwnd > kMaxSaneCwndBytes) {
+    invariants::Report("cc.cwnd_range", std::string(where) + " flow " +
+                                            std::to_string(flow_id_) + " (" + cc_->name() +
+                                            "): cwnd " + std::to_string(cwnd) + " B");
+  }
+  if (const std::optional<double> pacing = cc_->pacing_bps(); pacing.has_value()) {
+    if (!std::isfinite(*pacing) || *pacing < 0.0 || (*pacing == 0.0 && running_)) {
+      invariants::Report("cc.pacing_range", std::string(where) + " flow " +
+                                                std::to_string(flow_id_) + " (" + cc_->name() +
+                                                "): pacing " + std::to_string(*pacing) + " bps");
+    }
+  }
+  // Note: min_rtt can transiently exceed srtt after the windowed min expires
+  // while the EWMA is still converging, so only sign sanity is checked here.
+  if (srtt_ < 0 || min_rtt_ < 0) {
+    invariants::Report("flow.rtt_estimators",
+                       std::string(where) + " flow " + std::to_string(flow_id_) + ": srtt " +
+                           std::to_string(srtt_) + " ns, min_rtt " + std::to_string(min_rtt_) +
+                           " ns");
+  }
+  if (deep) {
+    uint64_t recount = 0;
+    for (const Outstanding& o : outstanding_) {
+      recount += o.size_bytes;
+    }
+    if (recount != inflight_bytes_) {
+      invariants::Report("flow.inflight_audit",
+                         std::string(where) + " flow " + std::to_string(flow_id_) +
+                             ": inflight counter " + std::to_string(inflight_bytes_) +
+                             " B != outstanding-list total " + std::to_string(recount) + " B");
+    }
+  }
+}
 
 void Sender::set_tracer(Tracer* tracer) {
   tracer_ = tracer;
@@ -249,6 +313,9 @@ void Sender::OnAckArrival(uint64_t seq, TimeNs data_sent_time, uint32_t size_byt
     }
     ArmRtoTimer();
   }
+  if (invariants::Enabled()) {
+    VerifyInvariants("OnAckArrival", ++audit_tick_ % kDeepAuditPeriod == 0);
+  }
 }
 
 TimeNs Sender::CurrentRto() const {
@@ -314,6 +381,9 @@ void Sender::OnRtoCheck(uint64_t generation) {
     TrySend();
   }
   ArmRtoTimer();
+  if (invariants::Enabled()) {
+    VerifyInvariants("OnRtoCheck", ++audit_tick_ % kDeepAuditPeriod == 0);
+  }
 }
 
 void Sender::MtpTick() {
@@ -383,6 +453,9 @@ void Sender::MtpTick() {
       self->MtpTick();
     }
   });
+  if (invariants::Enabled()) {
+    VerifyInvariants("MtpTick", ++audit_tick_ % kDeepAuditPeriod == 0);
+  }
 }
 
 }  // namespace astraea

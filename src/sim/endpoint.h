@@ -112,6 +112,13 @@ class Sender {
   // flow, and forwards it to the controller (kAction decisions). Null detaches.
   void set_tracer(Tracer* tracer);
 
+  // Invariant-checker entry point (no-op unless invariants::Enabled()): flow
+  // byte conservation (sent = acked + lost + in-flight), controller
+  // cwnd/pacing sanity and — on deep audits — the O(n) recount of in-flight
+  // bytes against the outstanding list. Called internally after every
+  // ACK/loss/MTP event and by Network at the end of Run().
+  void VerifyInvariants(const char* where, bool deep) const;
+
  private:
   struct Outstanding {
     uint64_t seq;
@@ -161,6 +168,9 @@ class Sender {
   // Windowed goodput estimator (for AckEvent::delivery_rate_bps).
   std::deque<std::pair<TimeNs, uint64_t>> delivered_window_;
   uint64_t delivered_window_bytes_ = 0;
+
+  // Invariant-checker deep-audit tick (only advances when the checker is on).
+  mutable uint64_t audit_tick_ = 0;
 
   // Per-MTP accumulators.
   uint64_t mtp_acked_bytes_ = 0;

@@ -1,10 +1,21 @@
 #include "src/sim/event_queue.h"
 
 #include <algorithm>
+#include <string>
+
+#include "src/sim/invariants.h"
 
 namespace astraea {
 
 uint64_t EventQueue::Schedule(TimeNs when, Callback fn) {
+  // Causality: nothing may be scheduled in the past. With the invariant
+  // checker on this is a reportable (and in fatal mode, throwable) violation;
+  // the ASTRAEA_CHECK below stays as the unconditional backstop.
+  if (when < now_ && invariants::Enabled()) {
+    invariants::Report("event.schedule_in_past",
+                       "event scheduled at " + std::to_string(when) + " ns with clock at " +
+                           std::to_string(now_) + " ns");
+  }
   ASTRAEA_CHECK(when >= now_);
   const uint64_t seq = next_seq_++;
   heap_.push(Entry{when, seq, std::move(fn)});
@@ -29,6 +40,13 @@ void EventQueue::RunUntil(TimeNs until) {
                        cancelled_.end());
       --cancelled_count_;
       continue;
+    }
+    // Monotone dispatch: the heap can only hand out nondecreasing times. A
+    // violation here means the heap ordering itself is corrupt.
+    if (entry.when < now_ && invariants::Enabled()) {
+      invariants::Report("event.monotone_dispatch",
+                         "dispatching event at " + std::to_string(entry.when) +
+                             " ns after clock reached " + std::to_string(now_) + " ns");
     }
     now_ = entry.when;
     ++executed_;

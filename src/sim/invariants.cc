@@ -1,0 +1,63 @@
+#include "src/sim/invariants.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "src/util/logging.h"
+#include "src/util/metrics.h"
+
+namespace astraea {
+namespace invariants {
+
+std::atomic<int> g_mode{-1};
+
+int InitFromEnv() {
+  Mode mode = Mode::kOff;
+  if (const char* env = std::getenv("ASTRAEA_CHECK_INVARIANTS"); env != nullptr) {
+    if (std::strcmp(env, "1") == 0 || std::strcmp(env, "fatal") == 0) {
+      mode = Mode::kFatal;
+    } else if (std::strcmp(env, "report") == 0) {
+      mode = Mode::kReport;
+    } else if (std::strcmp(env, "0") != 0 && env[0] != '\0') {
+      std::fprintf(stderr,
+                   "ASTRAEA_CHECK_INVARIANTS=%s not recognized "
+                   "(use 1|fatal, report or 0); checker stays off\n",
+                   env);
+    }
+  }
+  // First-wins against a concurrent Configure(): only replace the
+  // uninitialized sentinel.
+  int expected = -1;
+  g_mode.compare_exchange_strong(expected, static_cast<int>(mode));
+  return g_mode.load(std::memory_order_relaxed);
+}
+
+Mode CurrentMode() {
+  int m = g_mode.load(std::memory_order_relaxed);
+  if (m < 0) {
+    m = InitFromEnv();
+  }
+  return static_cast<Mode>(m);
+}
+
+void Configure(Mode mode) { g_mode.store(static_cast<int>(mode), std::memory_order_relaxed); }
+
+uint64_t ViolationCount() {
+  return MetricsRegistry::Global().GetCounter("invariants.violations_total").Value();
+}
+
+void Report(const char* check, const std::string& detail) {
+  MetricsRegistry::Global().GetCounter("invariants.violations_total").Increment();
+  MetricsRegistry::Global().GetCounter(std::string("invariants.") + check).Increment();
+  ASTRAEA_LOG(Error) << "invariant violated [" << check << "]: " << detail;
+  if (CurrentMode() == Mode::kFatal) {
+    throw Violation(std::string("invariant violated [") + check + "]: " + detail);
+  }
+}
+
+ScopedMode::ScopedMode(Mode mode) : prev_(CurrentMode()) { Configure(mode); }
+
+ScopedMode::~ScopedMode() { Configure(prev_); }
+
+}  // namespace invariants
+}  // namespace astraea

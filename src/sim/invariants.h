@@ -1,0 +1,99 @@
+// Always-compiled, runtime-toggled invariant checker for the simulator.
+//
+// Every number this repo reproduces rides on the packet-level emulator; a
+// silent accounting bug in src/sim would skew every benchmark at once. This
+// layer verifies the simulator's own physics while it runs:
+//
+//   * conservation of packets — sent = delivered + dropped + in-flight, both
+//     per link (Link::VerifyInvariants) and per flow (Sender),
+//   * event-queue causality — nothing scheduled in the past, dispatch times
+//     monotone (EventQueue),
+//   * queue-occupancy bounds and byte-count audits for DropTail/RED/CoDel
+//     (QueueDiscipline::VerifyInvariants + per-discipline extras),
+//   * FIFO delivery order per link per flow,
+//   * cwnd/pacing sanity for every congestion controller after each decision.
+//
+// Mirrors the failpoint registry pattern (failpoint.h): sites are compiled
+// into every build and cost one relaxed atomic load when the checker is off,
+// so the exact shipping binaries can be checked. Runtime toggle:
+//
+//   ASTRAEA_CHECK_INVARIANTS=1|fatal   checks on; a violation throws
+//                                      invariants::Violation (hard fail —
+//                                      the mode CI and tests run under)
+//   ASTRAEA_CHECK_INVARIANTS=report    checks on; violations are counted and
+//                                      logged but the simulation continues
+//   unset | 0                          off (default)
+//
+// Programmatic control for tests: invariants::Configure(Mode) or the RAII
+// invariants::ScopedMode. Every violation — in either mode — increments
+// MetricsRegistry counters `invariants.violations_total` and
+// `invariants.<check>`, so a report-mode sweep can be scraped for a zero
+// total afterwards.
+//
+// Checks are read-only observers: they never touch RNG streams or the event
+// queue, so a checked run is bit-identical to an unchecked run of the same
+// seed (tests/invariants_test.cc asserts this).
+
+#ifndef SRC_SIM_INVARIANTS_H_
+#define SRC_SIM_INVARIANTS_H_
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+
+namespace astraea {
+namespace invariants {
+
+enum class Mode : int { kOff = 0, kReport = 1, kFatal = 2 };
+
+// Thrown on a violation in kFatal mode. logic_error: the simulation's own
+// bookkeeping is broken, continuing would produce garbage numbers.
+class Violation : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+// Current mode; parses ASTRAEA_CHECK_INVARIANTS on the first call.
+Mode CurrentMode();
+
+// Programmatic override (replaces whatever the environment said).
+void Configure(Mode mode);
+
+// Process-wide count of violations observed (all checks, both modes).
+// Equals the `invariants.violations_total` counter.
+uint64_t ViolationCount();
+
+// Records a violation against `check` (a metric suffix like
+// "link.conservation"): bumps `invariants.violations_total` and
+// `invariants.<check>`, logs one line, and throws Violation in kFatal mode.
+void Report(const char* check, const std::string& detail);
+
+// Fast path. -1 means "not yet initialized from the environment".
+extern std::atomic<int> g_mode;
+int InitFromEnv();
+
+inline bool Enabled() {
+  int m = g_mode.load(std::memory_order_relaxed);
+  if (m < 0) {
+    m = InitFromEnv();
+  }
+  return m != static_cast<int>(Mode::kOff);
+}
+
+// RAII mode override for tests; restores the previous mode on destruction.
+class ScopedMode {
+ public:
+  explicit ScopedMode(Mode mode);
+  ~ScopedMode();
+
+  ScopedMode(const ScopedMode&) = delete;
+  ScopedMode& operator=(const ScopedMode&) = delete;
+
+ private:
+  Mode prev_;
+};
+
+}  // namespace invariants
+}  // namespace astraea
+
+#endif  // SRC_SIM_INVARIANTS_H_

@@ -1,8 +1,19 @@
 #include "src/sim/link.h"
 
+#include <string>
 #include <utility>
 
+#include "src/sim/invariants.h"
+#include "src/util/failpoint.h"
+
 namespace astraea {
+
+namespace {
+// Every kDeepAuditPeriod-th service completion also recounts the queue's
+// bytes (O(n)) and runs discipline-specific extras; the per-packet checks
+// stay O(1).
+constexpr uint64_t kDeepAuditPeriod = 256;
+}  // namespace
 
 Link::Link(EventQueue* events, LinkConfig config, Rng rng)
     : events_(events), config_(std::move(config)), rng_(rng) {
@@ -24,8 +35,47 @@ void Link::set_tracer(Tracer* tracer, int32_t link_id) {
   queue_->set_tracer(tracer, link_id);
 }
 
+void Link::VerifyInvariants(const char* where, bool deep) const {
+  if (!invariants::Enabled()) {
+    return;
+  }
+  // Conservation: every accepted byte is accounted for exactly once — it was
+  // delivered into the wire, dropped by the discipline, still queued, or in
+  // the service process right now.
+  const uint64_t accounted =
+      delivered_bytes_ + queue_->dropped_bytes() + queue_->queued_bytes() + in_service_bytes_;
+  if (accepted_bytes_ != accounted) {
+    invariants::Report(
+        "link.conservation",
+        std::string(where) + " link '" + config_.name + "': accepted " +
+            std::to_string(accepted_bytes_) + " B != delivered " +
+            std::to_string(delivered_bytes_) + " + dropped " +
+            std::to_string(queue_->dropped_bytes()) + " + queued " +
+            std::to_string(queue_->queued_bytes()) + " + in-service " +
+            std::to_string(in_service_bytes_) + " B");
+  }
+  // Wire loss is applied to packets that completed service, so it can never
+  // exceed the delivered total.
+  if (wire_lost_bytes_ > delivered_bytes_) {
+    invariants::Report("link.wire_loss_bound",
+                       std::string(where) + " link '" + config_.name + "': wire-lost " +
+                           std::to_string(wire_lost_bytes_) + " B exceeds delivered " +
+                           std::to_string(delivered_bytes_) + " B");
+  }
+  queue_->VerifyInvariants(deep);
+}
+
 void Link::Accept(Packet pkt) {
   accepted_bytes_ += pkt.size_bytes;
+  // Injectable simulator bug for the correctness harness (see failpoint.h):
+  // while armed, the packet silently vanishes without being counted as a
+  // drop. The invariant checker flags the broken link conservation and the
+  // golden-trace diff flags the altered flow dynamics.
+  if (failpoint::g_any_armed.load(std::memory_order_relaxed) &&
+      failpoint::IsArmed("sim.queue.drop_uncounted")) {
+    VerifyInvariants("Accept", false);
+    return;
+  }
   if (!busy_) {
     StartService(pkt);
     return;
@@ -37,10 +87,14 @@ void Link::Accept(Packet pkt) {
                     pkt.seq, static_cast<double>(pkt.size_bytes),
                     static_cast<double>(queue_->queued_bytes()));
   }
+  if (invariants::Enabled()) {
+    VerifyInvariants("Accept", false);
+  }
 }
 
 void Link::StartService(Packet pkt) {
   busy_ = true;
+  in_service_bytes_ = pkt.size_bytes;
   const RateBps rate = provider_->RateAt(events_->now());
   const TimeNs tx = TransmissionDelay(pkt.size_bytes, rate);
   events_->ScheduleAfter(tx, [this, pkt] { FinishService(pkt); });
@@ -48,10 +102,23 @@ void Link::StartService(Packet pkt) {
 
 void Link::FinishService(Packet pkt) {
   delivered_bytes_ += pkt.size_bytes;
+  in_service_bytes_ = 0;
   if (config_.random_loss > 0.0 && rng_.Bernoulli(config_.random_loss)) {
     wire_lost_bytes_ += pkt.size_bytes;
   } else {
     events_->ScheduleAfter(config_.propagation_delay, [pkt] { ForwardToNextHop(pkt); });
+  }
+  if (invariants::Enabled()) {
+    // FIFO per flow: this link must deliver a flow's packets in the order the
+    // flow sent them (sequence numbers are strictly increasing, never reused).
+    uint64_t& last = last_delivered_seq_[pkt.flow_id];
+    if (last != 0 && pkt.seq <= last - 1) {
+      invariants::Report("link.fifo_order",
+                         "link '" + config_.name + "' delivered seq " + std::to_string(pkt.seq) +
+                             " of flow " + std::to_string(pkt.flow_id) + " after seq " +
+                             std::to_string(last - 1));
+    }
+    last = pkt.seq + 1;  // store seq+1 so seq 0 is distinguishable from "none"
   }
   std::optional<Packet> next = queue_->Dequeue(events_->now());
   if (next.has_value()) {
@@ -63,6 +130,9 @@ void Link::FinishService(Packet pkt) {
     StartService(*next);
   } else {
     busy_ = false;
+  }
+  if (invariants::Enabled()) {
+    VerifyInvariants("FinishService", ++audit_tick_ % kDeepAuditPeriod == 0);
   }
 }
 

@@ -7,6 +7,7 @@
 
 #include <memory>
 #include <string>
+#include <unordered_map>
 
 #include "src/sim/event_queue.h"
 #include "src/sim/packet.h"
@@ -40,6 +41,8 @@ class Link : public PacketSink {
   uint64_t queue_bytes() const { return queue_->queued_bytes(); }
   size_t queue_packets() const { return queue_->queued_packets(); }
   RateBps current_rate() const { return provider_->RateAt(events_->now()); }
+  // Bytes of the packet currently in the service process (0 when idle).
+  uint64_t in_service_bytes() const { return in_service_bytes_; }
 
   // Cumulative counters.
   uint64_t delivered_bytes() const { return delivered_bytes_; }
@@ -54,6 +57,13 @@ class Link : public PacketSink {
   // Attaches an event tracer recording enqueue/dequeue/drop at this link.
   // Null detaches; when off the per-packet cost is one pointer test.
   void set_tracer(Tracer* tracer, int32_t link_id);
+
+  // Invariant-checker entry point (no-op unless invariants::Enabled()):
+  // byte conservation (accepted = delivered + AQM-dropped + queued +
+  // in-service), wire-loss bound, queue-occupancy bounds and — on deep
+  // audits — the O(n) queue byte recount. Called internally at every packet
+  // transition and by Network at the end of Run().
+  void VerifyInvariants(const char* where, bool deep) const;
 
  private:
   void StartService(Packet pkt);
@@ -72,6 +82,13 @@ class Link : public PacketSink {
   uint64_t accepted_bytes_ = 0;
   uint64_t delivered_bytes_ = 0;
   uint64_t wire_lost_bytes_ = 0;
+  uint64_t in_service_bytes_ = 0;
+
+  // Invariant-checker state (only touched when the checker is enabled):
+  // last sequence number each flow had delivered by this link, for the
+  // per-flow FIFO-order check, plus a tick driving the periodic deep audit.
+  mutable std::unordered_map<int32_t, uint64_t> last_delivered_seq_;
+  mutable uint64_t audit_tick_ = 0;
 };
 
 }  // namespace astraea

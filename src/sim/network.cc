@@ -1,8 +1,10 @@
 #include "src/sim/network.h"
 
 #include <cstdlib>
+#include <string>
 #include <utility>
 
+#include "src/sim/invariants.h"
 #include "src/util/logging.h"
 
 namespace astraea {
@@ -102,6 +104,27 @@ void Network::Run(TimeNs until) {
     }
   }
   events_.RunUntil(until);
+
+  if (invariants::Enabled()) {
+    // End-of-run audit: full (deep) conservation recount on every link and
+    // flow, plus the sender/receiver cross-check — the sender can never have
+    // had more bytes ACKed than the receiver actually took delivery of.
+    for (size_t i = 0; i < links_.size(); ++i) {
+      links_[i]->VerifyInvariants("Network::Run", /*deep=*/true);
+    }
+    for (size_t i = 0; i < flows_.size(); ++i) {
+      const FlowRecord& record = flows_[i];
+      record.sender->VerifyInvariants("Network::Run", /*deep=*/true);
+      if (record.sender->stats().bytes_acked > record.receiver->received_bytes()) {
+        invariants::Report(
+            "flow.ack_receipt_bound",
+            "flow " + std::to_string(i) + ": sender has " +
+                std::to_string(record.sender->stats().bytes_acked) +
+                " B acked but receiver only took delivery of " +
+                std::to_string(record.receiver->received_bytes()) + " B");
+      }
+    }
+  }
 }
 
 std::vector<int> Network::ActiveFlowIds() const {

@@ -2,8 +2,34 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
+
+#include "src/sim/invariants.h"
 
 namespace astraea {
+
+void QueueDiscipline::VerifyInvariants(bool deep) const {
+  const uint64_t bytes = queued_bytes();
+  if (bytes > capacity_bytes()) {
+    invariants::Report("queue.occupancy",
+                       "queued " + std::to_string(bytes) + " B exceeds capacity " +
+                           std::to_string(capacity_bytes()) + " B");
+  }
+  if ((bytes == 0) != (queued_packets() == 0)) {
+    invariants::Report("queue.empty_consistency",
+                       "queued_bytes=" + std::to_string(bytes) +
+                           " but queued_packets=" + std::to_string(queued_packets()));
+  }
+  if (deep) {
+    const uint64_t recount = RecountQueuedBytes();
+    if (recount != bytes) {
+      invariants::Report("queue.byte_audit", "maintained counter " + std::to_string(bytes) +
+                                                 " B != recounted " + std::to_string(recount) +
+                                                 " B");
+    }
+    VerifyExtraInvariants();
+  }
+}
 
 // ---------------------------------------------------------------- DropTail
 
@@ -26,6 +52,14 @@ std::optional<Packet> DropTailQueue::Dequeue(TimeNs /*now*/) {
   queue_.pop_front();
   bytes_ -= pkt.size_bytes;
   return pkt;
+}
+
+uint64_t DropTailQueue::RecountQueuedBytes() const {
+  uint64_t total = 0;
+  for (const Packet& pkt : queue_) {
+    total += pkt.size_bytes;
+  }
+  return total;
 }
 
 // --------------------------------------------------------------------- RED
@@ -86,6 +120,24 @@ std::optional<Packet> RedQueue::Dequeue(TimeNs now) {
     idle_since_ = now;
   }
   return pkt;
+}
+
+uint64_t RedQueue::RecountQueuedBytes() const {
+  uint64_t total = 0;
+  for (const Packet& pkt : queue_) {
+    total += pkt.size_bytes;
+  }
+  return total;
+}
+
+void RedQueue::VerifyExtraInvariants() const {
+  // The EWMA averages instantaneous queue sizes, so it can never leave
+  // [0, capacity] (idle decay only shrinks it toward zero).
+  if (!(avg_ >= 0.0) || avg_ > static_cast<double>(config_.capacity_bytes)) {
+    invariants::Report("queue.red_ewma", "EWMA queue size " + std::to_string(avg_) +
+                                             " outside [0, " +
+                                             std::to_string(config_.capacity_bytes) + "]");
+  }
 }
 
 // ------------------------------------------------------------------- CoDel
@@ -156,6 +208,32 @@ std::optional<Packet> CoDelQueue::Dequeue(TimeNs now) {
     return entry.pkt;
   }
   return std::nullopt;
+}
+
+uint64_t CoDelQueue::RecountQueuedBytes() const {
+  uint64_t total = 0;
+  for (const Entry& entry : queue_) {
+    total += entry.pkt.size_bytes;
+  }
+  return total;
+}
+
+void CoDelQueue::VerifyExtraInvariants() const {
+  // Sojourn timestamps must be FIFO: a later arrival can never sit in front
+  // of an earlier one.
+  for (size_t i = 1; i < queue_.size(); ++i) {
+    if (queue_[i].enqueued_at < queue_[i - 1].enqueued_at) {
+      invariants::Report("queue.codel_sojourn_order",
+                         "entry " + std::to_string(i) + " enqueued at " +
+                             std::to_string(queue_[i].enqueued_at) + " ns before its predecessor (" +
+                             std::to_string(queue_[i - 1].enqueued_at) + " ns)");
+      return;
+    }
+  }
+  if (dropping_ && drop_count_ < 1) {
+    invariants::Report("queue.codel_drop_state",
+                       "dropping state with drop_count=" + std::to_string(drop_count_));
+  }
 }
 
 }  // namespace astraea

@@ -37,6 +37,25 @@ class QueueDiscipline {
   virtual size_t queued_packets() const = 0;
   // Bytes dropped by the discipline (at enqueue or dequeue).
   virtual uint64_t dropped_bytes() const = 0;
+  // Hard byte limit of the discipline (DropTail capacity / RED / CoDel hard
+  // limit). The invariant checker asserts queued_bytes() never exceeds it.
+  virtual uint64_t capacity_bytes() const = 0;
+
+  // Recomputes the queued byte total by walking the backing store (O(n)).
+  // Deep audits compare it against the maintained queued_bytes() counter.
+  virtual uint64_t RecountQueuedBytes() const = 0;
+
+  // Occupancy bound + counter-consistency checks, called by the Link at every
+  // queue transition when the invariant checker is enabled; `deep` adds the
+  // O(n) byte recount and discipline-specific extras (RED EWMA bounds, CoDel
+  // drop-schedule sanity).
+  void VerifyInvariants(bool deep) const;
+
+ protected:
+  // Discipline-specific extra checks run on deep audits only.
+  virtual void VerifyExtraInvariants() const {}
+
+ public:
 
   // Attaches an event tracer (drop events carry the owning link's id). The
   // discipline records only drops; enqueue/dequeue events come from the Link.
@@ -68,6 +87,8 @@ class DropTailQueue : public QueueDiscipline {
   uint64_t queued_bytes() const override { return bytes_; }
   size_t queued_packets() const override { return queue_.size(); }
   uint64_t dropped_bytes() const override { return dropped_; }
+  uint64_t capacity_bytes() const override { return capacity_; }
+  uint64_t RecountQueuedBytes() const override;
 
  private:
   uint64_t capacity_;
@@ -98,7 +119,12 @@ class RedQueue : public QueueDiscipline {
   uint64_t queued_bytes() const override { return bytes_; }
   size_t queued_packets() const override { return queue_.size(); }
   uint64_t dropped_bytes() const override { return dropped_; }
+  uint64_t capacity_bytes() const override { return config_.capacity_bytes; }
+  uint64_t RecountQueuedBytes() const override;
   double average_queue_bytes() const { return avg_; }
+
+ protected:
+  void VerifyExtraInvariants() const override;
 
  private:
   RedConfig config_;
@@ -130,7 +156,12 @@ class CoDelQueue : public QueueDiscipline {
   uint64_t queued_bytes() const override { return bytes_; }
   size_t queued_packets() const override { return queue_.size(); }
   uint64_t dropped_bytes() const override { return dropped_; }
+  uint64_t capacity_bytes() const override { return config_.capacity_bytes; }
+  uint64_t RecountQueuedBytes() const override;
   bool dropping() const { return dropping_; }
+
+ protected:
+  void VerifyExtraInvariants() const override;
 
  private:
   struct Entry {

@@ -161,50 +161,66 @@ std::vector<TraceEvent> Tracer::BufferedEvents() const {
   return out;
 }
 
+std::vector<TraceEvent> ParseBinaryTrace(const void* data, size_t size) {
+  const char* p = static_cast<const char*>(data);
+  size_t off = 0;
+  auto take = [&](void* out, size_t n, const char* what) {
+    if (size - off < n) {
+      throw std::runtime_error(std::string("truncated trace file (") + what + ")");
+    }
+    std::memcpy(out, p + off, n);
+    off += n;
+  };
+  uint32_t magic = 0, version = 0, record_size = 0;
+  take(&magic, sizeof(magic), "magic");
+  take(&version, sizeof(version), "version");
+  take(&record_size, sizeof(record_size), "record size");
+  if (magic != kTraceMagic || version != kTraceVersion || record_size != kRecordSize) {
+    throw std::runtime_error("not an astraea binary trace (bad header)");
+  }
+  std::vector<TraceEvent> events;
+  while (off < size) {
+    TraceEvent ev;
+    int64_t time = 0;
+    take(&time, sizeof(time), "record");
+    ev.time = time;
+    uint8_t type = 0;
+    take(&type, sizeof(type), "record");
+    if (type > static_cast<uint8_t>(TraceEventType::kAction)) {
+      throw std::runtime_error("unknown trace event type " + std::to_string(type));
+    }
+    ev.type = static_cast<TraceEventType>(type);
+    take(&ev.flow_id, sizeof(ev.flow_id), "record");
+    take(&ev.link_id, sizeof(ev.link_id), "record");
+    take(&ev.seq, sizeof(ev.seq), "record");
+    take(&ev.a, sizeof(ev.a), "record");
+    take(&ev.b, sizeof(ev.b), "record");
+    events.push_back(ev);
+  }
+  return events;
+}
+
 std::vector<TraceEvent> ReadBinaryTrace(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
     throw std::runtime_error("cannot open trace file: " + path);
   }
-  auto read_or_throw = [&](void* p, size_t n, const char* what) {
-    if (std::fread(p, 1, n, f) != n) {
-      std::fclose(f);
-      throw std::runtime_error(std::string("truncated trace file (") + what + "): " + path);
-    }
-  };
-  uint32_t magic = 0, version = 0, record_size = 0;
-  read_or_throw(&magic, sizeof(magic), "magic");
-  read_or_throw(&version, sizeof(version), "version");
-  read_or_throw(&record_size, sizeof(record_size), "record size");
-  if (magic != kTraceMagic || version != kTraceVersion || record_size != kRecordSize) {
-    std::fclose(f);
-    throw std::runtime_error("not an astraea binary trace (bad header): " + path);
+  std::string blob;
+  char buf[1 << 16];
+  size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    blob.append(buf, got);
   }
-  std::vector<TraceEvent> events;
-  while (true) {
-    int64_t time = 0;
-    const size_t got = std::fread(&time, 1, sizeof(time), f);
-    if (got == 0) {
-      break;  // clean EOF on a record boundary
-    }
-    if (got != sizeof(time)) {
-      std::fclose(f);
-      throw std::runtime_error("truncated trace file (record): " + path);
-    }
-    TraceEvent ev;
-    ev.time = time;
-    uint8_t type = 0;
-    read_or_throw(&type, sizeof(type), "record");
-    ev.type = static_cast<TraceEventType>(type);
-    read_or_throw(&ev.flow_id, sizeof(ev.flow_id), "record");
-    read_or_throw(&ev.link_id, sizeof(ev.link_id), "record");
-    read_or_throw(&ev.seq, sizeof(ev.seq), "record");
-    read_or_throw(&ev.a, sizeof(ev.a), "record");
-    read_or_throw(&ev.b, sizeof(ev.b), "record");
-    events.push_back(ev);
-  }
+  const bool read_error = std::ferror(f) != 0;
   std::fclose(f);
-  return events;
+  if (read_error) {
+    throw std::runtime_error("failed reading trace file: " + path);
+  }
+  try {
+    return ParseBinaryTrace(blob.data(), blob.size());
+  } catch (const std::runtime_error& e) {
+    throw std::runtime_error(std::string(e.what()) + ": " + path);
+  }
 }
 
 }  // namespace astraea

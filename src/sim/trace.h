@@ -98,6 +98,13 @@ class Tracer {
   uint64_t recorded_ = 0;
 };
 
+// Parses an in-memory kBinary trace image (header + records). Throws
+// std::runtime_error on a bad magic/version/record-size header, a truncated
+// record or an unknown event type. ReadBinaryTrace is this plus the file
+// read; the split exists so the parser itself can be fuzzed
+// (fuzz/fuzz_trace.cc).
+std::vector<TraceEvent> ParseBinaryTrace(const void* data, size_t size);
+
 // Reads a kBinary trace file back into memory. Throws std::runtime_error on a
 // bad magic/version or a truncated record. Shared by tools/trace_dump and the
 // tests.

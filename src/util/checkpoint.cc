@@ -66,8 +66,14 @@ std::string ReadAndVerify(const std::string& path) {
   if (!in.good() && !in.eof()) {
     throw SerializationError("failed reading checkpoint: " + path);
   }
+  return VerifyCheckpointBlob(std::move(blob), path);
+}
+
+}  // namespace
+
+std::string VerifyCheckpointBlob(std::string blob, const std::string& name) {
   if (blob.size() < kCheckpointFooterSize) {
-    throw SerializationError("checkpoint too short for footer: " + path);
+    throw SerializationError("checkpoint too short for footer: " + name);
   }
   const char* footer = blob.data() + blob.size() - kCheckpointFooterSize;
   uint64_t payload_size;
@@ -77,19 +83,17 @@ std::string ReadAndVerify(const std::string& path) {
   std::memcpy(&crc, footer + 8, sizeof(crc));
   std::memcpy(&magic, footer + 12, sizeof(magic));
   if (magic != kCheckpointFooterMagic) {
-    throw SerializationError("bad checkpoint footer magic: " + path);
+    throw SerializationError("bad checkpoint footer magic: " + name);
   }
   if (payload_size != blob.size() - kCheckpointFooterSize) {
-    throw SerializationError("checkpoint payload size mismatch (truncated?): " + path);
+    throw SerializationError("checkpoint payload size mismatch (truncated?): " + name);
   }
   if (Crc32(blob.data(), payload_size) != crc) {
-    throw SerializationError("checkpoint CRC mismatch (corrupt): " + path);
+    throw SerializationError("checkpoint CRC mismatch (corrupt): " + name);
   }
   blob.resize(payload_size);
   return blob;
 }
-
-}  // namespace
 
 uint32_t Crc32(const void* data, size_t len) {
   static const std::array<uint32_t, 256> table = BuildCrcTable();

@@ -37,6 +37,13 @@ uint32_t Crc32(const void* data, size_t len);
 inline constexpr uint32_t kCheckpointFooterMagic = 0x4153434Bu;  // "ASCK"
 inline constexpr size_t kCheckpointFooterSize = 16;
 
+// Verifies a whole checkpoint image (payload + footer) in memory — footer
+// magic, payload size, CRC — and returns the payload bytes; throws
+// SerializationError on any mismatch. `name` labels error messages (a path
+// for files). CheckpointReader is the file read plus this; the split exists
+// so the container format can be fuzzed (fuzz/fuzz_checkpoint.cc).
+std::string VerifyCheckpointBlob(std::string blob, const std::string& name);
+
 class CheckpointWriter {
  public:
   explicit CheckpointWriter(std::string path);

@@ -3,8 +3,13 @@
 // The tools historically used bare atoi/atof, which silently turn
 // "--episodes banana" into 0 and accept out-of-range values. These helpers
 // require the whole token to parse and the value to sit inside a
-// caller-declared range; on violation they print one clear line to stderr
-// and exit(1). CLI-only by design — library code should never exit.
+// caller-declared range.
+//
+// Two layers: the TryParse* cores validate without any side effect and
+// report the reason on failure (fuzzable — fuzz/fuzz_cli_flags.cc drives
+// them with arbitrary bytes); the Parse* wrappers keep the historical CLI
+// contract of printing one clear line to stderr and exit(1)-ing. CLI-only by
+// design — library code should never exit.
 
 #ifndef SRC_UTIL_CLI_FLAGS_H_
 #define SRC_UTIL_CLI_FLAGS_H_
@@ -16,6 +21,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
 #include "src/util/time.h"
 
@@ -27,50 +33,73 @@ namespace cli {
   std::exit(1);
 }
 
-inline int64_t ParseInt(const char* flag, const char* value, int64_t lo, int64_t hi) {
+namespace internal {
+inline void SetWhy(std::string* why, const char* message) {
+  if (why != nullptr) {
+    *why = message;
+  }
+}
+}  // namespace internal
+
+// Each TryParse* returns false (with `*why` describing the reason, when
+// non-null) instead of exiting; `*out` is untouched on failure.
+
+inline bool TryParseInt(const char* value, int64_t lo, int64_t hi, int64_t* out,
+                        std::string* why = nullptr) {
   errno = 0;
   char* end = nullptr;
   const long long v = std::strtoll(value, &end, 10);
   if (end == value || *end != '\0') {
-    FlagError(flag, value, "not an integer");
+    internal::SetWhy(why, "not an integer");
+    return false;
   }
   if (errno == ERANGE || v < lo || v > hi) {
-    char why[96];
-    std::snprintf(why, sizeof(why), "must be in [%" PRId64 ", %" PRId64 "]", lo, hi);
-    FlagError(flag, value, why);
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "must be in [%" PRId64 ", %" PRId64 "]", lo, hi);
+    internal::SetWhy(why, buf);
+    return false;
   }
-  return v;
+  *out = v;
+  return true;
 }
 
-inline uint64_t ParseU64(const char* flag, const char* value) {
+inline bool TryParseU64(const char* value, uint64_t* out, std::string* why = nullptr) {
   errno = 0;
   char* end = nullptr;
   if (value[0] == '-') {
-    FlagError(flag, value, "must be non-negative");
+    internal::SetWhy(why, "must be non-negative");
+    return false;
   }
   const unsigned long long v = std::strtoull(value, &end, 10);
   if (end == value || *end != '\0') {
-    FlagError(flag, value, "not an integer");
+    internal::SetWhy(why, "not an integer");
+    return false;
   }
   if (errno == ERANGE) {
-    FlagError(flag, value, "out of range for uint64");
+    internal::SetWhy(why, "out of range for uint64");
+    return false;
   }
-  return v;
+  *out = v;
+  return true;
 }
 
-inline double ParseDouble(const char* flag, const char* value, double lo, double hi) {
+inline bool TryParseDouble(const char* value, double lo, double hi, double* out,
+                           std::string* why = nullptr) {
   errno = 0;
   char* end = nullptr;
   const double v = std::strtod(value, &end);
   if (end == value || *end != '\0') {
-    FlagError(flag, value, "not a number");
+    internal::SetWhy(why, "not a number");
+    return false;
   }
   if (errno == ERANGE || !(v >= lo && v <= hi)) {  // !(>=) also rejects NaN
-    char why[96];
-    std::snprintf(why, sizeof(why), "must be in [%g, %g]", lo, hi);
-    FlagError(flag, value, why);
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "must be in [%g, %g]", lo, hi);
+    internal::SetWhy(why, buf);
+    return false;
   }
-  return v;
+  *out = v;
+  return true;
 }
 
 // Parses a human-readable duration — a nonnegative decimal number immediately
@@ -78,15 +107,18 @@ inline double ParseDouble(const char* flag, const char* value, double lo, double
 // "1.5s") — into nanoseconds. The suffix is mandatory: a bare number would
 // silently mean different things to different flags. The result must land in
 // [lo, hi] nanoseconds.
-inline TimeNs ParseDuration(const char* flag, const char* value, TimeNs lo, TimeNs hi) {
+inline bool TryParseDuration(const char* value, TimeNs lo, TimeNs hi, TimeNs* out,
+                             std::string* why = nullptr) {
   errno = 0;
   char* end = nullptr;
   const double magnitude = std::strtod(value, &end);
   if (end == value) {
-    FlagError(flag, value, "not a duration (expected e.g. 500us, 5ms, 1s)");
+    internal::SetWhy(why, "not a duration (expected e.g. 500us, 5ms, 1s)");
+    return false;
   }
   if (errno == ERANGE || !(magnitude >= 0.0) || !std::isfinite(magnitude)) {
-    FlagError(flag, value, "duration must be a finite nonnegative number");
+    internal::SetWhy(why, "duration must be a finite nonnegative number");
+    return false;
   }
   double scale = 0.0;
   if (std::strcmp(end, "ns") == 0) {
@@ -98,19 +130,59 @@ inline TimeNs ParseDuration(const char* flag, const char* value, TimeNs lo, Time
   } else if (std::strcmp(end, "s") == 0) {
     scale = static_cast<double>(kNanosPerSec);
   } else {
-    FlagError(flag, value, "missing or unknown unit (use ns, us, ms or s)");
+    internal::SetWhy(why, "missing or unknown unit (use ns, us, ms or s)");
+    return false;
   }
   const double ns = magnitude * scale;
   if (ns > static_cast<double>(INT64_MAX)) {
-    FlagError(flag, value, "duration overflows the nanosecond range");
+    internal::SetWhy(why, "duration overflows the nanosecond range");
+    return false;
   }
   const TimeNs result = static_cast<TimeNs>(std::llround(ns));
   if (result < lo || result > hi) {
-    char why[96];
-    std::snprintf(why, sizeof(why), "must be in [%" PRId64 "ns, %" PRId64 "ns]", lo, hi);
-    FlagError(flag, value, why);
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "must be in [%" PRId64 "ns, %" PRId64 "ns]", lo, hi);
+    internal::SetWhy(why, buf);
+    return false;
   }
-  return result;
+  *out = result;
+  return true;
+}
+
+inline int64_t ParseInt(const char* flag, const char* value, int64_t lo, int64_t hi) {
+  int64_t out = 0;
+  std::string why;
+  if (!TryParseInt(value, lo, hi, &out, &why)) {
+    FlagError(flag, value, why.c_str());
+  }
+  return out;
+}
+
+inline uint64_t ParseU64(const char* flag, const char* value) {
+  uint64_t out = 0;
+  std::string why;
+  if (!TryParseU64(value, &out, &why)) {
+    FlagError(flag, value, why.c_str());
+  }
+  return out;
+}
+
+inline double ParseDouble(const char* flag, const char* value, double lo, double hi) {
+  double out = 0.0;
+  std::string why;
+  if (!TryParseDouble(value, lo, hi, &out, &why)) {
+    FlagError(flag, value, why.c_str());
+  }
+  return out;
+}
+
+inline TimeNs ParseDuration(const char* flag, const char* value, TimeNs lo, TimeNs hi) {
+  TimeNs out = 0;
+  std::string why;
+  if (!TryParseDuration(value, lo, hi, &out, &why)) {
+    FlagError(flag, value, why.c_str());
+  }
+  return out;
 }
 
 }  // namespace cli

@@ -30,6 +30,14 @@
 //                              rings, no response written yet (worst case)
 //   serve.respond.corrupt      astraea_serve: ":throw" corrupts one response
 //                              CRC instead, exercising client validation
+//   sim.queue.drop_uncounted   Link::Accept: while armed, the arriving packet
+//                              silently vanishes without being counted as a
+//                              drop — an intentionally injectable simulator
+//                              bug that the invariant checker (broken link
+//                              conservation) and the golden-trace diff must
+//                              both catch. Unlike the sites above, this one
+//                              acts as a level trigger: the bug is live for
+//                              every packet while armed, not on the Nth hit.
 
 #ifndef SRC_UTIL_FAILPOINT_H_
 #define SRC_UTIL_FAILPOINT_H_

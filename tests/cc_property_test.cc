@@ -5,10 +5,14 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
 #include <tuple>
 
 #include "src/core/schemes.h"
+#include "src/sim/invariants.h"
 #include "src/sim/network.h"
+#include "src/sim/queue_disc.h"
 
 namespace astraea {
 namespace {
@@ -113,6 +117,87 @@ TEST_P(HomogeneousFairness, SameRttPeersShareWithoutStarvation) {
 INSTANTIATE_TEST_SUITE_P(Schemes, HomogeneousFairness,
                          ::testing::Values("newreno", "cubic", "vegas", "bbr", "copa",
                                            "vivace", "orca", "remy", "astraea"));
+
+// Randomized invariant sweep: every controller across 20 random
+// parameterizations of 3 topology families (DropTail dumbbell with two flows,
+// RED + wire loss, two-hop DropTail path), each run with the invariant checker
+// in hard-fail mode. The checker throws on the first conservation / causality /
+// FIFO / queue-bound / cwnd-sanity slip, so passing means every step of every
+// run kept the simulator's books balanced. Parameters derive from
+// Rng::DeriveSeed so the sweep is reproducible and each (rep, topology) cell is
+// decorrelated; the SCOPED_TRACE names the cell on failure.
+class SchemeInvariantSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SchemeInvariantSweep, RandomizedTopologiesRunCleanUnderFatalChecker) {
+  const std::string scheme = GetParam();
+  invariants::ScopedMode fatal(invariants::Mode::kFatal);
+  const uint64_t violations_before = invariants::ViolationCount();
+
+  constexpr int kReps = 20;
+  constexpr uint64_t kSweepStream = 0xA57AEA5EEDULL;
+  for (int rep = 0; rep < kReps; ++rep) {
+    for (int topology = 0; topology < 3; ++topology) {
+      const uint64_t seed = Rng::DeriveSeed(kSweepStream, rep * 3 + topology);
+      SCOPED_TRACE(scheme + " rep=" + std::to_string(rep) + " topology=" +
+                   std::to_string(topology) + " seed=" + std::to_string(seed));
+      Rng rng(seed);
+      const double bw_mbps = rng.Uniform(3.0, 50.0);
+      const TimeNs rtt = Seconds(rng.Uniform(10.0, 100.0) / 1e3);
+      const double buffer_bdps = rng.Uniform(0.5, 2.0);
+
+      Network net(seed);
+      LinkConfig link;
+      link.rate = Mbps(bw_mbps);
+      link.propagation_delay = rtt / 2;
+      link.buffer_bytes = std::max<uint64_t>(
+          static_cast<uint64_t>(buffer_bdps * BdpBytes(link.rate, rtt)), 6000);
+      int flows = 1;
+      switch (topology) {
+        case 0:  // DropTail dumbbell, two competing flows.
+          net.AddLink(link);
+          flows = 2;
+          break;
+        case 1: {  // RED bottleneck with iid wire loss.
+          link.random_loss = rng.Uniform(0.0, 0.02);
+          RedConfig red;
+          red.capacity_bytes = link.buffer_bytes;
+          link.queue_factory = [red](Rng q) {
+            return std::make_unique<RedQueue>(red, q);
+          };
+          net.AddLink(link);
+          break;
+        }
+        case 2: {  // Two-hop path; the first hop is the bottleneck.
+          net.AddLink(link);
+          LinkConfig fast = link;
+          fast.queue_factory = nullptr;
+          fast.rate = Mbps(bw_mbps * rng.Uniform(1.5, 3.0));
+          net.AddLink(fast);
+          break;
+        }
+      }
+      SchemeOptions options;
+      for (int f = 0; f < flows; ++f) {
+        FlowSpec spec;
+        spec.scheme = scheme;
+        spec.make_cc = MakeSchemeFactory(scheme, &options);
+        if (topology == 2) {
+          spec.link_path = {0, 1};
+        }
+        net.AddFlow(spec);
+      }
+      net.Run(Seconds(2.0));
+      // The run must have been a real workload, not a stalled no-op.
+      EXPECT_GT(net.flow_stats(0).bytes_acked, 0u);
+    }
+  }
+  EXPECT_EQ(invariants::ViolationCount(), violations_before);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, SchemeInvariantSweep,
+                         ::testing::Values("newreno", "cubic", "vegas", "bbr", "copa",
+                                           "vivace", "aurora", "orca", "remy",
+                                           "astraea"));
 
 }  // namespace
 }  // namespace astraea

@@ -1,7 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+
 #include "src/cc/cubic.h"
 #include "src/cc/vegas.h"
+#include "src/sim/invariants.h"
 #include "src/sim/network.h"
 
 namespace astraea {
@@ -96,6 +100,63 @@ TEST(NetworkTest, MultiBottleneckRoutesThroughBothLinks) {
   // only require it to move real traffic through both links.
   EXPECT_GT(thr_b, 3.0);
   EXPECT_GT(thr_a, 70.0);
+}
+
+TEST(NetworkTest, ThreeHopDelayComposesAndMinRateLinkIsBottleneck) {
+  // Whole test runs under the invariant checker in hard-fail mode: any
+  // conservation/causality/FIFO slip on the multi-hop path throws.
+  invariants::ScopedMode fatal(invariants::Mode::kFatal);
+
+  // Three hops with distinct rates and propagation delays; hop 1 has the
+  // minimum rate and must be the one (and only) queue that builds.
+  Network net(11);
+  const double rates_mbps[] = {60.0, 20.0, 40.0};
+  const TimeNs props[] = {Milliseconds(5), Milliseconds(10), Milliseconds(15)};
+  for (int i = 0; i < 3; ++i) {
+    LinkConfig link;
+    link.name = "hop" + std::to_string(i);
+    link.rate = Mbps(rates_mbps[i]);
+    link.propagation_delay = props[i];
+    link.buffer_bytes = BdpBytes(link.rate, Milliseconds(60));
+    net.AddLink(link);
+  }
+  FlowSpec spec = CubicFlow();
+  spec.link_path = {0, 1, 2};
+  net.AddFlow(spec);
+  net.EnableLinkSampling(Milliseconds(50));
+
+  // Base RTT composes the per-hop propagation delays: 2 * (5 + 10 + 15).
+  EXPECT_EQ(net.BaseRtt(0), Milliseconds(60));
+
+  const TimeNs until = Seconds(20.0);
+  net.Run(until);
+
+  // The min-rate hop bounds throughput; the flow saturates it.
+  const double thr = net.flow_stats(0).throughput_mbps.MeanOver(Seconds(5.0), until);
+  EXPECT_GT(thr, 15.0);
+  EXPECT_LE(thr, 20.0 * 1.05);
+
+  // Queueing concentrates at the bottleneck: hops 0 and 2 are faster than
+  // their arrival rate, so their mean standing queue is a packet or two at
+  // most, while hop 1 holds the cubic sawtooth.
+  double mean_queue_pkts[3];
+  for (int i = 0; i < 3; ++i) {
+    mean_queue_pkts[i] = net.link_trace(i).queue_packets.MeanOver(Seconds(5.0), until);
+  }
+  EXPECT_GT(mean_queue_pkts[1], 5.0);
+  EXPECT_LT(mean_queue_pkts[0], 2.0);
+  EXPECT_LT(mean_queue_pkts[2], 2.0);
+  EXPECT_GT(mean_queue_pkts[1], 5.0 * std::max(mean_queue_pkts[0], mean_queue_pkts[2]));
+
+  // End-to-end delay composes propagation plus the per-hop queueing delays:
+  // measured RTT above base must be explained by the observed queues (each
+  // hop contributes mean_queue_bytes / rate).
+  double queueing_ms = 0.0;
+  for (int i = 0; i < 3; ++i) {
+    queueing_ms += mean_queue_pkts[i] * 1500.0 * 8.0 / (rates_mbps[i] * 1e6) * 1e3;
+  }
+  const double rtt_ms = net.flow_stats(0).rtt_ms.MeanOver(Seconds(5.0), until);
+  EXPECT_NEAR(rtt_ms - 60.0, queueing_ms, std::max(5.0, 0.5 * queueing_ms));
 }
 
 TEST(NetworkTest, LinkSamplingRecordsTraces) {
