@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/util/thread_pool.h"
+
 namespace astraea {
 
 DumbbellScenario::DumbbellScenario(DumbbellConfig config) : config_(std::move(config)) {
@@ -48,5 +50,76 @@ int DumbbellScenario::AddFlowWithFactory(const std::string& label, CcFactory fac
 }
 
 void DumbbellScenario::Run(TimeNs until) { network_->Run(until); }
+
+namespace {
+
+// Order-sensitive 64-bit combiner (boost::hash_combine layout over a
+// SplitMix-style constant). Not cryptographic — just collision-resistant
+// enough that a perturbed simulation can't plausibly produce the same digest.
+uint64_t MixFingerprint(uint64_t h, uint64_t v) {
+  return h ^ (v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2));
+}
+
+}  // namespace
+
+ShardResult RunDumbbellShard(const ShardedDumbbellConfig& config, size_t shard_index) {
+  DumbbellConfig shard_config = config.shard;
+  shard_config.seed = Rng::DeriveSeed(config.seed_stream, shard_index);
+  DumbbellScenario scenario(shard_config);
+
+  // Stagger starts from a stream derived off the same (stream, shard) pair —
+  // decorrelated from the Network's seed but equally a pure function of the
+  // shard index.
+  Rng starts(Rng::DeriveSeed(config.seed_stream ^ 0x5747A6E5ULL, shard_index));
+  TimeNs latest_start = 0;
+  for (size_t i = 0; i < config.flows_per_shard; ++i) {
+    const TimeNs start =
+        config.max_start_stagger > 0 ? starts.UniformInt(0, config.max_start_stagger) : 0;
+    latest_start = std::max(latest_start, start);
+    scenario.AddFlow(config.scheme, start, config.flow_duration);
+  }
+  // Run past the last stop so every flow gets its full duration; the extra
+  // tail also lets in-flight packets drain back to the pool.
+  scenario.Run(latest_start + config.flow_duration + Milliseconds(10));
+
+  Network& net = scenario.network();
+  ShardResult result;
+  result.events_executed = net.events().executed();
+  result.packet_slots = net.packet_pool().capacity();
+  result.packets_live = net.packet_pool().live();
+  result.packets_recycled = net.packet_pool().recycled();
+  uint64_t fp = 0xA57AEA0300000000ULL + shard_index;
+  for (int flow = 0; flow < static_cast<int>(net.flow_count()); ++flow) {
+    const FlowStats& stats = net.flow_stats(flow);
+    result.bytes_acked += stats.bytes_acked;
+    result.bytes_lost += stats.bytes_lost;
+    fp = MixFingerprint(fp, stats.bytes_sent);
+    fp = MixFingerprint(fp, stats.bytes_acked);
+    fp = MixFingerprint(fp, stats.bytes_lost);
+  }
+  fp = MixFingerprint(fp, result.events_executed);
+  result.fingerprint = fp;
+  return result;
+}
+
+ShardedRunResult RunShardedDumbbell(const ShardedDumbbellConfig& config) {
+  ShardedRunResult result;
+  result.shards = ParallelMap(
+      config.shards, [&config](size_t shard) { return RunDumbbellShard(config, shard); },
+      config.workers);
+  // Aggregate strictly in shard-index order (ParallelMap already returns
+  // index-ordered results), so the combined fingerprint is worker-invariant.
+  for (const ShardResult& shard : result.shards) {
+    result.events_executed += shard.events_executed;
+    result.bytes_acked += shard.bytes_acked;
+    result.bytes_lost += shard.bytes_lost;
+    result.max_packet_slots = std::max(result.max_packet_slots, shard.packet_slots);
+    result.fingerprint = MixFingerprint(result.fingerprint, shard.fingerprint);
+  }
+  result.flow_seconds = static_cast<double>(config.shards) *
+                        static_cast<double>(config.flows_per_shard) *
+                        ToSeconds(config.flow_duration);
+  return result;
+}
 
 }  // namespace astraea

@@ -26,6 +26,10 @@ struct DumbbellConfig {
   uint64_t seed = 1;
 };
 
+// Seed stream for the sharded scale-out runs (bench_sim_scale and the
+// sim_scale tests); shard i simulates with Rng::DeriveSeed(stream, i).
+inline constexpr uint64_t kSimScaleSeedStream = 0xA57AEA03;
+
 class DumbbellScenario {
  public:
   explicit DumbbellScenario(DumbbellConfig config);
@@ -53,6 +57,54 @@ class DumbbellScenario {
   std::unique_ptr<Network> network_;
   uint64_t buffer_bytes_ = 0;
 };
+
+// ---------------------------------------------------------------------------
+// Sharded scale-out: N independent dumbbell bottlenecks, each a self-contained
+// Network seeded with Rng::DeriveSeed(seed_stream, shard). Because shards
+// share no state, they can run on any number of ThreadPool workers and the
+// aggregate — assembled in shard-index order — is bit-identical to a serial
+// run. This is how the simulator reaches million-flow scenarios on one box.
+
+struct ShardedDumbbellConfig {
+  DumbbellConfig shard;        // per-shard template; its seed is overridden
+  std::string scheme = "cubic";
+  size_t shards = 1;
+  size_t flows_per_shard = 1;
+  TimeNs flow_duration = Seconds(1.0);
+  // Flow starts are staggered uniformly in [0, max_start_stagger] by the
+  // shard's own Rng stream, so shards don't tick in lockstep.
+  TimeNs max_start_stagger = Milliseconds(100);
+  uint64_t seed_stream = kSimScaleSeedStream;
+  size_t workers = 1;  // <=1 runs inline on the calling thread
+};
+
+// Everything a shard reports is a pure function of (seed_stream, shard index,
+// config), so equal fingerprints mean equal simulations.
+struct ShardResult {
+  uint64_t events_executed = 0;
+  uint64_t bytes_acked = 0;
+  uint64_t bytes_lost = 0;
+  size_t packet_slots = 0;       // pool capacity at the horizon
+  size_t packets_live = 0;       // still in flight/queued at the horizon
+  uint64_t packets_recycled = 0;
+  uint64_t fingerprint = 0;      // order-sensitive digest of per-flow outcomes
+};
+
+struct ShardedRunResult {
+  std::vector<ShardResult> shards;  // shard-index order, whatever the workers
+  uint64_t events_executed = 0;
+  uint64_t bytes_acked = 0;
+  uint64_t bytes_lost = 0;
+  size_t max_packet_slots = 0;      // worst single-shard pool footprint
+  double flow_seconds = 0.0;        // shards * flows_per_shard * duration
+  uint64_t fingerprint = 0;         // shard fingerprints combined in order
+};
+
+// Runs one shard (used by tests to cross-check determinism shard by shard).
+ShardResult RunDumbbellShard(const ShardedDumbbellConfig& config, size_t shard_index);
+
+// Runs all shards on `config.workers` threads and aggregates in shard order.
+ShardedRunResult RunShardedDumbbell(const ShardedDumbbellConfig& config);
 
 }  // namespace astraea
 

@@ -20,17 +20,20 @@ constexpr uint64_t kDeepAuditPeriod = 256;
 constexpr uint64_t kMaxSaneCwndBytes = 1ULL << 40;
 }  // namespace
 
-void Receiver::Accept(Packet pkt) {
-  received_bytes_ += pkt.size_bytes;
+void Receiver::Accept(PacketRef ref) {
+  // Copy the ACK fields out and return the slot: the packet's life ends here.
+  const Packet& pkt = pool_->Get(ref);
+  const uint64_t seq = pkt.seq;
+  const TimeNs sent = pkt.sent_time;
+  const uint32_t size = pkt.size_bytes;
+  pool_->Release(ref);
+  received_bytes_ += size;
   if (sender_ == nullptr) {
     return;
   }
   // The reverse path is uncongested: deliver the ACK after a pure delay. The
   // lambda holds only a weak handle — if the sender is torn down before the
   // ACK lands, the handle has expired and the ACK is silently discarded.
-  const uint64_t seq = pkt.seq;
-  const TimeNs sent = pkt.sent_time;
-  const uint32_t size = pkt.size_bytes;
   std::weak_ptr<Sender*> weak = sender_->weak_handle();
   events_->ScheduleAfter(ack_return_delay_, [weak, seq, sent, size] {
     if (auto alive = weak.lock()) {
@@ -39,14 +42,16 @@ void Receiver::Accept(Packet pkt) {
   });
 }
 
-Sender::Sender(EventQueue* events, int flow_id, Route data_route,
+Sender::Sender(EventQueue* events, PacketPool* pool, int flow_id, Route data_route,
                std::unique_ptr<CongestionController> cc, SenderConfig config)
     : events_(events),
+      pool_(pool),
       flow_id_(flow_id),
       route_(std::move(data_route)),
       cc_(std::move(cc)),
       config_(config) {
   ASTRAEA_CHECK(!route_.empty());
+  ASTRAEA_CHECK(pool_ != nullptr);
   ASTRAEA_CHECK(cc_ != nullptr);
 }
 
@@ -192,7 +197,8 @@ void Sender::SchedulePacedSend() {
 }
 
 void Sender::SendPacket() {
-  Packet pkt;
+  const PacketRef ref = pool_->Acquire();
+  Packet& pkt = pool_->Get(ref);
   pkt.flow_id = flow_id_;
   pkt.seq = next_seq_++;
   pkt.size_bytes = config_.mss;
@@ -208,7 +214,7 @@ void Sender::SendPacket() {
                     static_cast<double>(pkt.size_bytes),
                     static_cast<double>(inflight_bytes_));
   }
-  route_[0]->Accept(pkt);
+  route_[0]->Accept(ref);
 }
 
 void Sender::UpdateRttEstimators(TimeNs rtt) {

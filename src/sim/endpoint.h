@@ -17,6 +17,7 @@
 #include "src/sim/congestion_controller.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/packet.h"
+#include "src/sim/packet_pool.h"
 #include "src/util/stats.h"
 #include "src/util/time.h"
 #include "src/util/windowed_filter.h"
@@ -31,10 +32,11 @@ class Sender;
 // (teardown mid-simulation) silently expires them instead of dangling.
 class Receiver : public PacketSink {
  public:
-  Receiver(EventQueue* events, Sender* sender, TimeNs ack_return_delay)
-      : events_(events), sender_(sender), ack_return_delay_(ack_return_delay) {}
+  Receiver(EventQueue* events, PacketPool* pool, Sender* sender, TimeNs ack_return_delay)
+      : events_(events), pool_(pool), sender_(sender), ack_return_delay_(ack_return_delay) {}
 
-  void Accept(Packet pkt) override;
+  // Terminal hop: copies out the ACK fields and releases the packet slot.
+  void Accept(PacketRef ref) override;
 
   // Late binding used by Network: the receiver must exist before the sender
   // (the data route ends with the receiver), so the back-pointer is set after
@@ -45,6 +47,7 @@ class Receiver : public PacketSink {
 
  private:
   EventQueue* events_;
+  PacketPool* pool_;
   Sender* sender_;
   TimeNs ack_return_delay_;
   uint64_t received_bytes_ = 0;
@@ -79,8 +82,8 @@ struct FlowStats {
 class Sender {
  public:
   // `data_route` must end with this flow's Receiver. The route is copied and
-  // owned by the sender.
-  Sender(EventQueue* events, int flow_id, Route data_route,
+  // owned by the sender. Data packets are acquired from `pool`.
+  Sender(EventQueue* events, PacketPool* pool, int flow_id, Route data_route,
          std::unique_ptr<CongestionController> cc, SenderConfig config);
   ~Sender();
 
@@ -139,6 +142,7 @@ class Sender {
   double WindowedDeliveryRate() const;
 
   EventQueue* events_;
+  PacketPool* pool_;
   int flow_id_;
   Route route_;
   std::unique_ptr<CongestionController> cc_;

@@ -15,8 +15,9 @@ namespace {
 constexpr uint64_t kDeepAuditPeriod = 256;
 }  // namespace
 
-Link::Link(EventQueue* events, LinkConfig config, Rng rng)
-    : events_(events), config_(std::move(config)), rng_(rng) {
+Link::Link(EventQueue* events, LinkConfig config, Rng rng, PacketPool* pool)
+    : events_(events), config_(std::move(config)), rng_(rng), pool_(pool) {
+  ASTRAEA_CHECK(pool_ != nullptr);
   if (config_.trace != nullptr) {
     provider_ = config_.trace;
   } else {
@@ -27,6 +28,7 @@ Link::Link(EventQueue* events, LinkConfig config, Rng rng)
   } else {
     queue_ = std::make_unique<DropTailQueue>(config_.buffer_bytes);
   }
+  queue_->set_pool(pool_);
 }
 
 void Link::set_tracer(Tracer* tracer, int32_t link_id) {
@@ -65,26 +67,32 @@ void Link::VerifyInvariants(const char* where, bool deep) const {
   queue_->VerifyInvariants(deep);
 }
 
-void Link::Accept(Packet pkt) {
+void Link::Accept(PacketRef ref) {
+  const Packet& pkt = pool_->Get(ref);
   accepted_bytes_ += pkt.size_bytes;
   // Injectable simulator bug for the correctness harness (see failpoint.h):
   // while armed, the packet silently vanishes without being counted as a
   // drop. The invariant checker flags the broken link conservation and the
-  // golden-trace diff flags the altered flow dynamics.
+  // golden-trace diff flags the altered flow dynamics. The pool slot is still
+  // released — the injected bug is in the byte accounting, not a slot leak.
   if (failpoint::g_any_armed.load(std::memory_order_relaxed) &&
       failpoint::IsArmed("sim.queue.drop_uncounted")) {
+    pool_->Release(ref);
     VerifyInvariants("Accept", false);
     return;
   }
   if (!busy_) {
-    StartService(pkt);
+    StartService(ref);
     return;
   }
   // Enqueue (or drop, per the discipline): dropped packets silently vanish;
   // senders infer the loss from the ACK gap. The discipline traces drops.
-  if (queue_->Enqueue(pkt, events_->now()) && tracer_ != nullptr) {
-    tracer_->Record(events_->now(), TraceEventType::kEnqueue, pkt.flow_id, trace_link_id_,
-                    pkt.seq, static_cast<double>(pkt.size_bytes),
+  const int flow_id = pkt.flow_id;
+  const uint64_t seq = pkt.seq;
+  const uint32_t size = pkt.size_bytes;
+  if (queue_->Enqueue(ref, events_->now()) && tracer_ != nullptr) {
+    tracer_->Record(events_->now(), TraceEventType::kEnqueue, flow_id, trace_link_id_,
+                    seq, static_cast<double>(size),
                     static_cast<double>(queue_->queued_bytes()));
   }
   if (invariants::Enabled()) {
@@ -92,39 +100,46 @@ void Link::Accept(Packet pkt) {
   }
 }
 
-void Link::StartService(Packet pkt) {
+void Link::StartService(PacketRef ref) {
   busy_ = true;
-  in_service_bytes_ = pkt.size_bytes;
+  in_service_bytes_ = pool_->Get(ref).size_bytes;
   const RateBps rate = provider_->RateAt(events_->now());
-  const TimeNs tx = TransmissionDelay(pkt.size_bytes, rate);
-  events_->ScheduleAfter(tx, [this, pkt] { FinishService(pkt); });
+  const TimeNs tx = TransmissionDelay(in_service_bytes_, rate);
+  events_->ScheduleAfter(tx, [this, ref] { FinishService(ref); });
 }
 
-void Link::FinishService(Packet pkt) {
-  delivered_bytes_ += pkt.size_bytes;
+void Link::FinishService(PacketRef ref) {
+  const Packet& pkt = pool_->Get(ref);
+  const uint32_t size = pkt.size_bytes;
+  const int flow_id = pkt.flow_id;
+  const uint64_t seq = pkt.seq;
+  delivered_bytes_ += size;
   in_service_bytes_ = 0;
   if (config_.random_loss > 0.0 && rng_.Bernoulli(config_.random_loss)) {
-    wire_lost_bytes_ += pkt.size_bytes;
+    wire_lost_bytes_ += size;
+    pool_->Release(ref);
   } else {
-    events_->ScheduleAfter(config_.propagation_delay, [pkt] { ForwardToNextHop(pkt); });
+    events_->ScheduleAfter(config_.propagation_delay,
+                           [this, ref] { ForwardToNextHop(*pool_, ref); });
   }
   if (invariants::Enabled()) {
     // FIFO per flow: this link must deliver a flow's packets in the order the
     // flow sent them (sequence numbers are strictly increasing, never reused).
-    uint64_t& last = last_delivered_seq_[pkt.flow_id];
-    if (last != 0 && pkt.seq <= last - 1) {
+    uint64_t& last = last_delivered_seq_[flow_id];
+    if (last != 0 && seq <= last - 1) {
       invariants::Report("link.fifo_order",
-                         "link '" + config_.name + "' delivered seq " + std::to_string(pkt.seq) +
-                             " of flow " + std::to_string(pkt.flow_id) + " after seq " +
+                         "link '" + config_.name + "' delivered seq " + std::to_string(seq) +
+                             " of flow " + std::to_string(flow_id) + " after seq " +
                              std::to_string(last - 1));
     }
-    last = pkt.seq + 1;  // store seq+1 so seq 0 is distinguishable from "none"
+    last = seq + 1;  // store seq+1 so seq 0 is distinguishable from "none"
   }
-  std::optional<Packet> next = queue_->Dequeue(events_->now());
+  std::optional<PacketRef> next = queue_->Dequeue(events_->now());
   if (next.has_value()) {
     if (tracer_ != nullptr) {
-      tracer_->Record(events_->now(), TraceEventType::kDequeue, next->flow_id, trace_link_id_,
-                      next->seq, static_cast<double>(next->size_bytes),
+      const Packet& np = pool_->Get(*next);
+      tracer_->Record(events_->now(), TraceEventType::kDequeue, np.flow_id, trace_link_id_,
+                      np.seq, static_cast<double>(np.size_bytes),
                       static_cast<double>(queue_->queued_bytes()));
     }
     StartService(*next);

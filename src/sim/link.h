@@ -11,6 +11,7 @@
 
 #include "src/sim/event_queue.h"
 #include "src/sim/packet.h"
+#include "src/sim/packet_pool.h"
 #include "src/sim/queue_disc.h"
 #include "src/sim/rate_provider.h"
 #include "src/sim/trace.h"
@@ -32,10 +33,11 @@ struct LinkConfig {
 
 class Link : public PacketSink {
  public:
-  Link(EventQueue* events, LinkConfig config, Rng rng);
+  Link(EventQueue* events, LinkConfig config, Rng rng, PacketPool* pool);
 
-  // PacketSink: enqueue (or DropTail-drop) an arriving packet.
-  void Accept(Packet pkt) override;
+  // PacketSink: enqueue (or DropTail-drop) an arriving packet. Takes
+  // ownership of the ref; drops release it back to the pool.
+  void Accept(PacketRef ref) override;
 
   // Instantaneous state.
   uint64_t queue_bytes() const { return queue_->queued_bytes(); }
@@ -66,13 +68,14 @@ class Link : public PacketSink {
   void VerifyInvariants(const char* where, bool deep) const;
 
  private:
-  void StartService(Packet pkt);
-  void FinishService(Packet pkt);
+  void StartService(PacketRef ref);
+  void FinishService(PacketRef ref);
 
   EventQueue* events_;
   LinkConfig config_;
   std::shared_ptr<RateProvider> provider_;
   Rng rng_;
+  PacketPool* pool_;
 
   std::unique_ptr<QueueDiscipline> queue_;
   bool busy_ = false;

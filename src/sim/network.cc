@@ -6,6 +6,7 @@
 
 #include "src/sim/invariants.h"
 #include "src/util/logging.h"
+#include "src/util/metrics.h"
 
 namespace astraea {
 
@@ -15,7 +16,7 @@ Network::~Network() = default;
 
 size_t Network::AddLink(LinkConfig config) {
   ASTRAEA_CHECK(!started_);
-  links_.push_back(std::make_unique<Link>(&events_, std::move(config), rng_.Fork()));
+  links_.push_back(std::make_unique<Link>(&events_, std::move(config), rng_.Fork(), &pool_));
   link_traces_.emplace_back();
   link_prev_delivered_.push_back(0);
   return links_.size() - 1;
@@ -40,7 +41,7 @@ int Network::AddFlow(FlowSpec spec) {
 
   // Receiver is created first (without its sender), so the data route can end
   // with it; the back-pointer is wired up right after the sender exists.
-  record.receiver = std::make_unique<Receiver>(&events_, nullptr, return_delay);
+  record.receiver = std::make_unique<Receiver>(&events_, &pool_, nullptr, return_delay);
 
   Route route;
   for (size_t idx : spec.link_path) {
@@ -48,8 +49,8 @@ int Network::AddFlow(FlowSpec spec) {
   }
   route.push_back(record.receiver.get());
 
-  record.sender =
-      std::make_unique<Sender>(&events_, flow_id, std::move(route), spec.make_cc(), spec.sender);
+  record.sender = std::make_unique<Sender>(&events_, &pool_, flow_id, std::move(route),
+                                           spec.make_cc(), spec.sender);
   record.receiver->set_sender(record.sender.get());
   flows_.push_back(std::move(record));
   return flow_id;
@@ -104,6 +105,7 @@ void Network::Run(TimeNs until) {
     }
   }
   events_.RunUntil(until);
+  PublishPoolMetrics();
 
   if (invariants::Enabled()) {
     // End-of-run audit: full (deep) conservation recount on every link and
@@ -125,6 +127,26 @@ void Network::Run(TimeNs until) {
       }
     }
   }
+}
+
+void Network::PublishPoolMetrics() const {
+  MetricsRegistry& metrics = MetricsRegistry::Global();
+  metrics.GetGauge("sim.pool.packets_live").Set(static_cast<double>(pool_.live()));
+  metrics.GetGauge("sim.pool.packets_capacity").Set(static_cast<double>(pool_.capacity()));
+  metrics.GetGauge("sim.pool.packets_recycled_total").Set(static_cast<double>(pool_.recycled()));
+  metrics.GetGauge("sim.pool.events_pending").Set(static_cast<double>(events_.pending()));
+  metrics.GetGauge("sim.pool.events_capacity").Set(static_cast<double>(events_.slot_capacity()));
+  metrics.GetGauge("sim.pool.events_recycled_total")
+      .Set(static_cast<double>(events_.slots_recycled()));
+  metrics.GetGauge("sim.pool.calendar_buckets").Set(static_cast<double>(events_.bucket_count()));
+  metrics.GetGauge("sim.pool.calendar_rotations")
+      .Set(static_cast<double>(events_.calendar_rotations()));
+  metrics.GetGauge("sim.pool.calendar_rebuilds")
+      .Set(static_cast<double>(events_.calendar_rebuilds()));
+  // Pre-register the invariant counters so a clean scrape shows explicit
+  // zeros rather than missing keys (the checker only registers on first
+  // violation).
+  metrics.GetCounter("invariants.violations_total");
 }
 
 std::vector<int> Network::ActiveFlowIds() const {

@@ -17,6 +17,7 @@
 #include "src/sim/endpoint.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/link.h"
+#include "src/sim/packet_pool.h"
 #include "src/util/rng.h"
 #include "src/util/stats.h"
 
@@ -67,6 +68,7 @@ class Network {
   void Run(TimeNs until);
 
   EventQueue& events() { return events_; }
+  PacketPool& packet_pool() { return pool_; }
   TimeNs now() const { return events_.now(); }
 
   size_t link_count() const { return links_.size(); }
@@ -96,6 +98,14 @@ class Network {
 
   void SampleLinks();
 
+  // Publishes sim.pool.* gauges (and pre-registers invariants counters) to
+  // the global MetricsRegistry; called at the end of every Run() so
+  // --metrics-out scrapes see pool health without extra plumbing.
+  void PublishPoolMetrics() const;
+
+  // Declared before links/flows so packets outlive the components that hold
+  // refs into the pool during teardown.
+  PacketPool pool_;
   EventQueue events_;
   Rng rng_;
   std::vector<std::unique_ptr<Link>> links_;

@@ -1,4 +1,8 @@
 // Packet representation and the hop-to-hop delivery interface.
+//
+// Packets are owned by a PacketPool (see packet_pool.h) and travel the
+// network as PacketRef handles; the Packet struct itself never moves once
+// acquired.
 
 #ifndef SRC_SIM_PACKET_H_
 #define SRC_SIM_PACKET_H_
@@ -25,20 +29,21 @@ struct Packet {
   size_t hop = 0;             // index of the sink currently holding the packet
 };
 
+// Generation-stamped handle to a pooled Packet. Copying the ref does not copy
+// the packet; resolving a ref whose packet was released is a checked error.
+struct PacketRef {
+  uint32_t idx = 0xFFFFFFFFu;
+  uint32_t gen = 0;
+};
+
 // Anything that can accept a packet: a link or a receiving endpoint.
+// Accept() transfers ownership of the ref — the sink must eventually forward
+// or release it.
 class PacketSink {
  public:
   virtual ~PacketSink() = default;
-  virtual void Accept(Packet pkt) = 0;
+  virtual void Accept(PacketRef ref) = 0;
 };
-
-// Forwards `pkt` to the next sink on its route. Called by links after the
-// propagation delay elapses.
-inline void ForwardToNextHop(Packet pkt) {
-  pkt.hop += 1;
-  PacketSink* next = (*pkt.route)[pkt.hop];
-  next->Accept(pkt);
-}
 
 }  // namespace astraea
 

@@ -33,38 +33,40 @@ void QueueDiscipline::VerifyInvariants(bool deep) const {
 
 // ---------------------------------------------------------------- DropTail
 
-bool DropTailQueue::Enqueue(Packet pkt, TimeNs now) {
-  if (bytes_ + pkt.size_bytes > capacity_) {
-    dropped_ += pkt.size_bytes;
-    TraceDrop(now, pkt, bytes_);
+bool DropTailQueue::Enqueue(PacketRef ref, TimeNs now) {
+  const uint32_t size = pool_->Get(ref).size_bytes;
+  if (bytes_ + size > capacity_) {
+    dropped_ += size;
+    DropPacket(ref, now, bytes_);
     return false;
   }
-  bytes_ += pkt.size_bytes;
-  queue_.push_back(pkt);
+  bytes_ += size;
+  queue_.push_back(ref);
   return true;
 }
 
-std::optional<Packet> DropTailQueue::Dequeue(TimeNs /*now*/) {
+std::optional<PacketRef> DropTailQueue::Dequeue(TimeNs /*now*/) {
   if (queue_.empty()) {
     return std::nullopt;
   }
-  Packet pkt = queue_.front();
+  const PacketRef ref = queue_.front();
   queue_.pop_front();
-  bytes_ -= pkt.size_bytes;
-  return pkt;
+  bytes_ -= pool_->Get(ref).size_bytes;
+  return ref;
 }
 
 uint64_t DropTailQueue::RecountQueuedBytes() const {
   uint64_t total = 0;
-  for (const Packet& pkt : queue_) {
-    total += pkt.size_bytes;
+  for (const PacketRef ref : queue_) {
+    total += pool_->Get(ref).size_bytes;
   }
   return total;
 }
 
 // --------------------------------------------------------------------- RED
 
-bool RedQueue::Enqueue(Packet pkt, TimeNs now) {
+bool RedQueue::Enqueue(PacketRef ref, TimeNs now) {
+  const uint32_t size = pool_->Get(ref).size_bytes;
   // Floyd/Jacobson idle-time correction: while the queue sat empty the EWMA
   // saw no arrivals and froze at its last (possibly high) value. Decay it as
   // if m = idle / idle_pkt_tx_time packets had departed during the gap, so a
@@ -83,7 +85,7 @@ bool RedQueue::Enqueue(Packet pkt, TimeNs now) {
   const double max_th = config_.max_threshold_frac * static_cast<double>(config_.capacity_bytes);
 
   bool drop = false;
-  if (bytes_ + pkt.size_bytes > config_.capacity_bytes) {
+  if (bytes_ + size > config_.capacity_bytes) {
     drop = true;  // hard limit
   } else if (avg_ >= max_th) {
     drop = true;
@@ -95,37 +97,37 @@ bool RedQueue::Enqueue(Packet pkt, TimeNs now) {
     drop = rng_.Bernoulli(p);
   }
   if (drop) {
-    dropped_ += pkt.size_bytes;
+    dropped_ += size;
     count_since_drop_ = 0;
-    TraceDrop(now, pkt, bytes_);
+    DropPacket(ref, now, bytes_);
     if (queue_.empty()) {
       idle_since_ = now;  // the drop left the queue empty: idle clock restarts
     }
     return false;
   }
   ++count_since_drop_;
-  bytes_ += pkt.size_bytes;
-  queue_.push_back(pkt);
+  bytes_ += size;
+  queue_.push_back(ref);
   return true;
 }
 
-std::optional<Packet> RedQueue::Dequeue(TimeNs now) {
+std::optional<PacketRef> RedQueue::Dequeue(TimeNs now) {
   if (queue_.empty()) {
     return std::nullopt;
   }
-  Packet pkt = queue_.front();
+  const PacketRef ref = queue_.front();
   queue_.pop_front();
-  bytes_ -= pkt.size_bytes;
+  bytes_ -= pool_->Get(ref).size_bytes;
   if (queue_.empty()) {
     idle_since_ = now;
   }
-  return pkt;
+  return ref;
 }
 
 uint64_t RedQueue::RecountQueuedBytes() const {
   uint64_t total = 0;
-  for (const Packet& pkt : queue_) {
-    total += pkt.size_bytes;
+  for (const PacketRef ref : queue_) {
+    total += pool_->Get(ref).size_bytes;
   }
   return total;
 }
@@ -142,14 +144,15 @@ void RedQueue::VerifyExtraInvariants() const {
 
 // ------------------------------------------------------------------- CoDel
 
-bool CoDelQueue::Enqueue(Packet pkt, TimeNs now) {
-  if (bytes_ + pkt.size_bytes > config_.capacity_bytes) {
-    dropped_ += pkt.size_bytes;
-    TraceDrop(now, pkt, bytes_);
+bool CoDelQueue::Enqueue(PacketRef ref, TimeNs now) {
+  const uint32_t size = pool_->Get(ref).size_bytes;
+  if (bytes_ + size > config_.capacity_bytes) {
+    dropped_ += size;
+    DropPacket(ref, now, bytes_);
     return false;
   }
-  bytes_ += pkt.size_bytes;
-  queue_.push_back({pkt, now});
+  bytes_ += size;
+  queue_.push_back({ref, now});
   return true;
 }
 
@@ -170,7 +173,7 @@ bool CoDelQueue::OkToDrop(TimeNs now) {
   return now >= first_above_time_;
 }
 
-std::optional<Packet> CoDelQueue::Dequeue(TimeNs now) {
+std::optional<PacketRef> CoDelQueue::Dequeue(TimeNs now) {
   while (!queue_.empty()) {
     const bool ok_to_drop = OkToDrop(now);
     if (dropping_) {
@@ -178,11 +181,12 @@ std::optional<Packet> CoDelQueue::Dequeue(TimeNs now) {
         dropping_ = false;
       } else if (now >= drop_next_) {
         // Drop the head and stay in dropping state with sqrt-spaced schedule.
-        Entry victim = queue_.front();
+        const Entry victim = queue_.front();
         queue_.pop_front();
-        bytes_ -= victim.pkt.size_bytes;
-        dropped_ += victim.pkt.size_bytes;
-        TraceDrop(now, victim.pkt, bytes_);
+        const uint32_t size = pool_->Get(victim.ref).size_bytes;
+        bytes_ -= size;
+        dropped_ += size;
+        DropPacket(victim.ref, now, bytes_);
         ++drop_count_;
         drop_next_ = now + static_cast<TimeNs>(static_cast<double>(config_.interval) /
                                                std::sqrt(static_cast<double>(drop_count_)));
@@ -190,11 +194,12 @@ std::optional<Packet> CoDelQueue::Dequeue(TimeNs now) {
       }
     } else if (ok_to_drop) {
       // Enter dropping state: drop one packet now.
-      Entry victim = queue_.front();
+      const Entry victim = queue_.front();
       queue_.pop_front();
-      bytes_ -= victim.pkt.size_bytes;
-      dropped_ += victim.pkt.size_bytes;
-      TraceDrop(now, victim.pkt, bytes_);
+      const uint32_t size = pool_->Get(victim.ref).size_bytes;
+      bytes_ -= size;
+      dropped_ += size;
+      DropPacket(victim.ref, now, bytes_);
       dropping_ = true;
       // Restart the schedule, faster if we were dropping recently.
       drop_count_ = drop_count_ > 2 ? drop_count_ - 2 : 1;
@@ -202,10 +207,10 @@ std::optional<Packet> CoDelQueue::Dequeue(TimeNs now) {
                                              std::sqrt(static_cast<double>(drop_count_)));
       continue;
     }
-    Entry entry = queue_.front();
+    const Entry entry = queue_.front();
     queue_.pop_front();
-    bytes_ -= entry.pkt.size_bytes;
-    return entry.pkt;
+    bytes_ -= pool_->Get(entry.ref).size_bytes;
+    return entry.ref;
   }
   return std::nullopt;
 }
@@ -213,7 +218,7 @@ std::optional<Packet> CoDelQueue::Dequeue(TimeNs now) {
 uint64_t CoDelQueue::RecountQueuedBytes() const {
   uint64_t total = 0;
   for (const Entry& entry : queue_) {
-    total += entry.pkt.size_bytes;
+    total += pool_->Get(entry.ref).size_bytes;
   }
   return total;
 }

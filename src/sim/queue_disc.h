@@ -7,6 +7,12 @@
 //  * CoDel    — controlled delay (Nichols/Jacobson 2012): drops at dequeue
 //               when sojourn time stays above `target` for an `interval`,
 //               with the sqrt-spaced drop schedule.
+//
+// Disciplines hold PacketRef handles into the owning network's PacketPool
+// (attach it with set_pool before the first Enqueue). Ownership: Enqueue
+// transfers the ref to the discipline; a false return means the packet was
+// dropped AND released. Dequeue transfers ownership back to the caller.
+// Internal drops (CoDel at dequeue) release their victims directly.
 
 #ifndef SRC_SIM_QUEUE_DISC_H_
 #define SRC_SIM_QUEUE_DISC_H_
@@ -17,6 +23,7 @@
 #include <optional>
 
 #include "src/sim/packet.h"
+#include "src/sim/packet_pool.h"
 #include "src/sim/trace.h"
 #include "src/util/rng.h"
 #include "src/util/time.h"
@@ -27,11 +34,12 @@ class QueueDiscipline {
  public:
   virtual ~QueueDiscipline() = default;
 
-  // Attempts to enqueue; returns false if the packet was dropped.
-  virtual bool Enqueue(Packet pkt, TimeNs now) = 0;
+  // Attempts to enqueue; returns false if the packet was dropped (in which
+  // case the discipline has already released the ref).
+  virtual bool Enqueue(PacketRef ref, TimeNs now) = 0;
   // Pops the next packet to serve; may drop packets internally (CoDel) and
   // returns nullopt when empty.
-  virtual std::optional<Packet> Dequeue(TimeNs now) = 0;
+  virtual std::optional<PacketRef> Dequeue(TimeNs now) = 0;
 
   virtual uint64_t queued_bytes() const = 0;
   virtual size_t queued_packets() const = 0;
@@ -50,6 +58,10 @@ class QueueDiscipline {
   // O(n) byte recount and discipline-specific extras (RED EWMA bounds, CoDel
   // drop-schedule sanity).
   void VerifyInvariants(bool deep) const;
+
+  // Attaches the pool the refs resolve against. Must be called (by the Link,
+  // or directly in tests) before the first Enqueue.
+  void set_pool(PacketPool* pool) { pool_ = pool; }
 
  protected:
   // Discipline-specific extra checks run on deep audits only.
@@ -72,6 +84,14 @@ class QueueDiscipline {
     }
   }
 
+  // Drop accounting + trace + release, shared by every discipline.
+  void DropPacket(PacketRef ref, TimeNs now, uint64_t queued_bytes_now) {
+    const Packet& pkt = pool_->Get(ref);
+    TraceDrop(now, pkt, queued_bytes_now);
+    pool_->Release(ref);
+  }
+
+  PacketPool* pool_ = nullptr;
   Tracer* tracer_ = nullptr;
   int32_t trace_link_id_ = -1;
 };
@@ -82,8 +102,8 @@ class DropTailQueue : public QueueDiscipline {
  public:
   explicit DropTailQueue(uint64_t capacity_bytes) : capacity_(capacity_bytes) {}
 
-  bool Enqueue(Packet pkt, TimeNs now) override;
-  std::optional<Packet> Dequeue(TimeNs now) override;
+  bool Enqueue(PacketRef ref, TimeNs now) override;
+  std::optional<PacketRef> Dequeue(TimeNs now) override;
   uint64_t queued_bytes() const override { return bytes_; }
   size_t queued_packets() const override { return queue_.size(); }
   uint64_t dropped_bytes() const override { return dropped_; }
@@ -92,7 +112,7 @@ class DropTailQueue : public QueueDiscipline {
 
  private:
   uint64_t capacity_;
-  std::deque<Packet> queue_;
+  std::deque<PacketRef> queue_;
   uint64_t bytes_ = 0;
   uint64_t dropped_ = 0;
 };
@@ -114,8 +134,8 @@ class RedQueue : public QueueDiscipline {
  public:
   RedQueue(RedConfig config, Rng rng) : config_(config), rng_(rng) {}
 
-  bool Enqueue(Packet pkt, TimeNs now) override;
-  std::optional<Packet> Dequeue(TimeNs now) override;
+  bool Enqueue(PacketRef ref, TimeNs now) override;
+  std::optional<PacketRef> Dequeue(TimeNs now) override;
   uint64_t queued_bytes() const override { return bytes_; }
   size_t queued_packets() const override { return queue_.size(); }
   uint64_t dropped_bytes() const override { return dropped_; }
@@ -129,7 +149,7 @@ class RedQueue : public QueueDiscipline {
  private:
   RedConfig config_;
   Rng rng_;
-  std::deque<Packet> queue_;
+  std::deque<PacketRef> queue_;
   uint64_t bytes_ = 0;
   uint64_t dropped_ = 0;
   double avg_ = 0.0;
@@ -151,8 +171,8 @@ class CoDelQueue : public QueueDiscipline {
  public:
   explicit CoDelQueue(CoDelConfig config) : config_(config) {}
 
-  bool Enqueue(Packet pkt, TimeNs now) override;
-  std::optional<Packet> Dequeue(TimeNs now) override;
+  bool Enqueue(PacketRef ref, TimeNs now) override;
+  std::optional<PacketRef> Dequeue(TimeNs now) override;
   uint64_t queued_bytes() const override { return bytes_; }
   size_t queued_packets() const override { return queue_.size(); }
   uint64_t dropped_bytes() const override { return dropped_; }
@@ -165,7 +185,7 @@ class CoDelQueue : public QueueDiscipline {
 
  private:
   struct Entry {
-    Packet pkt;
+    PacketRef ref;
     TimeNs enqueued_at;
   };
 

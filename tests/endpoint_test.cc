@@ -188,9 +188,10 @@ TEST(ReceiverTest, CountsReceivedBytes) {
 // ASan to catch the use-after-free pre-fix.
 TEST(ReceiverTest, AckAfterSenderDestroyedIsDiscarded) {
   EventQueue events;
-  Receiver receiver(&events, nullptr, /*ack_return_delay=*/Milliseconds(15));
+  PacketPool pool;
+  Receiver receiver(&events, &pool, nullptr, /*ack_return_delay=*/Milliseconds(15));
   SenderConfig config;
-  auto sender = std::make_unique<Sender>(&events, /*flow_id=*/0, Route{&receiver},
+  auto sender = std::make_unique<Sender>(&events, &pool, /*flow_id=*/0, Route{&receiver},
                                          std::make_unique<FixedWindow>(20 * 1500), config);
   receiver.set_sender(sender.get());
 

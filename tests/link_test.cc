@@ -4,32 +4,43 @@
 
 #include "src/sim/event_queue.h"
 #include "src/sim/link.h"
+#include "src/sim/packet_pool.h"
 
 namespace astraea {
 namespace {
 
-// Terminal sink that records deliveries.
+// Terminal sink that records deliveries (copying the packet out and
+// releasing the pooled slot, as a real receiver would).
 class RecordingSink : public PacketSink {
  public:
-  void Accept(Packet pkt) override { received.push_back(pkt); }
+  explicit RecordingSink(PacketPool* pool) : pool_(pool) {}
+  void Accept(PacketRef ref) override {
+    received.push_back(pool_->Get(ref));
+    pool_->Release(ref);
+  }
   std::vector<Packet> received;
+
+ private:
+  PacketPool* pool_;
 };
 
 class LinkTest : public ::testing::Test {
  protected:
-  Packet MakePacket(uint64_t seq, uint32_t size = 1500) {
-    Packet pkt;
+  PacketRef MakePacket(uint64_t seq, uint32_t size = 1500) {
+    const PacketRef ref = pool_.Acquire();
+    Packet& pkt = pool_.Get(ref);
     pkt.flow_id = 0;
     pkt.seq = seq;
     pkt.size_bytes = size;
     pkt.sent_time = events_.now();
     pkt.route = &route_;
     pkt.hop = 0;
-    return pkt;
+    return ref;
   }
 
   EventQueue events_;
-  RecordingSink sink_;
+  PacketPool pool_;
+  RecordingSink sink_{&pool_};
   Route route_;
 };
 
@@ -38,7 +49,7 @@ TEST_F(LinkTest, DeliversAfterServiceAndPropagation) {
   config.rate = Mbps(100);
   config.propagation_delay = Milliseconds(5);
   config.buffer_bytes = 100'000;
-  Link link(&events_, config, Rng(1));
+  Link link(&events_, config, Rng(1), &pool_);
   route_ = {&link, &sink_};
 
   link.Accept(MakePacket(0));
@@ -53,7 +64,7 @@ TEST_F(LinkTest, ServiceRateMatchesConfiguredRate) {
   config.rate = Mbps(50);
   config.propagation_delay = 0;
   config.buffer_bytes = 100'000'000;
-  Link link(&events_, config, Rng(1));
+  Link link(&events_, config, Rng(1), &pool_);
   route_ = {&link, &sink_};
 
   const int n = 1000;
@@ -71,7 +82,7 @@ TEST_F(LinkTest, PreservesFifoOrder) {
   config.rate = Mbps(10);
   config.buffer_bytes = 10'000'000;
   config.propagation_delay = Milliseconds(1);
-  Link link(&events_, config, Rng(1));
+  Link link(&events_, config, Rng(1), &pool_);
   route_ = {&link, &sink_};
 
   for (int i = 0; i < 50; ++i) {
@@ -89,7 +100,7 @@ TEST_F(LinkTest, DropTailAtBufferLimit) {
   config.rate = Mbps(10);
   config.propagation_delay = 0;
   config.buffer_bytes = 3000;  // room for exactly 2 queued packets
-  Link link(&events_, config, Rng(1));
+  Link link(&events_, config, Rng(1), &pool_);
   route_ = {&link, &sink_};
 
   // One in service + two queued fit; the rest drop.
@@ -109,7 +120,7 @@ TEST_F(LinkTest, RandomLossDropsApproximatelyAtRate) {
   config.propagation_delay = 0;
   config.buffer_bytes = 100'000'000;
   config.random_loss = 0.1;
-  Link link(&events_, config, Rng(99));
+  Link link(&events_, config, Rng(99), &pool_);
   route_ = {&link, &sink_};
 
   const int n = 5000;
@@ -128,7 +139,7 @@ TEST_F(LinkTest, TraceDrivenRateFollowsTrace) {
   config.buffer_bytes = 100'000'000;
   config.trace = std::make_shared<RateTrace>(
       std::vector<std::pair<TimeNs, RateBps>>{{0, Mbps(10)}, {Seconds(1.0), Mbps(40)}});
-  Link link(&events_, config, Rng(1));
+  Link link(&events_, config, Rng(1), &pool_);
   route_ = {&link, &sink_};
 
   // Saturate for 2 seconds; expect ~(10 + 40)/2 = 25 Mbit total over 2s.
@@ -145,7 +156,7 @@ TEST_F(LinkTest, QueueByteAccountingIsConsistent) {
   config.rate = Mbps(1);
   config.propagation_delay = 0;
   config.buffer_bytes = 1'000'000;
-  Link link(&events_, config, Rng(1));
+  Link link(&events_, config, Rng(1), &pool_);
   route_ = {&link, &sink_};
 
   for (int i = 0; i < 10; ++i) {
@@ -165,24 +176,29 @@ class LinkRateConformance : public ::testing::TestWithParam<double> {};
 
 TEST_P(LinkRateConformance, DeliveryMatchesRate) {
   EventQueue events;
-  RecordingSink sink;
+  PacketPool pool;
+  RecordingSink sink(&pool);
   LinkConfig config;
   config.rate = Mbps(GetParam());
   config.propagation_delay = 0;
   config.buffer_bytes = 1'000'000'000;
-  Link link(&events, config, Rng(1));
+  Link link(&events, config, Rng(1), &pool);
   Route route{&link, &sink};
 
   const int n = 2000;
   for (int i = 0; i < n; ++i) {
-    Packet pkt;
+    const PacketRef ref = pool.Acquire();
+    Packet& pkt = pool.Get(ref);
     pkt.seq = static_cast<uint64_t>(i);
     pkt.size_bytes = 1500;
     pkt.route = &route;
     pkt.hop = 0;
-    link.Accept(pkt);
+    link.Accept(ref);
   }
   events.RunAll();
+  // Every packet came back to the pool: delivered ones via the sink, none
+  // leaked in the link or queue.
+  EXPECT_EQ(pool.live(), 0u);
   const double measured = n * 1500.0 * 8.0 / ToSeconds(events.now());
   EXPECT_NEAR(measured / Mbps(GetParam()), 1.0, 0.01);
 }

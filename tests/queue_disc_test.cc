@@ -2,48 +2,81 @@
 
 #include "src/cc/cubic.h"
 #include "src/sim/network.h"
+#include "src/sim/packet_pool.h"
 #include "src/sim/queue_disc.h"
 
 namespace astraea {
 namespace {
 
-Packet MakePacket(uint64_t seq, uint32_t size = 1500) {
-  Packet pkt;
-  pkt.seq = seq;
-  pkt.size_bytes = size;
-  return pkt;
-}
+// Shared pool for the unit tests; the fixture attaches it to each discipline
+// and releases dequeued packets so leak checks stay meaningful.
+class QueueDiscTest : public ::testing::Test {
+ protected:
+  PacketRef MakePacket(uint64_t seq, uint32_t size = 1500) {
+    const PacketRef ref = pool_.Acquire();
+    Packet& pkt = pool_.Get(ref);
+    pkt.flow_id = 0;
+    pkt.seq = seq;
+    pkt.size_bytes = size;
+    pkt.sent_time = 0;
+    pkt.route = nullptr;
+    pkt.hop = 0;
+    return ref;
+  }
 
-TEST(DropTailQueueTest, FifoAndCapacity) {
+  // Dequeues, releases the slot and returns the packet's seq (or nullopt).
+  std::optional<uint64_t> DequeueSeq(QueueDiscipline& q, TimeNs now) {
+    const std::optional<PacketRef> ref = q.Dequeue(now);
+    if (!ref.has_value()) {
+      return std::nullopt;
+    }
+    const uint64_t seq = pool_.Get(*ref).seq;
+    pool_.Release(*ref);
+    return seq;
+  }
+
+  PacketPool pool_;
+};
+
+using DropTailQueueTest = QueueDiscTest;
+using RedQueueTest = QueueDiscTest;
+using CoDelQueueTest = QueueDiscTest;
+
+TEST_F(DropTailQueueTest, FifoAndCapacity) {
   DropTailQueue q(3000);
+  q.set_pool(&pool_);
   EXPECT_TRUE(q.Enqueue(MakePacket(0), 0));
   EXPECT_TRUE(q.Enqueue(MakePacket(1), 0));
   EXPECT_FALSE(q.Enqueue(MakePacket(2), 0));  // full
   EXPECT_EQ(q.queued_packets(), 2u);
   EXPECT_EQ(q.dropped_bytes(), 1500u);
-  EXPECT_EQ(q.Dequeue(0)->seq, 0u);
-  EXPECT_EQ(q.Dequeue(0)->seq, 1u);
-  EXPECT_FALSE(q.Dequeue(0).has_value());
+  EXPECT_EQ(DequeueSeq(q, 0), 0u);
+  EXPECT_EQ(DequeueSeq(q, 0), 1u);
+  EXPECT_FALSE(DequeueSeq(q, 0).has_value());
   EXPECT_EQ(q.queued_bytes(), 0u);
+  EXPECT_EQ(pool_.live(), 0u);  // drops and dequeues all returned their slots
 }
 
-TEST(RedQueueTest, NoDropsBelowMinThreshold) {
+TEST_F(RedQueueTest, NoDropsBelowMinThreshold) {
   RedConfig config;
   config.capacity_bytes = 150'000;  // 100 packets
   RedQueue q(config, Rng(1));
+  q.set_pool(&pool_);
   // Keep instantaneous queue below min threshold (20 pkts): never drops.
   for (int round = 0; round < 200; ++round) {
     EXPECT_TRUE(q.Enqueue(MakePacket(static_cast<uint64_t>(round)), 0));
-    q.Dequeue(0);
+    DequeueSeq(q, 0);
   }
   EXPECT_EQ(q.dropped_bytes(), 0u);
+  EXPECT_EQ(pool_.live(), 0u);
 }
 
-TEST(RedQueueTest, ProbabilisticDropsBetweenThresholds) {
+TEST_F(RedQueueTest, ProbabilisticDropsBetweenThresholds) {
   RedConfig config;
   config.capacity_bytes = 150'000;
   config.ewma_weight = 1.0;  // track the instantaneous queue exactly
   RedQueue q(config, Rng(2));
+  q.set_pool(&pool_);
   // Hold the queue at ~40% (between min 20% and max 60%): some but not all
   // enqueues drop.
   int dropped = 0;
@@ -54,7 +87,7 @@ TEST(RedQueueTest, ProbabilisticDropsBetweenThresholds) {
   for (int i = 0; i < 2000; ++i) {
     if (q.Enqueue(MakePacket(static_cast<uint64_t>(100 + i)), 0)) {
       ++accepted;
-      q.Dequeue(0);  // keep occupancy level
+      DequeueSeq(q, 0);  // keep occupancy level
     } else {
       ++dropped;
     }
@@ -67,13 +100,14 @@ TEST(RedQueueTest, ProbabilisticDropsBetweenThresholds) {
 // empty, so a burst after a long idle period was greeted with the stale
 // pre-idle average — deterministic drops at avg >= max_th despite an empty
 // queue. The idle correction decays avg by (1-w)^m, m = idle / pkt-tx-time.
-TEST(RedQueueTest, IdleTimeDecaysAverage) {
+TEST_F(RedQueueTest, IdleTimeDecaysAverage) {
   RedConfig config;
   config.capacity_bytes = 150'000;  // 100 packets
   config.ewma_weight = 0.2;
   config.max_drop_probability = 0.0;  // isolate the EWMA from random drops
   config.idle_pkt_tx_time = Microseconds(120);
   RedQueue q(config, Rng(7));
+  q.set_pool(&pool_);
 
   // Back-to-back fill: the average climbs above the max threshold (60%).
   TimeNs now = 0;
@@ -85,7 +119,7 @@ TEST(RedQueueTest, IdleTimeDecaysAverage) {
   const double avg_before_idle = q.average_queue_bytes();
 
   // Drain completely, then idle for a second (~8300 packet slots).
-  while (q.Dequeue(now).has_value()) {
+  while (DequeueSeq(q, now).has_value()) {
     now += Microseconds(10);
   }
   now += Seconds(1.0);
@@ -97,32 +131,36 @@ TEST(RedQueueTest, IdleTimeDecaysAverage) {
   EXPECT_LT(q.average_queue_bytes(), 0.05 * avg_before_idle);
 }
 
-TEST(RedQueueTest, HardLimitAlwaysDrops) {
+TEST_F(RedQueueTest, HardLimitAlwaysDrops) {
   RedConfig config;
   config.capacity_bytes = 4500;
   RedQueue q(config, Rng(3));
+  q.set_pool(&pool_);
   q.Enqueue(MakePacket(0), 0);
   q.Enqueue(MakePacket(1), 0);
   q.Enqueue(MakePacket(2), 0);
   EXPECT_FALSE(q.Enqueue(MakePacket(3), 0));
 }
 
-TEST(CoDelQueueTest, NoDropsWhenSojournBelowTarget) {
+TEST_F(CoDelQueueTest, NoDropsWhenSojournBelowTarget) {
   CoDelConfig config;
   CoDelQueue q(config);
+  q.set_pool(&pool_);
   // Packets dequeued 1ms after enqueue: below the 5ms target.
   TimeNs now = 0;
   for (int i = 0; i < 100; ++i) {
     q.Enqueue(MakePacket(static_cast<uint64_t>(i)), now);
     now += Milliseconds(1);
-    EXPECT_TRUE(q.Dequeue(now).has_value());
+    EXPECT_TRUE(DequeueSeq(q, now).has_value());
   }
   EXPECT_EQ(q.dropped_bytes(), 0u);
+  EXPECT_EQ(pool_.live(), 0u);
 }
 
-TEST(CoDelQueueTest, DropsAfterPersistentQueueing) {
+TEST_F(CoDelQueueTest, DropsAfterPersistentQueueing) {
   CoDelConfig config;
   CoDelQueue q(config);
+  q.set_pool(&pool_);
   // Fill a standing queue, then dequeue slowly so sojourn stays >> target
   // for longer than one interval.
   for (int i = 0; i < 200; ++i) {
@@ -132,7 +170,7 @@ TEST(CoDelQueueTest, DropsAfterPersistentQueueing) {
   uint64_t served = 0;
   for (int i = 0; i < 150; ++i) {
     now += Milliseconds(2);
-    if (q.Dequeue(now).has_value()) {
+    if (DequeueSeq(q, now).has_value()) {
       ++served;
     }
   }
@@ -144,11 +182,12 @@ TEST(CoDelQueueTest, DropsAfterPersistentQueueing) {
 // 1500 bytes, so with small packets (mss 500) a persistent 3-deep standing
 // queue — 1500 bytes of backlog with sojourn far above target — never
 // triggered dropping. The MTU is now configurable and must match the MSS.
-TEST(CoDelQueueTest, MtuExitConditionMatchesPacketSize) {
-  auto standing_queue_drops = [](uint32_t mtu) {
+TEST_F(CoDelQueueTest, MtuExitConditionMatchesPacketSize) {
+  auto standing_queue_drops = [this](uint32_t mtu) {
     CoDelConfig config;
     config.mtu = mtu;
     CoDelQueue q(config);
+    q.set_pool(&pool_);
     TimeNs now = 0;
     uint64_t seq = 0;
     // Maintain a 3-packet standing queue of 500-byte packets; each packet
@@ -158,7 +197,7 @@ TEST(CoDelQueueTest, MtuExitConditionMatchesPacketSize) {
     }
     for (int i = 0; i < 400; ++i) {
       now += Milliseconds(50);
-      q.Dequeue(now);
+      DequeueSeq(q, now);
       q.Enqueue(MakePacket(seq++, 500), now);
     }
     return q.dropped_bytes();
@@ -169,21 +208,23 @@ TEST(CoDelQueueTest, MtuExitConditionMatchesPacketSize) {
   EXPECT_GT(standing_queue_drops(500), 0u);
 }
 
-TEST(CoDelQueueTest, RecoversWhenQueueDrains) {
+TEST_F(CoDelQueueTest, RecoversWhenQueueDrains) {
   CoDelConfig config;
   CoDelQueue q(config);
+  q.set_pool(&pool_);
   for (int i = 0; i < 100; ++i) {
     q.Enqueue(MakePacket(static_cast<uint64_t>(i)), 0);
   }
   TimeNs now = Milliseconds(200);
   while (q.queued_packets() > 0) {
-    q.Dequeue(now);
+    DequeueSeq(q, now);
     now += Milliseconds(2);
   }
   // Re-enqueue with low sojourn: dropping state must end.
   q.Enqueue(MakePacket(1000), now);
-  EXPECT_TRUE(q.Dequeue(now + Milliseconds(1)).has_value());
+  EXPECT_TRUE(DequeueSeq(q, now + Milliseconds(1)).has_value());
   EXPECT_FALSE(q.dropping());
+  EXPECT_EQ(pool_.live(), 0u);
 }
 
 // End-to-end: CoDel keeps CUBIC's standing delay near the target where
