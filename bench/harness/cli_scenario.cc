@@ -47,7 +47,8 @@ std::shared_ptr<const Policy> MakeCliPolicy(const PolicyCliOptions& opts) {
   if (opts.serve_socket.empty()) {
     return local;
   }
-  return serve::MakeServedPolicy(opts.serve_socket, opts.rpc_timeout, std::move(local));
+  return serve::MakeServedPolicy(opts.serve_socket, opts.rpc_timeout, std::move(local),
+                                 opts.connect_timeout);
 }
 
 }  // namespace astraea

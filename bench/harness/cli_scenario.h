@@ -41,12 +41,14 @@ struct PolicyCliOptions {
   std::string model;         // checkpoint path; "" = default resolution
   std::string serve_socket;  // when set, serve decisions from astraea_serve
   TimeNs rpc_timeout = Milliseconds(20);
+  TimeNs connect_timeout = Milliseconds(500);  // handshake/reconnect-probe bound
 };
 
-// Resolves the policy: with --serve-socket, a RemotePolicy against the
-// server with the locally-resolved policy as its degradation fallback;
-// otherwise the local policy itself. Never fails (an unreachable server
-// degrades to pure fallback with a warning).
+// Resolves the policy: with --serve-socket, a self-healing RemotePolicy
+// against the server with the locally-resolved policy as its degradation
+// fallback; otherwise the local policy itself. Never fails (an unreachable
+// server degrades to pure fallback with a warning and re-attaches when one
+// appears).
 std::shared_ptr<const Policy> MakeCliPolicy(const PolicyCliOptions& opts);
 
 }  // namespace astraea

@@ -12,6 +12,7 @@
 #include <unordered_set>
 
 #include "src/ipc/uds.h"
+#include "src/serve/serve_metrics.h"
 #include "src/serve/serve_protocol.h"
 #include "src/util/checkpoint.h"
 #include "src/util/failpoint.h"
@@ -70,6 +71,9 @@ InferenceServer::InferenceServer(InferenceServerConfig config) : config_(std::mo
   ev.data.fd = event_fd_;
   epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, event_fd_, &ev);
 
+  // Every serve.* name (both sides of the boundary) exists zero-valued from
+  // this point on — scrapes taken before the first request still have keys.
+  RegisterServeMetrics();
   MetricsRegistry& reg = MetricsRegistry::Global();
   requests_total_ = &reg.GetCounter("serve.requests_total");
   batches_total_ = &reg.GetCounter("serve.batches_total");
@@ -77,8 +81,11 @@ InferenceServer::InferenceServer(InferenceServerConfig config) : config_(std::mo
   responses_dropped_total_ = &reg.GetCounter("serve.responses_dropped_total");
   reloads_total_ = &reg.GetCounter("serve.reloads_total");
   reload_errors_total_ = &reg.GetCounter("serve.reload_errors_total");
+  shed_total_ = &reg.GetCounter("serve.shed_total");
+  drain_rounds_total_ = &reg.GetCounter("serve.drain_rounds");
   clients_gauge_ = &reg.GetGauge("serve.clients");
   queue_depth_gauge_ = &reg.GetGauge("serve.queue_depth");
+  est_batch_latency_gauge_ = &reg.GetGauge("serve.est_batch_latency_seconds");
   batch_size_hist_ = &reg.GetHistogram("serve.batch_size");
   service_latency_hist_ = &reg.GetHistogram("serve.service_latency_seconds");
 }
@@ -103,7 +110,13 @@ InferenceServer::~InferenceServer() {
 
 void InferenceServer::Run() {
   while (!stop_.load(std::memory_order_acquire)) {
-    MaybeReload();
+    if (pending_.empty()) {
+      // Never reload over a queued remainder: batch_states_ rows are sized by
+      // the current model's input dim, and a reload may change it. Backlog
+      // drains at max_batch per flush, so the reload lands within a few
+      // iterations even under overload.
+      MaybeReload();
+    }
     AcceptClients();
     DrainRequests();
     if (pending_.empty()) {
@@ -195,40 +208,106 @@ void InferenceServer::RespondError(Client* client, uint64_t req_id, uint32_t sta
 }
 
 void InferenceServer::DrainRequests() {
+  const size_t n = clients_.size();
+  if (n == 0) {
+    return;
+  }
   const int dim = model_input_dim_.load(std::memory_order_relaxed);
   const TimeNs now = ipc::MonotonicNowNs();
-  for (size_t c = 0; c < clients_.size(); ++c) {
-    Client* client = clients_[c].get();
-    if (client->dead) {
-      continue;
-    }
-    RequestRecord req{};
-    while (pending_.size() < config_.max_batch &&
-           client->region->request.TryPop(&req, sizeof(req))) {
+  // Per-flush cost estimate for the admission projection below. Zero until
+  // the first flush has been measured — a cold server never sheds.
+  const TimeNs unit =
+      static_cast<TimeNs>(config_.shed_margin * static_cast<double>(est_flush_ns_));
+  // Backstop on admitted backlog, NOT the shed mechanism: requests carrying
+  // deadlines self-limit the queue (past a few batches of depth the
+  // projection sheds them), so this cap only binds for deadline-less clients.
+  // It is deliberately generous — an un-drained request ages invisibly in its
+  // ring and can then only slow-fail, which defeats admission control.
+  const size_t cap = std::max<size_t>(16 * config_.max_batch, 4096);
+
+  // Round-robin: one request per live client per round, rotating which client
+  // goes first across passes, so a single hot client can neither starve the
+  // others out of a batch nor monopolize the drain loop. Rejections (bad or
+  // shed requests) do not occupy batch slots, so one pass can fast-fail an
+  // arbitrary backlog while still filling the batch with viable work.
+  const size_t start = drain_cursor_ % n;
+  drain_cursor_ = (start + 1) % n;
+  // Bounded rounds per pass: with enough clients, one scan round takes longer
+  // than the mean arrival interval, so "loop until a round pops nothing"
+  // never exits — the drain chases arrivals forever, no flush ever runs, and
+  // admitted requests rot in a queue that the admission projection assumed
+  // was being served. Eight rounds empties any realistic backlog (synchronous
+  // clients queue at most one each); whatever is left waits one flush.
+  constexpr uint64_t kMaxRoundsPerPass = 8;
+  uint64_t rounds = 0;
+  uint64_t drained = 0;
+  bool any = true;
+  while (any && rounds < kMaxRoundsPerPass && pending_.size() < cap) {
+    any = false;
+    ++rounds;
+    for (size_t k = 0; k < n && pending_.size() < cap; ++k) {
+      const size_t c = (start + k) % n;
+      Client* client = clients_[c].get();
+      if (client->dead) {
+        continue;
+      }
+      RequestRecord req{};
+      if (!client->region->request.TryPop(&req, sizeof(req))) {
+        continue;
+      }
+      any = true;
+      ++drained;
       requests_total_->Increment();
       if (!ValidRequest(req) || req.state_dim != static_cast<uint32_t>(dim)) {
         bad_requests_total_->Increment();
         RespondError(client, req.req_id, static_cast<uint32_t>(ResponseStatus::kBadRequest));
         continue;
       }
+      if (config_.shed_margin > 0.0 && req.deadline_ns != 0 && est_flush_ns_ > 0) {
+        // Queue-position-aware projection: the request joins behind
+        // pending_/max_batch full batches, each costing ~est_flush. Without
+        // the position term, a backlogged server would admit everything and
+        // deadlines would only be discovered by timeout — slow-fail.
+        const TimeNs batches_ahead =
+            static_cast<TimeNs>(pending_.size() / config_.max_batch);
+        const TimeNs projected_done = now + unit * (batches_ahead + 1);
+        if (projected_done > static_cast<TimeNs>(req.deadline_ns)) {
+          // Cannot be served before its deadline: shed it NOW so the client
+          // falls back immediately instead of discovering the miss by timeout.
+          shed_total_->Increment();
+          shed_total_count_.fetch_add(1, std::memory_order_acq_rel);
+          RespondError(client, req.req_id, static_cast<uint32_t>(ResponseStatus::kRejected));
+          continue;
+        }
+      }
       batch_states_.insert(batch_states_.end(), req.state, req.state + req.state_dim);
       pending_.push_back(Pending{c, req.req_id, now});
     }
+  }
+  if (drained > 0) {
+    drain_rounds_total_->Increment(rounds);
   }
 }
 
 void InferenceServer::FlushBatch() {
   // A crash injected here is the worst case for clients: their requests have
-  // been consumed from the rings but no response will ever be written.
+  // been consumed from the rings but no response will ever be written. The
+  // "stall" action at the same site models a scheduler pause instead.
+  const TimeNs flush_start = ipc::MonotonicNowNs();
   ASTRAEA_FAILPOINT("serve.flush.mid_batch");
-  const size_t n = pending_.size();
-  queue_depth_gauge_->Set(static_cast<double>(n));
+  // Serve at most one max_batch chunk per flush; the remainder stays queued
+  // (and counted by the admission projection) for the next pass. Flushing the
+  // whole backlog in one giant forward pass would make the flush-latency
+  // estimate meaningless and starve newly arrived requests of drain cycles.
+  queue_depth_gauge_->Set(static_cast<double>(pending_.size()));
+  const size_t n = std::min(pending_.size(), config_.max_batch);
+  const size_t dim = static_cast<size_t>(model_input_dim_.load(std::memory_order_relaxed));
   batch_size_hist_->Observe(static_cast<double>(n));
 
   bool infer_ok = true;
   std::span<const float> out;
   try {
-    out = actor_->InferBatchSpan(batch_states_, n);
+    out = actor_->InferBatchSpan(std::span<const float>(batch_states_.data(), n * dim), n);
   } catch (const std::exception& e) {
     ASTRAEA_LOG(Warning) << "serve: batched inference failed: " << e.what();
     infer_ok = false;
@@ -266,8 +345,18 @@ void InferenceServer::FlushBatch() {
   }
   served_total_.fetch_add(n, std::memory_order_acq_rel);
   batches_total_->Increment();
-  pending_.clear();
-  batch_states_.clear();
+  pending_.erase(pending_.begin(), pending_.begin() + static_cast<ptrdiff_t>(n));
+  batch_states_.erase(batch_states_.begin(),
+                      batch_states_.begin() + static_cast<ptrdiff_t>(n * dim));
+
+  // Fold this flush's wall time into the admission estimate. A slow flush
+  // (big batch, stalled inference) raises the estimate and starts shedding
+  // requests that could no longer make their deadlines; recovery lowers it
+  // back and admission widens again. The stall failpoint above lands inside
+  // the measured window on purpose.
+  const TimeNs flush_cost = std::max<TimeNs>(ipc::MonotonicNowNs() - flush_start, 0);
+  est_flush_ns_ = est_flush_ns_ == 0 ? flush_cost : (est_flush_ns_ * 7 + flush_cost) / 8;
+  est_batch_latency_gauge_->Set(ToSeconds(est_flush_ns_));
 }
 
 void InferenceServer::MaybeReload() {

@@ -23,14 +23,33 @@
 //                           instead of throwing — exercises the client-side
 //                           validation path end to end.
 //
+// Admission control (overload shed): every request carries the client's
+// absolute deadline. At drain time the server projects the request's
+// completion from its queue position: it joins behind pending/max_batch full
+// batches, each costing ~EWMA(flush latency), so
+//   projected = now + shed_margin * EWMA(flush) * (batches_ahead + 1).
+// A request that cannot make its deadline — because the batcher is backlogged
+// or inference got slow — gets an immediate kRejected response instead of
+// being served late, so the client falls back at once rather than burning its
+// whole rpc_timeout. The drain consumes every ring (bounded by a generous
+// backstop cap), because a request left in its ring ages invisibly and can
+// then only slow-fail; each flush serves one max_batch chunk and leaves the
+// remainder queued. Requests are drained round-robin, one per client per
+// round, so one hot client cannot starve the rest out of a batch. Rejections
+// do not consume batch slots.
+//
 // Metrics (MetricsRegistry::Global()):
 //   serve.requests_total / serve.batches_total / serve.bad_requests_total /
 //   serve.responses_dropped_total / serve.reloads_total /
-//   serve.reload_errors_total (counters)
-//   serve.clients / serve.queue_depth (gauges)
+//   serve.reload_errors_total / serve.shed_total / serve.drain_rounds
+//   (counters)
+//   serve.clients / serve.queue_depth / serve.est_batch_latency_seconds
+//   (gauges)
 //   serve.batch_size / serve.service_latency_seconds (histograms; latency is
 //   ring-enqueue-drain to response-publish, i.e. the server-side component of
 //   a decision's end-to-end latency)
+// All serve.* names are pre-registered (zero-valued) at construction — see
+// serve_metrics.h.
 
 #ifndef SRC_SERVE_INFERENCE_SERVER_H_
 #define SRC_SERVE_INFERENCE_SERVER_H_
@@ -67,6 +86,11 @@ struct InferenceServerConfig {
   TimeNs handshake_timeout = Milliseconds(200);
   // Idle park duration per wait (bounded so Stop() is prompt).
   TimeNs idle_wait = Milliseconds(5);
+  // Admission control: a drained request is shed (kRejected) when its
+  // queue-position projection, now + shed_margin * EWMA(flush latency) *
+  // (batches_ahead + 1), exceeds its deadline. 0 disables deadline shedding
+  // (requests with deadline 0 are never shed either).
+  double shed_margin = 1.0;
 };
 
 class InferenceServer {
@@ -93,6 +117,7 @@ class InferenceServer {
   uint64_t served_total() const { return served_total_.load(std::memory_order_acquire); }
   size_t client_count() const { return client_count_.load(std::memory_order_acquire); }
   uint64_t reload_count() const { return reloads_done_.load(std::memory_order_acquire); }
+  uint64_t shed_count() const { return shed_total_count_.load(std::memory_order_acquire); }
 
  private:
   struct Client {
@@ -125,12 +150,17 @@ class InferenceServer {
   std::vector<std::unique_ptr<Client>> clients_;
   std::vector<Pending> pending_;
   std::vector<float> batch_states_;  // row-major [pending x model_input_dim]
+  size_t drain_cursor_ = 0;          // round-robin start, rotated every pass
+  // EWMA of recent flush (inference + publish) wall time; the admission
+  // policy's estimate of how long a newly admitted request will wait.
+  TimeNs est_flush_ns_ = 0;
 
   std::atomic<bool> stop_{false};
   std::atomic<bool> reload_{false};
   std::atomic<uint64_t> served_total_{0};
   std::atomic<size_t> client_count_{0};
   std::atomic<uint64_t> reloads_done_{0};
+  std::atomic<uint64_t> shed_total_count_{0};
 
   // Cached metric handles (registry references are stable).
   Counter* requests_total_;
@@ -139,8 +169,11 @@ class InferenceServer {
   Counter* responses_dropped_total_;
   Counter* reloads_total_;
   Counter* reload_errors_total_;
+  Counter* shed_total_;
+  Counter* drain_rounds_total_;
   Gauge* clients_gauge_;
   Gauge* queue_depth_gauge_;
+  Gauge* est_batch_latency_gauge_;
   Histogram* batch_size_hist_;
   Histogram* service_latency_hist_;
 };

@@ -5,8 +5,10 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <functional>
 
 #include "src/ipc/uds.h"
+#include "src/serve/serve_metrics.h"
 #include "src/serve/serve_protocol.h"
 #include "src/util/logging.h"
 #include "src/util/metrics.h"
@@ -62,10 +64,12 @@ ServeClient::ServeClient(ServeClientConfig config, ipc::MappedRegion region, int
       sock_(sock),
       event_fd_(event_fd),
       model_input_dim_(model_input_dim) {
+  RegisterServeMetrics();
   MetricsRegistry& reg = MetricsRegistry::Global();
   requests_total_ = &reg.GetCounter("serve.client.requests_total");
   timeouts_total_ = &reg.GetCounter("serve.client.timeouts_total");
   corrupt_total_ = &reg.GetCounter("serve.client.corrupt_total");
+  rejected_total_ = &reg.GetCounter("serve.client.rejected_total");
   outstanding_gauge_ = &reg.GetGauge("serve.client.outstanding");
   latency_hist_ = &reg.GetHistogram("serve.client.latency_seconds");
 }
@@ -97,28 +101,38 @@ bool ServeClient::CheckServerAlive() {
 }
 
 std::optional<double> ServeClient::Request(std::span<const float> state) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (!healthy_) {
+  const RequestResult result = RequestDetailed(state);
+  if (!result.ok()) {
     return std::nullopt;
   }
+  return result.action;
+}
+
+RequestResult ServeClient::RequestDetailed(std::span<const float> state) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!healthy_) {
+    return {RequestOutcome::kDead, 0.0};
+  }
   if (state.empty() || state.size() > kMaxStateDim) {
-    return std::nullopt;
+    return {RequestOutcome::kError, 0.0};
   }
   requests_total_->Increment();
   const uint64_t id = ++next_req_id_;
+  const TimeNs t0 = ipc::MonotonicNowNs();
+  const TimeNs deadline = t0 + std::max<TimeNs>(config_.rpc_timeout, 0);
   RequestRecord req{};
   req.req_id = id;
+  req.deadline_ns = static_cast<uint64_t>(deadline);
   req.state_dim = static_cast<uint32_t>(state.size());
   std::copy(state.begin(), state.end(), req.state);
   req.crc = RequestCrc(req);
 
-  const TimeNs t0 = ipc::MonotonicNowNs();
   if (!region_->request.TryPush(&req, sizeof(req))) {
     // Ring full: the server has not consumed anything for a whole ring's
     // worth of requests — check whether it is still there at all.
     CheckServerAlive();
     timeouts_total_->Increment();
-    return std::nullopt;
+    return {RequestOutcome::kTimeout, 0.0};
   }
   outstanding_gauge_->Add(1.0);
   // Dekker handshake with the server's idle park (see SpscRing docs): the
@@ -130,7 +144,6 @@ std::optional<double> ServeClient::Request(std::span<const float> state) {
     [[maybe_unused]] const ssize_t n = write(event_fd_, &one, sizeof(one));
   }
 
-  const TimeNs deadline = t0 + std::max<TimeNs>(config_.rpc_timeout, 0);
   uint32_t seen = region_->response.doorbell.load(std::memory_order_acquire);
   while (true) {
     ResponseRecord resp{};
@@ -141,18 +154,28 @@ std::optional<double> ServeClient::Request(std::span<const float> state) {
         corrupt_total_->Increment();
         MarkDead();
         outstanding_gauge_->Add(-1.0);
-        return std::nullopt;
+        return {RequestOutcome::kCorrupt, 0.0};
       }
       if (resp.req_id < id) {
         continue;  // stale answer to a request we already gave up on
       }
       outstanding_gauge_->Add(-1.0);
-      if (resp.req_id != id || resp.status != static_cast<uint32_t>(ResponseStatus::kOk) ||
+      if (resp.req_id != id) {
+        return {RequestOutcome::kError, 0.0};
+      }
+      if (resp.status == static_cast<uint32_t>(ResponseStatus::kRejected)) {
+        // Admission shed: the server told us *now* it cannot make the
+        // deadline. The serving path is alive and healthy — this is load,
+        // not failure — so fall back for this decision only, cheaply.
+        rejected_total_->Increment();
+        return {RequestOutcome::kRejected, 0.0};
+      }
+      if (resp.status != static_cast<uint32_t>(ResponseStatus::kOk) ||
           !std::isfinite(resp.action)) {
-        return std::nullopt;
+        return {RequestOutcome::kError, 0.0};
       }
       latency_hist_->Observe(ToSeconds(ipc::MonotonicNowNs() - t0));
-      return std::clamp(static_cast<double>(resp.action), -1.0, 1.0);
+      return {RequestOutcome::kOk, std::clamp(static_cast<double>(resp.action), -1.0, 1.0)};
     }
     const TimeNs now = ipc::MonotonicNowNs();
     if (now >= deadline) {
@@ -162,22 +185,70 @@ std::optional<double> ServeClient::Request(std::span<const float> state) {
       // Distinguish "slow" (per-request fallback, keep trying) from "dead"
       // (permanent fallback, stop paying the timeout on every decision).
       CheckServerAlive();
-      return std::nullopt;
+      return {RequestOutcome::kTimeout, 0.0};
     }
     seen = ipc::WaitDoorbell(&region_->response, seen, deadline - now);
   }
 }
 
 RemotePolicy::RemotePolicy(std::unique_ptr<ServeClient> client,
-                           std::shared_ptr<const Policy> fallback)
-    : client_(std::move(client)), fallback_(std::move(fallback)) {
-  fallback_total_ = &MetricsRegistry::Global().GetCounter("serve.fallback_total");
+                           std::shared_ptr<const Policy> fallback,
+                           std::optional<ReconnectConfig> reconnect)
+    : client_(std::move(client)),
+      fallback_(std::move(fallback)),
+      reconnect_(std::move(reconnect)),
+      backoff_(reconnect_ ? reconnect_->backoff : BackoffConfig{},
+               reconnect_ ? reconnect_->seed : 1) {
+  RegisterServeMetrics();
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  fallback_total_ = &reg.GetCounter("serve.fallback_total");
+  reconnects_total_ = &reg.GetCounter("serve.client.reconnects_total");
+}
+
+uint64_t RemotePolicy::reconnects() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reconnects_;
+}
+
+std::shared_ptr<ServeClient> RemotePolicy::HealthyClient() const {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (client_ != nullptr && client_->healthy()) {
+      return client_;  // shared_ptr copy: safe against a concurrent swap
+    }
+    if (!reconnect_) {
+      return client_;  // no healing configured; a dead client fails fast
+    }
+    const TimeNs now = ipc::MonotonicNowNs();
+    if (now < next_probe_ns_) {
+      return nullptr;  // between probes: fallback at zero per-decision cost
+    }
+    // Advance the schedule *before* probing and drop the lock for the
+    // Connect() itself: a half-up server can hold a probe for the full
+    // connect_timeout, and concurrent Act() callers must keep falling back
+    // instantly instead of queueing on the mutex behind it.
+    next_probe_ns_ = now + backoff_.NextDelay();
+  }
+  std::unique_ptr<ServeClient> fresh = ServeClient::Connect(reconnect_->client);
+  if (fresh == nullptr) {
+    return nullptr;  // schedule already advanced; nothing else to do
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  client_ = std::shared_ptr<ServeClient>(std::move(fresh));
+  backoff_.Reset();
+  next_probe_ns_ = 0;
+  ++reconnects_;
+  reconnects_total_->Increment();
+  ASTRAEA_LOG(Info) << "serve: (re)attached to inference server at "
+                    << reconnect_->client.socket_path << " (attach #" << reconnects_ << ")";
+  return client_;
 }
 
 double RemotePolicy::Act(const StateView& view) const {
-  if (client_ != nullptr) {
-    if (const std::optional<double> action = client_->Request(view.state_vector)) {
-      return *action;
+  if (const std::shared_ptr<ServeClient> client = HealthyClient()) {
+    const RequestResult result = client->RequestDetailed(view.state_vector);
+    if (result.ok()) {
+      return result.action;
     }
   }
   fallback_total_->Increment();
@@ -186,19 +257,27 @@ double RemotePolicy::Act(const StateView& view) const {
 
 std::shared_ptr<const Policy> MakeServedPolicy(const std::string& socket_path,
                                                TimeNs rpc_timeout,
-                                               std::shared_ptr<const Policy> fallback) {
+                                               std::shared_ptr<const Policy> fallback,
+                                               TimeNs connect_timeout) {
   if (fallback == nullptr) {
     fallback = LoadDefaultPolicy();
   }
   ServeClientConfig config;
   config.socket_path = socket_path;
   config.rpc_timeout = rpc_timeout;
+  config.connect_timeout = connect_timeout;
   std::unique_ptr<ServeClient> client = ServeClient::Connect(config);
   if (client == nullptr) {
     ASTRAEA_LOG(Warning) << "serve: cannot reach inference server at " << socket_path
-                         << "; every decision will use the local fallback policy";
+                         << "; decisions use the local fallback until one appears";
   }
-  return std::make_shared<RemotePolicy>(std::move(client), std::move(fallback));
+  ReconnectConfig reconnect;
+  reconnect.client = config;
+  // Decorrelate probe jitter across processes sharing a socket path.
+  reconnect.seed = std::hash<std::string>{}(socket_path) ^
+                   (static_cast<uint64_t>(getpid()) << 32) ^ 0x5DEECE66DULL;
+  return std::make_shared<RemotePolicy>(std::move(client), std::move(fallback),
+                                        std::move(reconnect));
 }
 
 }  // namespace serve

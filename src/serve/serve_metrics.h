@@ -1,0 +1,21 @@
+// Pre-registration of every serving metric, matching the PR-5/PR-6 convention
+// for invariants.violations_total: registering a name zero-values it, so a
+// scrape (dashboard, bench JSON, CI assertion) taken before the first
+// request/shed/reconnect still contains the key instead of silently missing
+// it. Both sides of the serving boundary call this at construction — the
+// server registers the client-side names too (and vice versa) because a
+// metrics dump from either process is read by the same tooling.
+
+#ifndef SRC_SERVE_SERVE_METRICS_H_
+#define SRC_SERVE_SERVE_METRICS_H_
+
+namespace astraea {
+namespace serve {
+
+// Idempotent; cheap after the first call (registry lookups by name).
+void RegisterServeMetrics();
+
+}  // namespace serve
+}  // namespace astraea
+
+#endif  // SRC_SERVE_SERVE_METRICS_H_

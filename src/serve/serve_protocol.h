@@ -26,7 +26,10 @@ namespace astraea {
 namespace serve {
 
 inline constexpr uint32_t kProtocolMagic = 0x41535256;  // "ASRV"
-inline constexpr uint32_t kProtocolVersion = 1;
+// v2: RequestRecord carries an absolute deadline, ResponseStatus adds
+// kRejected (server-side admission shed). Mismatched peers refuse each other
+// at the handshake rather than mis-parsing records.
+inline constexpr uint32_t kProtocolVersion = 2;
 
 // Largest state vector a request slot can carry. The paper's deployed model
 // consumes 40 floats (8 features x w=5); 60 leaves headroom for deeper
@@ -48,9 +51,14 @@ struct ServerHello {
 };
 
 struct RequestRecord {
-  uint64_t req_id;     // client-local, strictly increasing
+  uint64_t req_id;  // client-local, strictly increasing
+  // Absolute CLOCK_MONOTONIC deadline (ipc::MonotonicNowNs time base) by
+  // which the client needs its answer; 0 = no deadline. Client and server
+  // share a host (shm transport), so the clocks are directly comparable.
+  // The server's admission policy sheds a request it cannot serve in time.
+  uint64_t deadline_ns;
   uint32_t state_dim;  // number of valid floats in `state`
-  uint32_t crc;        // CRC32 over req_id, state_dim, state[0..state_dim)
+  uint32_t crc;        // CRC32 over req_id, deadline_ns, state_dim, state[0..state_dim)
   float state[kMaxStateDim];
 };
 
@@ -58,6 +66,7 @@ enum class ResponseStatus : uint32_t {
   kOk = 0,
   kBadRequest = 1,   // CRC/dim validation failed server-side
   kServerError = 2,  // inference failed
+  kRejected = 3,     // shed by admission control: fall back NOW, don't wait
 };
 
 struct ResponseRecord {
@@ -74,12 +83,15 @@ static_assert(sizeof(ResponseRecord) <= ipc::kSlotPayloadBytes);
 inline uint32_t RequestCrc(const RequestRecord& r) {
   // CRC the fixed header fields and only the *valid* prefix of the state, so
   // garbage beyond state_dim can't affect the checksum.
-  unsigned char buf[sizeof(uint64_t) + sizeof(uint32_t) + sizeof(r.state)];
+  unsigned char buf[2 * sizeof(uint64_t) + sizeof(uint32_t) + sizeof(r.state)];
   std::memcpy(buf, &r.req_id, sizeof(r.req_id));
-  std::memcpy(buf + sizeof(r.req_id), &r.state_dim, sizeof(r.state_dim));
+  std::memcpy(buf + sizeof(r.req_id), &r.deadline_ns, sizeof(r.deadline_ns));
+  size_t off = sizeof(r.req_id) + sizeof(r.deadline_ns);
+  std::memcpy(buf + off, &r.state_dim, sizeof(r.state_dim));
+  off += sizeof(r.state_dim);
   const size_t dim = r.state_dim <= kMaxStateDim ? r.state_dim : 0;
-  std::memcpy(buf + sizeof(r.req_id) + sizeof(r.state_dim), r.state, dim * sizeof(float));
-  return Crc32(buf, sizeof(r.req_id) + sizeof(r.state_dim) + dim * sizeof(float));
+  std::memcpy(buf + off, r.state, dim * sizeof(float));
+  return Crc32(buf, off + dim * sizeof(float));
 }
 
 inline uint32_t ResponseCrc(const ResponseRecord& r) {
@@ -95,7 +107,7 @@ inline bool ValidRequest(const RequestRecord& r) {
 }
 
 inline bool ValidResponse(const ResponseRecord& r) {
-  return r.status <= static_cast<uint32_t>(ResponseStatus::kServerError) &&
+  return r.status <= static_cast<uint32_t>(ResponseStatus::kRejected) &&
          r.crc == ResponseCrc(r);
 }
 

@@ -1,0 +1,81 @@
+// Supervised restarts for astraea_serve (`--supervise`).
+//
+// The supervisor is a tiny fork/exec-free process manager: it forks the
+// serving loop into a child, waits, and — when the child dies abnormally
+// (crash failpoint, OOM kill, SIGSEGV) — restarts it after a jittered
+// exponential backoff (src/util/backoff.h) so a crash-looping model can't
+// peg a core with fork storms. A child that stays up for `healthy_uptime`
+// resets the backoff, so the brake only binds on *loops*, not on isolated
+// crashes hours apart.
+//
+// Each (re)start invokes `child_main(elapsed)` in the fresh child, where
+// `elapsed` is wall time since the supervisor itself started — a chaos
+// schedule (src/util/chaos.h) passes this as its resume offset so an
+// injected storm continues mid-timeline across restarts instead of replaying
+// from zero.
+//
+// Signal contract (wired in tools/astraea_serve): the parent forwards SIGHUP
+// to the child (hot reload still works under supervision); SIGINT/SIGTERM
+// call Stop(), which terminates the child and makes Run() return instead of
+// restarting. Restarts are counted in serve.supervisor.restarts_total.
+
+#ifndef SRC_SERVE_SUPERVISOR_H_
+#define SRC_SERVE_SUPERVISOR_H_
+
+#include <sys/types.h>
+
+#include <atomic>
+#include <functional>
+
+#include "src/util/backoff.h"
+#include "src/util/time.h"
+
+namespace astraea {
+namespace serve {
+
+struct SupervisorConfig {
+  // Crash-loop brake: delay before restart #n, doubling up to the cap.
+  BackoffConfig restart_backoff{Milliseconds(50), Seconds(5.0), 2.0, 0.25};
+  // A child alive at least this long is "healthy": the next crash restarts
+  // from the base delay again.
+  TimeNs healthy_uptime = Seconds(5.0);
+  // Give up after this many restarts (-1 = never). Run() then returns the
+  // last child's status, like an un-supervised crash.
+  int max_restarts = -1;
+  uint64_t seed = 1;  // restart-jitter stream
+};
+
+class Supervisor {
+ public:
+  // `child_main` runs in the forked child with default signal dispositions;
+  // its return value becomes the child's exit code. It receives the elapsed
+  // time since Run() began (monotonic), for resuming time-based state.
+  Supervisor(SupervisorConfig config, std::function<int(TimeNs elapsed)> child_main);
+
+  // Forks and supervises until the child exits cleanly (exit code 0), the
+  // restart budget is exhausted, or Stop() is called. Returns the last
+  // child's exit code (0 on a clean or Stop()-initiated shutdown).
+  int Run();
+
+  // Async-signal-safe: flags the loop and SIGTERMs the current child.
+  void Stop();
+  // Async-signal-safe: forward a signal (e.g. SIGHUP for hot reload) to the
+  // current child, if one is running.
+  void SignalChild(int signum);
+
+  pid_t child_pid() const { return child_pid_.load(std::memory_order_acquire); }
+  uint64_t restarts() const { return restarts_.load(std::memory_order_acquire); }
+
+ private:
+  SupervisorConfig config_;
+  std::function<int(TimeNs elapsed)> child_main_;
+  ExponentialBackoff backoff_;
+  std::atomic<pid_t> child_pid_{-1};
+  std::atomic<uint64_t> restarts_{0};
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace serve
+}  // namespace astraea
+
+#endif  // SRC_SERVE_SUPERVISOR_H_

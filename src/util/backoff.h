@@ -1,0 +1,74 @@
+// Jittered exponential backoff for retry/reconnect loops.
+//
+// The client side of the serving stack uses this to probe a dead
+// `astraea_serve`: the first probe is cheap and almost immediate, successive
+// failures double the wait up to a cap, and every delay is jittered so a
+// fleet of clients that lost the same server at the same instant does not
+// reconnect in one synchronized stampede. The supervisor in
+// tools/astraea_serve reuses it as a crash-loop brake.
+//
+// Deterministic by construction: the jitter stream is seeded, so tests can
+// assert exact schedules, and two backoffs with different seeds decorrelate.
+
+#ifndef SRC_UTIL_BACKOFF_H_
+#define SRC_UTIL_BACKOFF_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "src/util/time.h"
+
+namespace astraea {
+
+struct BackoffConfig {
+  TimeNs base = Milliseconds(10);  // first delay (before jitter)
+  TimeNs cap = Seconds(2.0);       // delays never exceed this (before jitter)
+  double multiplier = 2.0;         // growth per consecutive failure
+  // Each delay is scaled by a uniform factor in [1-jitter, 1+jitter].
+  double jitter = 0.25;
+};
+
+class ExponentialBackoff {
+ public:
+  explicit ExponentialBackoff(BackoffConfig config, uint64_t seed = 1)
+      : config_(config), state_(seed ? seed : 0x9E3779B97F4A7C15ULL) {}
+
+  // Delay to wait before the next attempt; each call advances the schedule
+  // (call once per failure).
+  TimeNs NextDelay() {
+    const TimeNs capped = std::min(current_, config_.cap);
+    const double scaled = static_cast<double>(current_) * config_.multiplier;
+    current_ = scaled >= static_cast<double>(config_.cap)
+                   ? config_.cap
+                   : static_cast<TimeNs>(scaled);
+    const double factor = 1.0 + config_.jitter * (2.0 * NextUniform() - 1.0);
+    const TimeNs jittered = static_cast<TimeNs>(static_cast<double>(capped) * factor);
+    return std::max<TimeNs>(jittered, 1);
+  }
+
+  // Back to the initial delay (call on success).
+  void Reset() { current_ = config_.base; }
+
+  uint32_t failures() const { return failures_; }
+  void RecordFailure() { ++failures_; }
+
+ private:
+  // SplitMix64 step: small, seedable, and independent of std::rand.
+  double NextUniform() {
+    state_ += 0x9E3779B97F4A7C15ULL;
+    uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    z ^= z >> 31;
+    return static_cast<double>(z >> 11) * 0x1.0p-53;
+  }
+
+  BackoffConfig config_;
+  TimeNs current_ = config_.base;
+  uint32_t failures_ = 0;
+  uint64_t state_;
+};
+
+}  // namespace astraea
+
+#endif  // SRC_UTIL_BACKOFF_H_

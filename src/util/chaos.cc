@@ -1,0 +1,162 @@
+#include "src/util/chaos.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <stdexcept>
+
+#include "src/util/cli_flags.h"
+#include "src/util/failpoint.h"
+#include "src/util/logging.h"
+
+namespace astraea {
+namespace chaos {
+
+namespace {
+
+// SplitMix64 step shared with ExponentialBackoff: seedable determinism
+// without dragging in <random>.
+uint64_t Mix(uint64_t* state) {
+  *state += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = *state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+double MixUniform(uint64_t* state) {
+  return static_cast<double>(Mix(state) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+ChaosSchedule::ChaosSchedule(std::vector<ChaosEvent> events) : events_(std::move(events)) {
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const ChaosEvent& a, const ChaosEvent& b) { return a.at < b.at; });
+}
+
+ChaosSchedule ChaosSchedule::Parse(const std::string& text) {
+  std::vector<ChaosEvent> events;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t end = text.find(';', pos);
+    if (end == std::string::npos) {
+      end = text.size();
+    }
+    const std::string item = text.substr(pos, end - pos);
+    pos = end + 1;
+    if (item.empty()) {
+      if (pos > text.size()) {
+        break;
+      }
+      continue;
+    }
+    const size_t at_sep = item.find('@');
+    if (at_sep == std::string::npos || at_sep == 0) {
+      throw std::invalid_argument("chaos event missing '<delay>@<spec>': " + item);
+    }
+    ChaosEvent ev;
+    std::string why;
+    if (!cli::TryParseDuration(item.substr(0, at_sep).c_str(), 0, Seconds(86400.0), &ev.at,
+                               &why)) {
+      throw std::invalid_argument("bad chaos delay in '" + item + "' (" + why + ")");
+    }
+    const std::string spec = item.substr(at_sep + 1);
+    if (spec != "-") {
+      failpoint::Validate(spec);  // reject typos at parse time, not mid-soak
+      ev.spec = spec;
+    }
+    events.push_back(std::move(ev));
+  }
+  return ChaosSchedule(std::move(events));
+}
+
+ChaosSchedule ChaosSchedule::RandomServeStorm(uint64_t seed, TimeNs duration,
+                                              TimeNs mean_period) {
+  uint64_t state = seed ? seed : 0xA57AEA0C4A05ULL;
+  std::vector<ChaosEvent> events;
+  TimeNs t = 0;
+  bool first = true;
+  while (true) {
+    // Jittered inter-event gap in [0.5, 1.5] x mean_period.
+    t += static_cast<TimeNs>(static_cast<double>(mean_period) * (0.5 + MixUniform(&state)));
+    if (t >= duration) {
+      break;
+    }
+    ChaosEvent ev;
+    ev.at = t;
+    // The first event is always a crash so every storm exercises the
+    // supervisor-restart + client-reconnect path at least once.
+    const double pick = first ? 0.0 : MixUniform(&state);
+    first = false;
+    if (pick < 0.45) {
+      ev.spec = "serve.flush.mid_batch=1";  // hard crash mid-flush
+    } else if (pick < 0.70) {
+      ev.spec = "serve.respond.corrupt=1:throw";  // one damaged response CRC
+    } else {
+      ev.spec = "serve.flush.mid_batch=1:stall:25ms";  // scheduler-style stall
+    }
+    events.push_back(std::move(ev));
+  }
+  events.push_back(ChaosEvent{duration, ""});  // storm over: disarm everything
+  return ChaosSchedule(std::move(events));
+}
+
+std::string ChaosSchedule::ToString() const {
+  std::string out;
+  char buf[32];
+  for (const ChaosEvent& ev : events_) {
+    if (!out.empty()) {
+      out += ';';
+    }
+    std::snprintf(buf, sizeof(buf), "%" PRId64 "ns@", ev.at);
+    out += buf;
+    out += ev.spec.empty() ? "-" : ev.spec;
+  }
+  return out;
+}
+
+ChaosRunner::ChaosRunner(ChaosSchedule schedule, TimeNs offset)
+    : schedule_(std::move(schedule)), thread_([this, offset] { RunLoop(offset); }) {}
+
+ChaosRunner::~ChaosRunner() { Stop(); }
+
+void ChaosRunner::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+void ChaosRunner::RunLoop(TimeNs offset) {
+  const auto start = std::chrono::steady_clock::now();
+  for (const ChaosEvent& ev : schedule_.events()) {
+    if (ev.at < offset) {
+      continue;  // fired in a previous incarnation of this process
+    }
+    const auto when = start + std::chrono::nanoseconds(ev.at - offset);
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (cv_.wait_until(lock, when, [this] { return stop_; })) {
+        return;
+      }
+    }
+    try {
+      failpoint::Configure(ev.spec);
+    } catch (const std::invalid_argument& e) {
+      // Schedules are validated at parse time; keep the storm going anyway.
+      ASTRAEA_LOG(Warning) << "chaos: bad event spec skipped: " << e.what();
+      continue;
+    }
+    applied_.fetch_add(1, std::memory_order_acq_rel);
+    ASTRAEA_LOG(Info) << "chaos: applied t+" << FormatTime(ev.at) << " \""
+                      << (ev.spec.empty() ? "-" : ev.spec) << "\"";
+  }
+}
+
+}  // namespace chaos
+}  // namespace astraea

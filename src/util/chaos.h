@@ -1,0 +1,101 @@
+// Seeded, deterministic chaos schedules for fault-injection soaks.
+//
+// A ChaosSchedule is a timeline of failpoint reconfigurations: at offset T
+// from schedule start, replace the failpoint registry with a given spec
+// (src/util/failpoint.h grammar), or disarm everything. The serving soak
+// harness uses it to crash, corrupt and stall `astraea_serve` on a script the
+// test can reason about, and — because schedules are plain data built from a
+// seed — the same storm replays identically across runs and machines.
+//
+// Text format (Parse/ToString): semicolon-separated events, each
+//   <delay>@<failpoint-spec>     arm exactly this spec at <delay>
+//   <delay>@-                    disarm all failpoints at <delay>
+// where <delay> is a cli_flags duration ("500ms", "2s") measured from
+// schedule start. Example:
+//   "2s@serve.flush.mid_batch=1;5s@serve.respond.corrupt=1:throw;8s@-"
+// Events are kept sorted by time; each event *replaces* the whole registry
+// (failpoint::Configure semantics), so an event's spec must name everything
+// that should be armed from that instant on.
+//
+// A ChaosRunner applies a schedule on a background thread, starting from an
+// optional offset — a supervised server that crashed and restarted resumes
+// the storm mid-timeline instead of replaying it from zero (the supervisor
+// passes the elapsed time down, see serve/supervisor.h).
+
+#ifndef SRC_UTIL_CHAOS_H_
+#define SRC_UTIL_CHAOS_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/util/time.h"
+
+namespace astraea {
+namespace chaos {
+
+struct ChaosEvent {
+  TimeNs at = 0;     // offset from schedule start
+  std::string spec;  // failpoint spec; empty = disarm everything
+};
+
+class ChaosSchedule {
+ public:
+  ChaosSchedule() = default;
+  explicit ChaosSchedule(std::vector<ChaosEvent> events);
+
+  // Parses the text format above. Throws std::invalid_argument on malformed
+  // delays or failpoint specs (specs are validated eagerly, so a typo fails
+  // at parse time rather than mid-soak).
+  static ChaosSchedule Parse(const std::string& text);
+
+  // Deterministic random storm for the serving stack: every ~`mean_period`
+  // (jittered by `seed`) one of {crash at flush, corrupt one response, stall
+  // one flush} is armed, and the storm disarms at `duration`. Same seed, same
+  // storm.
+  static ChaosSchedule RandomServeStorm(uint64_t seed, TimeNs duration, TimeNs mean_period);
+
+  std::string ToString() const;
+  const std::vector<ChaosEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+  // Time of the last event (0 when empty) — soak harnesses run past this.
+  TimeNs end() const { return events_.empty() ? 0 : events_.back().at; }
+
+ private:
+  std::vector<ChaosEvent> events_;  // sorted by `at`
+};
+
+// Applies a schedule in real time on its own thread: event i fires
+// failpoint::Configure(events[i].spec) at start + (events[i].at - offset).
+// Events with at < offset already happened in a previous incarnation and are
+// skipped. Stop() (or destruction) halts promptly without firing the rest.
+class ChaosRunner {
+ public:
+  explicit ChaosRunner(ChaosSchedule schedule, TimeNs offset = 0);
+  ~ChaosRunner();
+
+  ChaosRunner(const ChaosRunner&) = delete;
+  ChaosRunner& operator=(const ChaosRunner&) = delete;
+
+  void Stop();
+  // Number of events applied so far (for tests / status lines).
+  size_t applied() const { return applied_.load(std::memory_order_acquire); }
+
+ private:
+  void RunLoop(TimeNs offset);
+
+  ChaosSchedule schedule_;
+  std::atomic<size_t> applied_{0};
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace chaos
+}  // namespace astraea
+
+#endif  // SRC_UTIL_CHAOS_H_

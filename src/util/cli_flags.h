@@ -185,6 +185,23 @@ inline TimeNs ParseDuration(const char* flag, const char* value, TimeNs lo, Time
   return out;
 }
 
+// Strictly positive duration: "0ms" (and anything negative, which
+// TryParseDuration already refuses) gets a clear rejection instead of
+// silently configuring a zero window/timeout that busy-loops or never waits.
+// The serving flags (--batch-window, --rpc-timeout, --connect-timeout) all
+// parse through here.
+inline TimeNs ParsePositiveDuration(const char* flag, const char* value, TimeNs hi) {
+  TimeNs out = 0;
+  std::string why;
+  if (!TryParseDuration(value, 1, hi, &out, &why)) {
+    if (TryParseDuration(value, 0, hi, &out)) {
+      FlagError(flag, value, "must be a positive duration");
+    }
+    FlagError(flag, value, why.c_str());
+  }
+  return out;
+}
+
 }  // namespace cli
 }  // namespace astraea
 

@@ -2,10 +2,15 @@
 
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <mutex>
+#include <thread>
+
+#include "src/util/cli_flags.h"
+#include "src/util/time.h"
 
 namespace astraea {
 namespace failpoint {
@@ -16,7 +21,8 @@ namespace {
 
 struct Entry {
   long remaining = 0;  // trigger when a hit decrements this to zero
-  bool throws = false;
+  enum class Action { kCrash, kThrow, kStall } action = Action::kCrash;
+  TimeNs stall = 0;  // sleep duration for kStall
 };
 
 std::mutex& RegistryMutex() {
@@ -40,8 +46,8 @@ void RecomputeArmed() {
   g_any_armed.store(armed, std::memory_order_relaxed);
 }
 
-void ConfigureLocked(const std::string& spec) {
-  Registry().clear();
+std::map<std::string, Entry> ParseSpec(const std::string& spec) {
+  std::map<std::string, Entry> parsed;
   size_t pos = 0;
   while (pos < spec.size()) {
     size_t end = spec.find(',', pos);
@@ -65,8 +71,19 @@ void ConfigureLocked(const std::string& spec) {
       const std::string action = count.substr(colon + 1);
       count.resize(colon);
       if (action == "throw") {
-        e.throws = true;
-      } else if (action != "crash") {
+        e.action = Entry::Action::kThrow;
+      } else if (action == "crash") {
+        e.action = Entry::Action::kCrash;
+      } else if (action == "stall" || action.rfind("stall:", 0) == 0) {
+        e.action = Entry::Action::kStall;
+        e.stall = Milliseconds(10);
+        if (action.size() > 6) {
+          std::string why;
+          if (!cli::TryParseDuration(action.c_str() + 6, 1, Seconds(60.0), &e.stall, &why)) {
+            throw std::invalid_argument("bad stall duration in: " + item + " (" + why + ")");
+          }
+        }
+      } else {
         throw std::invalid_argument("unknown failpoint action: " + action);
       }
     }
@@ -75,8 +92,13 @@ void ConfigureLocked(const std::string& spec) {
     if (parse_end == count.c_str() || *parse_end != '\0' || e.remaining <= 0) {
       throw std::invalid_argument("bad failpoint count in: " + item);
     }
-    Registry()[site] = e;
+    parsed[site] = e;
   }
+  return parsed;
+}
+
+void ConfigureLocked(const std::string& spec) {
+  Registry() = ParseSpec(spec);
   RecomputeArmed();
 }
 
@@ -107,6 +129,8 @@ void Configure(const std::string& spec) {
   ConfigureLocked(spec);
 }
 
+void Validate(const std::string& spec) { ParseSpec(spec); }
+
 void Clear() {
   std::lock_guard<std::mutex> lock(RegistryMutex());
   Registry().clear();
@@ -120,7 +144,8 @@ bool IsArmed(const char* site) {
 }
 
 void Hit(const char* site) {
-  bool do_throw = false;
+  Entry::Action action = Entry::Action::kCrash;
+  TimeNs stall = 0;
   {
     std::lock_guard<std::mutex> lock(RegistryMutex());
     const auto it = Registry().find(site);
@@ -130,11 +155,20 @@ void Hit(const char* site) {
     if (--it->second.remaining > 0) {
       return;
     }
-    do_throw = it->second.throws;
+    action = it->second.action;
+    stall = it->second.stall;
     RecomputeArmed();
   }
-  if (do_throw) {
-    throw Injected(std::string("failpoint triggered: ") + site);
+  switch (action) {
+    case Entry::Action::kThrow:
+      throw Injected(std::string("failpoint triggered: ") + site);
+    case Entry::Action::kStall:
+      // Outside the registry lock: a stalled site must not block Configure()
+      // (the chaos runner keeps rescheduling while a stall is in progress).
+      std::this_thread::sleep_for(std::chrono::nanoseconds(stall));
+      return;
+    case Entry::Action::kCrash:
+      break;
   }
   // Hard crash: no stream flushing, no atexit handlers, no destructors —
   // whatever is not already durable on disk is lost, as in a real kill.

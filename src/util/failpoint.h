@@ -16,7 +16,11 @@
 //   N        trigger on the Nth execution of the site (1 = first hit)
 //   action   "crash" (default): _exit(kCrashExitCode) without flushing
 //            anything — the closest user-space approximation of a hard kill;
-//            "throw": throw failpoint::Injected once, then disarm.
+//            "throw": throw failpoint::Injected once, then disarm;
+//            "stall" / "stall:<duration>": sleep that long at the site (default
+//            10ms), then disarm — models a GC pause / scheduler stall / page
+//            fault storm rather than a death, for soak tests that must prove
+//            deadlines hold when the process is merely slow.
 //
 // Named sites in this codebase (grep ASTRAEA_FAILPOINT for ground truth):
 //   ckpt.commit.begin          before the checkpoint tmp file is created
@@ -62,6 +66,11 @@ class Injected : public std::runtime_error {
 // Replaces the registry with `spec` (see grammar above). An empty spec
 // disarms everything. Throws std::invalid_argument on malformed specs.
 void Configure(const std::string& spec);
+
+// Parses `spec` exactly as Configure would, throwing std::invalid_argument on
+// any malformed item, without touching the registry. Lets schedule builders
+// (src/util/chaos.h) reject typos eagerly instead of mid-soak.
+void Validate(const std::string& spec);
 
 // Disarms all failpoints.
 void Clear();

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <dirent.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -18,12 +19,14 @@
 
 #include "src/core/policy.h"
 #include "src/ipc/shm_ring.h"
+#include "src/ipc/uds.h"
 #include "src/nn/mlp.h"
 #include "src/serve/inference_server.h"
 #include "src/serve/remote_policy.h"
 #include "src/serve/serve_protocol.h"
 #include "src/util/checkpoint.h"
 #include "src/util/failpoint.h"
+#include "src/util/metrics.h"
 #include "src/util/rng.h"
 #include "src/util/serialization.h"
 
@@ -482,6 +485,190 @@ TEST(ServeTest, BitFlippedRingHeadersTimeOutSafely) {
   std::unique_ptr<ServeClient> healthy = ConnectOrDie(config.socket_path, Seconds(2.0));
   ASSERT_NE(healthy, nullptr);
   EXPECT_TRUE(healthy->Request(state).has_value());
+  std::remove(model_path.c_str());
+}
+
+// Open descriptors in this process — a leak detector for failed handshakes,
+// which juggle a memfd, a socket, and a passed eventfd.
+int CountOpenFds() {
+  DIR* dir = opendir("/proc/self/fd");
+  if (dir == nullptr) {
+    return -1;
+  }
+  int count = 0;
+  while (readdir(dir) != nullptr) {
+    ++count;
+  }
+  closedir(dir);
+  return count;
+}
+
+// The server dies between accepting the connection and sending its hello-ack:
+// Connect must return nullptr promptly (EOF, not a timeout burn) and close
+// everything it allocated for the attempt.
+TEST(ServeTest, ServerDeathMidHandshakeFailsConnectCleanly) {
+  const std::string socket_path = UniquePath("midhs.sock");
+  const int listen_fd = ipc::ListenUnix(socket_path);
+  ASSERT_GE(listen_fd, 0);
+  const int fds_before = CountOpenFds();
+
+  std::thread killer([&] {
+    int conn = -1;
+    const TimeNs deadline = ipc::MonotonicNowNs() + Seconds(5.0);
+    while (conn < 0 && ipc::MonotonicNowNs() < deadline) {
+      conn = ipc::AcceptNonBlocking(listen_fd);
+      if (conn < 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+    if (conn >= 0) {
+      close(conn);  // die without a ServerHello: the client sees EOF
+    }
+  });
+
+  ServeClientConfig config;
+  config.socket_path = socket_path;
+  config.connect_timeout = Milliseconds(500);
+  const TimeNs start = ipc::MonotonicNowNs();
+  const std::unique_ptr<ServeClient> client = ServeClient::Connect(config);
+  const TimeNs elapsed = ipc::MonotonicNowNs() - start;
+  killer.join();
+  EXPECT_EQ(client, nullptr);
+  EXPECT_LT(elapsed, Seconds(5.0)) << "mid-handshake death must not hang Connect";
+  EXPECT_EQ(CountOpenFds(), fds_before) << "failed handshake leaked a descriptor";
+  close(listen_fd);
+  std::remove(socket_path.c_str());
+}
+
+// A listener that accepts and then goes silent (wedged server): Connect must
+// give up at connect_timeout, not block forever — and still leak nothing.
+TEST(ServeTest, SilentServerBoundsConnectByTimeoutWithoutLeaks) {
+  const std::string socket_path = UniquePath("silent.sock");
+  const int listen_fd = ipc::ListenUnix(socket_path);
+  ASSERT_GE(listen_fd, 0);
+  const int fds_before = CountOpenFds();
+
+  int held_conn = -1;
+  std::thread holder([&] {
+    const TimeNs deadline = ipc::MonotonicNowNs() + Seconds(5.0);
+    while (held_conn < 0 && ipc::MonotonicNowNs() < deadline) {
+      held_conn = ipc::AcceptNonBlocking(listen_fd);
+      if (held_conn < 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+  });
+
+  ServeClientConfig config;
+  config.socket_path = socket_path;
+  config.connect_timeout = Milliseconds(100);
+  const TimeNs start = ipc::MonotonicNowNs();
+  const std::unique_ptr<ServeClient> client = ServeClient::Connect(config);
+  const TimeNs elapsed = ipc::MonotonicNowNs() - start;
+  holder.join();
+  EXPECT_EQ(client, nullptr);
+  EXPECT_GE(elapsed, Milliseconds(100));
+  EXPECT_LT(elapsed, Seconds(5.0));
+  if (held_conn >= 0) {
+    close(held_conn);
+  }
+  EXPECT_EQ(CountOpenFds(), fds_before);
+  close(listen_fd);
+  std::remove(socket_path.c_str());
+}
+
+// Admission control at the wire level: once the server has a flush-latency
+// estimate, a request whose deadline is already unmeetable gets an immediate
+// kRejected response instead of being served late or silently dropped.
+TEST(ServeTest, PastDeadlineRequestIsShedWithRejection) {
+  const Mlp model = MakeModel(43);
+  const std::string model_path = UniquePath("shed.ckpt");
+  WriteRawModel(model, model_path);
+
+  InferenceServerConfig config;
+  config.socket_path = UniquePath("shed.sock");
+  config.model_path = model_path;
+  ServerFixture fixture(config);
+
+  std::unique_ptr<ServeClient> client = ConnectOrDie(config.socket_path, Seconds(2.0));
+  ASSERT_NE(client, nullptr);
+  // Prime the estimator: shedding only activates after a measured flush.
+  ASSERT_TRUE(client->Request(std::vector<float>(kDim, 0.2f)).has_value());
+
+  // Hand-craft a request whose absolute deadline is in the distant past and
+  // push it straight onto the ring (the real client never constructs one).
+  ipc::ShmRegion* region = client->region_for_test();
+  ASSERT_NE(region, nullptr);
+  RequestRecord req{};
+  req.req_id = 1000000;
+  req.deadline_ns = 1;
+  req.state_dim = kDim;
+  for (int i = 0; i < kDim; ++i) {
+    req.state[i] = 0.3f;
+  }
+  req.crc = RequestCrc(req);
+  ASSERT_TRUE(region->request.TryPush(&req, sizeof(req)));
+
+  // No doorbell rung: the server still wakes from its bounded idle park.
+  ResponseRecord resp{};
+  bool got = false;
+  const TimeNs deadline = ipc::MonotonicNowNs() + Seconds(10.0);
+  while (!got && ipc::MonotonicNowNs() < deadline) {
+    while (region->response.TryPop(&resp, sizeof(resp))) {
+      if (resp.req_id == req.req_id) {
+        got = true;
+        break;
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(got) << "shed response never arrived";
+  EXPECT_TRUE(ValidResponse(resp));
+  EXPECT_EQ(resp.status, static_cast<uint32_t>(ResponseStatus::kRejected));
+  EXPECT_GE(fixture.server().shed_count(), 1u);
+  std::remove(model_path.c_str());
+}
+
+// RequestDetailed surfaces the failure mode; a shed comes back as kRejected
+// and leaves the client healthy (load, not failure).
+TEST(ServeTest, RejectionKeepsClientHealthy) {
+  const Mlp model = MakeModel(47);
+  const std::string model_path = UniquePath("rej.ckpt");
+  WriteRawModel(model, model_path);
+
+  InferenceServerConfig config;
+  config.socket_path = UniquePath("rej.sock");
+  config.model_path = model_path;
+  ServerFixture fixture(config);
+
+  std::unique_ptr<ServeClient> client = ConnectOrDie(config.socket_path, Seconds(2.0));
+  ASSERT_NE(client, nullptr);
+  const RequestResult ok = client->RequestDetailed(std::vector<float>(kDim, 0.1f));
+  EXPECT_EQ(ok.outcome, RequestOutcome::kOk);
+  EXPECT_TRUE(client->healthy());
+  std::remove(model_path.c_str());
+}
+
+// Every serve.* / serve.client.* metric exists (zero-valued) the moment a
+// server or client is constructed — a scrape taken before the first shed,
+// reconnect or fallback still contains the key.
+TEST(ServeTest, ServeMetricsPreRegisteredAtConstruction) {
+  const Mlp model = MakeModel(53);
+  const std::string model_path = UniquePath("metrics.ckpt");
+  WriteRawModel(model, model_path);
+  InferenceServerConfig config;
+  config.socket_path = UniquePath("metrics.sock");
+  config.model_path = model_path;
+  InferenceServer server(std::move(config));  // construction alone registers
+
+  const std::string json = MetricsRegistry::Global().ToJson();
+  for (const char* name :
+       {"serve.requests_total", "serve.shed_total", "serve.drain_rounds",
+        "serve.est_batch_latency_seconds", "serve.supervisor.restarts_total",
+        "serve.client.requests_total", "serve.client.rejected_total",
+        "serve.client.reconnects_total", "serve.fallback_total"}) {
+    EXPECT_NE(json.find(name), std::string::npos) << "missing pre-registered metric: " << name;
+  }
   std::remove(model_path.c_str());
 }
 

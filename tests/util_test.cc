@@ -1,11 +1,16 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
+#include <thread>
 #include <vector>
 
+#include "src/util/backoff.h"
+#include "src/util/chaos.h"
 #include "src/util/cli_flags.h"
+#include "src/util/failpoint.h"
 #include "src/util/rng.h"
 #include "src/util/serialization.h"
 #include "src/util/stats.h"
@@ -66,6 +71,159 @@ TEST(ParseDurationDeathTest, RejectsMalformedValues) {
               "must be in");
   EXPECT_EXIT(cli::ParseDuration("--t", "90s", kLo, kHi), testing::ExitedWithCode(1),
               "must be in");
+}
+
+TimeNs SteadyNow() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+TEST(ParsePositiveDurationTest, AcceptsPositiveRejectsZeroAndNegative) {
+  EXPECT_EQ(cli::ParsePositiveDuration("--t", "5ms", Seconds(60.0)), Milliseconds(5));
+  EXPECT_EQ(cli::ParsePositiveDuration("--t", "1ns", Seconds(60.0)), 1);
+  // Zero parses as a duration but is rejected with a *specific* message — a
+  // zero batch window or rpc timeout silently busy-loops / never waits.
+  EXPECT_EXIT(cli::ParsePositiveDuration("--t", "0ms", Seconds(60.0)),
+              testing::ExitedWithCode(1), "must be a positive duration");
+  EXPECT_EXIT(cli::ParsePositiveDuration("--t", "0s", Seconds(60.0)),
+              testing::ExitedWithCode(1), "must be a positive duration");
+  EXPECT_EXIT(cli::ParsePositiveDuration("--t", "-5ms", Seconds(60.0)),
+              testing::ExitedWithCode(1), "nonnegative");
+  EXPECT_EXIT(cli::ParsePositiveDuration("--t", "banana", Seconds(60.0)),
+              testing::ExitedWithCode(1), "not a duration");
+  EXPECT_EXIT(cli::ParsePositiveDuration("--t", "5", Seconds(60.0)),
+              testing::ExitedWithCode(1), "unknown unit");
+  EXPECT_EXIT(cli::ParsePositiveDuration("--t", "90s", Seconds(60.0)),
+              testing::ExitedWithCode(1), "must be in");
+}
+
+TEST(BackoffTest, DeterministicGivenSeedAndDecorrelatedAcrossSeeds) {
+  const BackoffConfig config{Milliseconds(10), Seconds(2.0), 2.0, 0.25};
+  ExponentialBackoff a(config, 7);
+  ExponentialBackoff b(config, 7);
+  ExponentialBackoff c(config, 8);
+  bool diverged = false;
+  for (int i = 0; i < 16; ++i) {
+    const TimeNs da = a.NextDelay();
+    EXPECT_EQ(da, b.NextDelay()) << "same seed must give the same schedule";
+    if (da != c.NextDelay()) {
+      diverged = true;
+    }
+  }
+  EXPECT_TRUE(diverged) << "different seeds should jitter differently";
+}
+
+TEST(BackoffTest, GrowsWithinJitterBoundsUpToCap) {
+  const BackoffConfig config{Milliseconds(10), Milliseconds(100), 2.0, 0.25};
+  ExponentialBackoff backoff(config, 3);
+  // Delay n is base * 2^n before jitter, scaled by a factor in [0.75, 1.25].
+  TimeNs expected = config.base;
+  for (int i = 0; i < 8; ++i) {
+    const TimeNs d = backoff.NextDelay();
+    EXPECT_GE(d, static_cast<TimeNs>(static_cast<double>(expected) * 0.75)) << "step " << i;
+    EXPECT_LE(d, static_cast<TimeNs>(static_cast<double>(expected) * 1.25)) << "step " << i;
+    expected = std::min<TimeNs>(expected * 2, config.cap);
+  }
+}
+
+TEST(BackoffTest, ResetReturnsToBaseDelay) {
+  const BackoffConfig config{Milliseconds(10), Seconds(2.0), 2.0, 0.0};  // no jitter
+  ExponentialBackoff backoff(config, 1);
+  EXPECT_EQ(backoff.NextDelay(), Milliseconds(10));
+  EXPECT_EQ(backoff.NextDelay(), Milliseconds(20));
+  backoff.Reset();
+  EXPECT_EQ(backoff.NextDelay(), Milliseconds(10));
+}
+
+TEST(ChaosScheduleTest, ParseSortsAndRoundTripsThroughToString) {
+  // Deliberately out of order; parse sorts by time.
+  const chaos::ChaosSchedule schedule = chaos::ChaosSchedule::Parse(
+      "5s@serve.respond.corrupt=1:throw;2s@serve.flush.mid_batch=1;8s@-");
+  ASSERT_EQ(schedule.events().size(), 3u);
+  EXPECT_EQ(schedule.events()[0].at, Seconds(2.0));
+  EXPECT_EQ(schedule.events()[0].spec, "serve.flush.mid_batch=1");
+  EXPECT_EQ(schedule.events()[1].at, Seconds(5.0));
+  EXPECT_EQ(schedule.events()[2].at, Seconds(8.0));
+  EXPECT_TRUE(schedule.events()[2].spec.empty()) << "'-' means disarm";
+  EXPECT_EQ(schedule.end(), Seconds(8.0));
+
+  const chaos::ChaosSchedule reparsed = chaos::ChaosSchedule::Parse(schedule.ToString());
+  ASSERT_EQ(reparsed.events().size(), schedule.events().size());
+  for (size_t i = 0; i < schedule.events().size(); ++i) {
+    EXPECT_EQ(reparsed.events()[i].at, schedule.events()[i].at);
+    EXPECT_EQ(reparsed.events()[i].spec, schedule.events()[i].spec);
+  }
+}
+
+TEST(ChaosScheduleTest, MalformedEventsThrowAtParseTime) {
+  EXPECT_THROW(chaos::ChaosSchedule::Parse("nodelimiter"), std::invalid_argument);
+  EXPECT_THROW(chaos::ChaosSchedule::Parse("@site=1"), std::invalid_argument);
+  EXPECT_THROW(chaos::ChaosSchedule::Parse("banana@site=1"), std::invalid_argument);
+  // Failpoint specs are validated eagerly: a typo fails here, not mid-soak.
+  EXPECT_THROW(chaos::ChaosSchedule::Parse("2s@notaspec"), std::invalid_argument);
+  EXPECT_THROW(chaos::ChaosSchedule::Parse("2s@site=1:teleport"), std::invalid_argument);
+}
+
+TEST(ChaosScheduleTest, RandomStormIsSeededAndEndsDisarmed) {
+  const TimeNs duration = Seconds(10.0);
+  const chaos::ChaosSchedule a = chaos::ChaosSchedule::RandomServeStorm(9, duration,
+                                                                        Milliseconds(500));
+  const chaos::ChaosSchedule b = chaos::ChaosSchedule::RandomServeStorm(9, duration,
+                                                                        Milliseconds(500));
+  EXPECT_EQ(a.ToString(), b.ToString()) << "same seed must give the same storm";
+  const chaos::ChaosSchedule c = chaos::ChaosSchedule::RandomServeStorm(10, duration,
+                                                                        Milliseconds(500));
+  EXPECT_NE(a.ToString(), c.ToString());
+  ASSERT_GE(a.events().size(), 2u);
+  // First event is always a crash (every storm exercises restart+reconnect).
+  EXPECT_EQ(a.events().front().spec, "serve.flush.mid_batch=1");
+  EXPECT_TRUE(a.events().back().spec.empty()) << "storms must end disarmed";
+  EXPECT_EQ(a.end(), duration);
+}
+
+TEST(ChaosRunnerTest, AppliesEventsAndSkipsThoseBeforeTheResumeOffset) {
+  failpoint::Clear();
+  const chaos::ChaosSchedule schedule =
+      chaos::ChaosSchedule::Parse("1ms@test.chaos.runner=1:throw");
+  {
+    chaos::ChaosRunner runner(schedule);
+    const TimeNs deadline = SteadyNow() + Seconds(10.0);
+    while (runner.applied() == 0 && SteadyNow() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    EXPECT_EQ(runner.applied(), 1u);
+    EXPECT_TRUE(failpoint::IsArmed("test.chaos.runner"));
+  }
+  failpoint::Clear();
+  {
+    // Resuming past the event: a restarted process must not replay it.
+    chaos::ChaosRunner runner(schedule, /*offset=*/Seconds(1.0));
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    EXPECT_EQ(runner.applied(), 0u);
+    EXPECT_FALSE(failpoint::IsArmed("test.chaos.runner"));
+  }
+}
+
+TEST(FailpointTest, StallActionDelaysTheSiteThenDisarms) {
+  failpoint::Configure("test.stall.site=1:stall:50ms");
+  const TimeNs t0 = SteadyNow();
+  ASTRAEA_FAILPOINT("test.stall.site");
+  const TimeNs stalled = SteadyNow() - t0;
+  EXPECT_GE(stalled, Milliseconds(50));
+  // One-shot: the next hit is free.
+  const TimeNs t1 = SteadyNow();
+  ASTRAEA_FAILPOINT("test.stall.site");
+  EXPECT_LT(SteadyNow() - t1, Milliseconds(50));
+  failpoint::Clear();
+}
+
+TEST(FailpointTest, ValidateRejectsBadSpecsWithoutArming) {
+  EXPECT_THROW(failpoint::Validate("garbage"), std::invalid_argument);
+  EXPECT_THROW(failpoint::Validate("site=0"), std::invalid_argument);
+  EXPECT_THROW(failpoint::Validate("site=1:stall:banana"), std::invalid_argument);
+  failpoint::Validate("site=1:stall:5ms");  // well-formed: no throw, no arm
+  EXPECT_FALSE(failpoint::IsArmed("site"));
 }
 
 TEST(RngTest, DeterministicGivenSeed) {

@@ -4,6 +4,7 @@
 //   astraea_eval                          # distilled / default policy
 //   astraea_eval --model models/foo.ckpt  # a specific checkpoint
 //   astraea_eval --serve-socket /tmp/astraea.sock [--rpc-timeout 20ms]
+//                [--connect-timeout 500ms]
 //                                         # score decisions served by
 //                                         # astraea_serve over shm IPC
 //
@@ -46,7 +47,10 @@ int Main(int argc, char** argv) {
       policy_opts.serve_socket = next("--serve-socket");
     } else if (std::strcmp(argv[i], "--rpc-timeout") == 0) {
       policy_opts.rpc_timeout =
-          cli::ParseDuration("--rpc-timeout", next("--rpc-timeout"), Microseconds(10), Seconds(60.0));
+          cli::ParsePositiveDuration("--rpc-timeout", next("--rpc-timeout"), Seconds(60.0));
+    } else if (std::strcmp(argv[i], "--connect-timeout") == 0) {
+      policy_opts.connect_timeout =
+          cli::ParsePositiveDuration("--connect-timeout", next("--connect-timeout"), Seconds(60.0));
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return 1;

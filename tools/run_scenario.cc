@@ -6,6 +6,7 @@
 //                [--trace-out run.trace] [--trace-format binary|jsonl]
 //                [--metrics-out metrics.json] [--model ckpt]
 //                [--serve-socket /tmp/astraea.sock] [--rpc-timeout 20ms]
+//                [--connect-timeout 500ms]
 //
 // Prints per-flow mean throughputs, the average Jain index, utilization and
 // latency, optionally with a 1-second throughput timeline.
@@ -93,7 +94,10 @@ Args Parse(int argc, char** argv) {
       a.policy.serve_socket = next("--serve-socket");
     } else if (std::strcmp(argv[i], "--rpc-timeout") == 0) {
       a.policy.rpc_timeout =
-          cli::ParseDuration("--rpc-timeout", next("--rpc-timeout"), Microseconds(10), Seconds(60.0));
+          cli::ParsePositiveDuration("--rpc-timeout", next("--rpc-timeout"), Seconds(60.0));
+    } else if (std::strcmp(argv[i], "--connect-timeout") == 0) {
+      a.policy.connect_timeout =
+          cli::ParsePositiveDuration("--connect-timeout", next("--connect-timeout"), Seconds(60.0));
     } else if (std::strcmp(argv[i], "--csv") == 0) {
       a.csv_out = next("--csv");
     } else if (std::strcmp(argv[i], "--trace-out") == 0) {
