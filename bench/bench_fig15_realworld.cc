@@ -3,12 +3,32 @@
 // stochastic cross traffic (on/off CUBIC flows), light non-congestive loss
 // and a shared bottleneck. Reported per scheme: average throughput and mean
 // one-way delay (rtt/2), the two axes of the paper's frontier plot.
+//
+// `--real` switches to the real-socket validation mode (DESIGN.md §13): each
+// WAN profile is run twice with a single Astraea flow — once in the discrete
+// simulator, once over real kernel UDP sockets through the userspace link
+// emulator at the same bandwidth/RTT/buffer/loss — and the two are compared
+// on throughput and p95 RTT. This is the sim-to-real transfer check: the
+// same policy and the same MtpReport contract must produce comparable
+// behavior on both planes. Bandwidth is capped at 100 Mbps in this mode (for
+// both planes, so the comparison stays apples-to-apples): the benchmark
+// validates the data plane's control behavior, not the host's UDP packet
+// rate. `--real-json <path>` writes the comparison as a JSON artifact.
 
+#include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "bench/harness/metrics.h"
 #include "bench/harness/scenario.h"
 #include "bench/harness/table.h"
+#include "src/core/astraea_controller.h"
+#include "src/core/policy.h"
+#include "src/net/loopback.h"
+#include "src/util/stats.h"
 
 namespace astraea {
 namespace {
@@ -21,8 +41,151 @@ struct WanProfile {
   int cross_flows;
 };
 
+// ------------------------------------------------------------- --real mode
+
+struct PlaneResult {
+  double throughput_mbps = 0.0;
+  double rtt_p95_ms = 0.0;
+};
+
+PlaneResult RunSimPlane(const WanProfile& profile, RateBps bandwidth, TimeNs until,
+                        TimeNs warmup) {
+  DumbbellConfig config;
+  config.bandwidth = bandwidth;
+  config.base_rtt = profile.rtt;
+  config.buffer_bdp = 0.3;
+  config.random_loss = profile.loss;
+  config.seed = 950;
+  DumbbellScenario scenario(config);
+  // Match the real plane's controller configuration (a single flow owns its
+  // RTT floor, so the fresh-floor drain skip applies on both planes).
+  scenario.scheme_options().astraea_hp.skip_drain_on_fresh_floor = true;
+  scenario.AddFlow("astraea", 0);
+  scenario.Run(until);
+
+  PlaneResult result;
+  result.throughput_mbps = FlowMeanThroughputs(scenario.network(), warmup, until)[0];
+  std::vector<double> rtts;
+  for (const auto& [t, v] : scenario.network().flow_stats(0).rtt_ms.points()) {
+    if (t >= warmup && t < until) {
+      rtts.push_back(v);
+    }
+  }
+  result.rtt_p95_ms = rtts.empty() ? 0.0 : EmpiricalCdf(std::move(rtts)).Quantile(0.95);
+  return result;
+}
+
+PlaneResult RunRealPlane(const WanProfile& profile, RateBps bandwidth, TimeNs duration,
+                         net::LoopbackResult* raw) {
+  net::LoopbackConfig config;
+  config.shaped = true;
+  config.emulator.rate = bandwidth;
+  config.emulator.one_way_delay = profile.rtt / 2;
+  config.emulator.buffer_bytes = static_cast<uint64_t>(
+      0.3 * static_cast<double>(bandwidth) / 8.0 * ToSeconds(profile.rtt));
+  config.emulator.random_loss = profile.loss;
+  config.emulator.seed = 950;
+  config.sender.total_bytes = 0;  // stream until the clock runs out
+  config.sender.max_runtime = duration;
+  config.receiver.idle_timeout = duration + Seconds(10.0);
+  auto policy = LoadDefaultPolicy("");
+  config.make_cc = [policy] {
+    AstraeaHyperparameters hp;
+    hp.skip_drain_on_fresh_floor = true;
+    return std::make_unique<AstraeaController>(policy, hp);
+  };
+  const net::LoopbackResult result = net::RunLoopbackTransfer(config);
+  if (raw != nullptr) {
+    *raw = result;
+  }
+  PlaneResult out;
+  out.throughput_mbps = result.sender.goodput_bps() / 1e6;
+  out.rtt_p95_ms = result.sender.rtt_p95_ms;
+  return out;
+}
+
+double Ratio(double real, double sim) { return sim > 0.0 ? real / sim : 0.0; }
+
+int RealMain(bool quick, const std::string& json_path) {
+  // Real sockets burn wall-clock time: keep runs short. The sim plane uses
+  // the same horizon so MTP sample counts match.
+  const TimeNs duration = Seconds(quick ? 8.0 : 20.0);
+  const TimeNs warmup = Seconds(2.0);
+
+  PrintBenchHeader("Figure 15 — sim-vs-real data plane",
+                   "Single Astraea flow per WAN profile, discrete simulator vs real "
+                   "kernel UDP sockets through the userspace link emulator at identical "
+                   "path parameters (bandwidth capped at 100 Mbps on both planes)");
+  ConsoleTable table({"profile", "plane", "thr (Mbps)", "p95 RTT (ms)", "thr ratio",
+                      "rtt ratio"});
+
+  const WanProfile profiles[] = {
+      {"intra-continental", Mbps(300), Milliseconds(25), 0.0002, 2},
+      {"inter-continental", Mbps(1000), Milliseconds(150), 0.0005, 3},
+  };
+  std::string json = "{\n  \"duration_s\": " + std::to_string(ToSeconds(duration)) +
+                     ",\n  \"profiles\": [\n";
+  bool first = true;
+  bool transfer_ok = true;
+  for (const WanProfile& profile : profiles) {
+    const RateBps bandwidth = std::min<RateBps>(profile.bandwidth, Mbps(100));
+    const PlaneResult sim = RunSimPlane(profile, bandwidth, duration, warmup);
+    net::LoopbackResult raw;
+    const PlaneResult real = RunRealPlane(profile, bandwidth, duration, &raw);
+    if (!raw.ok || raw.receiver.corrupt_frames != 0) {
+      std::fprintf(stderr, "real plane failed for %s: %s (corrupt=%llu)\n", profile.name,
+                   raw.error.c_str(),
+                   static_cast<unsigned long long>(raw.receiver.corrupt_frames));
+      transfer_ok = false;
+    }
+    const double thr_ratio = Ratio(real.throughput_mbps, sim.throughput_mbps);
+    const double rtt_ratio = Ratio(real.rtt_p95_ms, sim.rtt_p95_ms);
+    table.AddRow({profile.name, "sim", ConsoleTable::Num(sim.throughput_mbps, 1),
+                  ConsoleTable::Num(sim.rtt_p95_ms, 1), "", ""});
+    table.AddRow({profile.name, "real", ConsoleTable::Num(real.throughput_mbps, 1),
+                  ConsoleTable::Num(real.rtt_p95_ms, 1), ConsoleTable::Num(thr_ratio, 2),
+                  ConsoleTable::Num(rtt_ratio, 2)});
+    json += std::string(first ? "" : ",\n") + "    {\"name\": \"" + profile.name +
+            "\", \"bandwidth_mbps\": " + std::to_string(ToMbps(bandwidth)) +
+            ", \"rtt_ms\": " + std::to_string(ToSeconds(profile.rtt) * 1e3) +
+            ", \"loss\": " + std::to_string(profile.loss) +
+            ",\n     \"sim\": {\"throughput_mbps\": " + std::to_string(sim.throughput_mbps) +
+            ", \"rtt_p95_ms\": " + std::to_string(sim.rtt_p95_ms) +
+            "},\n     \"real\": {\"throughput_mbps\": " + std::to_string(real.throughput_mbps) +
+            ", \"rtt_p95_ms\": " + std::to_string(real.rtt_p95_ms) +
+            ", \"corrupt_frames\": " + std::to_string(raw.receiver.corrupt_frames) +
+            ", \"bytes_acked\": " + std::to_string(raw.sender.bytes_acked) +
+            ", \"rto_fires\": " + std::to_string(raw.sender.rto_fires) +
+            "},\n     \"throughput_ratio\": " + std::to_string(thr_ratio) +
+            ", \"rtt_p95_ratio\": " + std::to_string(rtt_ratio) + "}";
+    first = false;
+  }
+  json += "\n  ]\n}\n";
+  table.Print();
+  std::printf("\nacceptance: real within 2x of sim on both axes "
+              "(throughput ratio in [0.5, 2], p95 RTT ratio in [0.5, 2])\n");
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << json;
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return transfer_ok ? 0 : 1;
+}
+
 int Main(int argc, char** argv) {
   const bool quick = QuickMode(argc, argv);
+  bool real = false;
+  std::string real_json;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--real") == 0) {
+      real = true;
+    } else if (std::strcmp(argv[i], "--real-json") == 0 && i + 1 < argc) {
+      real_json = argv[++i];
+    }
+  }
+  if (real) {
+    return RealMain(quick, real_json);
+  }
   const TimeNs until = Seconds(quick ? 30.0 : 60.0);
   const int reps = BenchReps(2);
 

@@ -16,6 +16,7 @@
 #include <sstream>
 #include <string>
 
+#include "src/net/wire.h"
 #include "src/nn/mlp.h"
 #include "src/serve/serve_protocol.h"
 #include "src/sim/trace.h"
@@ -141,6 +142,58 @@ int Main(int argc, char** argv) {
   resp_bytes.append(reinterpret_cast<const char*>(&resp), sizeof(resp));
   WriteFile(serve_dir / "response_valid.bin", resp_bytes);
   WriteFile(serve_dir / "short.bin", std::string(1, '\0'));
+
+  // fuzz_net_wire: one valid frame of each type plus canonical near-misses.
+  const auto net_dir = root / "fuzz_net_wire";
+  std::filesystem::create_directories(net_dir);
+  {
+    uint8_t buf[net::kMaxFrameBytes];
+    net::DataFrame data;
+    data.flow_id = 1;
+    data.seq = 17;
+    data.send_time = Milliseconds(250);
+    data.sent_bytes_total = 21600;
+    data.sent_frames_total = 18;
+    data.payload_len = 1152;  // mss 1200 - data header
+    size_t len = net::SerializeData(data, buf, sizeof(buf));
+    WriteFile(net_dir / "data_valid.bin",
+              std::string(reinterpret_cast<char*>(buf), len));
+    std::string data_bad_crc(reinterpret_cast<char*>(buf), len);
+    data_bad_crc[20] ^= 0x01;
+    WriteFile(net_dir / "data_bad_crc.bin", data_bad_crc);
+    WriteFile(net_dir / "data_truncated.bin",
+              std::string(reinterpret_cast<char*>(buf), len / 2));
+
+    net::AckFrame ack;
+    ack.flow_id = 1;
+    ack.cum_ack = 15;
+    ack.ack_seq = 17;
+    ack.echo_send_time = Milliseconds(250);
+    ack.ack_delay = Milliseconds(2);
+    ack.sack_bitmap = 0x5ULL;  // hole at ack_seq - 2
+    ack.acked_count = 2;
+    ack.received_bytes_total = 19584;
+    ack.received_frames_total = 17;
+    len = net::SerializeAck(ack, buf, sizeof(buf));
+    WriteFile(net_dir / "ack_valid.bin",
+              std::string(reinterpret_cast<char*>(buf), len));
+    std::string ack_bad_magic(reinterpret_cast<char*>(buf), len);
+    ack_bad_magic[0] ^= 0x01;
+    WriteFile(net_dir / "ack_bad_magic.bin", ack_bad_magic);
+
+    net::FinFrame fin;
+    fin.flow_id = 1;
+    fin.final_seq = 18;
+    len = net::SerializeFin(fin, /*is_ack=*/false, buf, sizeof(buf));
+    WriteFile(net_dir / "fin_valid.bin",
+              std::string(reinterpret_cast<char*>(buf), len));
+    len = net::SerializeFin(fin, /*is_ack=*/true, buf, sizeof(buf));
+    WriteFile(net_dir / "finack_valid.bin",
+              std::string(reinterpret_cast<char*>(buf), len));
+    std::string fin_trailing(reinterpret_cast<char*>(buf), len);
+    fin_trailing.push_back('\0');
+    WriteFile(net_dir / "fin_trailing_byte.bin", fin_trailing);
+  }
 
   // fuzz_cli_flags: representative accepted/rejected tokens.
   const auto cli_dir = root / "fuzz_cli_flags";

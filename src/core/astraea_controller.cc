@@ -107,20 +107,27 @@ void AstraeaController::OnMtpTick(const MtpReport& report) {
 
   // Base-RTT probe: every epoch, all flows shrink their windows inside the
   // same wall-clock-aligned drain window (BBR's PROBE_RTT, synchronized by
-  // construction instead of emergently). The drain is unconditional: a flow
-  // whose min-RTT was contaminated by an existing standing queue cannot tell
-  // that it needs one — its corrupted floor always looks "fresh" — so only a
-  // fleet-wide drain reliably empties the queue and re-anchors every floor.
+  // construction instead of emergently). The drain is unconditional by
+  // default: a flow whose min-RTT was contaminated by an existing standing
+  // queue cannot tell that it needs one — its corrupted floor always looks
+  // "fresh" — so only a fleet-wide drain reliably empties the queue and
+  // re-anchors every floor. skip_drain_on_fresh_floor opts out of the probe
+  // when the floor was re-anchored within the last epoch (single-flow real
+  // paths, where the floor is trustworthy and a drain only costs throughput).
   if (draining_ && report.now >= drain_until_) {
     FinishDrain();
   }
   const int64_t epoch_index = report.now / hp_.probe_epoch;
   if (!draining_ && epoch_index != last_drain_epoch_ &&
       (report.now % hp_.probe_epoch) < hp_.drain_window) {
-    draining_ = true;
-    drain_succeeded_ = false;
     last_drain_epoch_ = epoch_index;
-    drain_until_ = report.now + std::max<TimeNs>(srtt_hint_, 2 * hp_.mtp) + hp_.mtp;
+    const bool floor_fresh = hp_.skip_drain_on_fresh_floor && last_min_refresh_ > 0 &&
+                             report.now - last_min_refresh_ <= hp_.probe_epoch;
+    if (!floor_fresh) {
+      draining_ = true;
+      drain_succeeded_ = false;
+      drain_until_ = report.now + std::max<TimeNs>(srtt_hint_, 2 * hp_.mtp) + hp_.mtp;
+    }
   }
   const std::vector<float> state = state_block_.StateVector();
   StateView view;

@@ -79,6 +79,9 @@ class AstraeaController : public CongestionController {
   TimeNs srtt_hint_ = Milliseconds(40);
 
   // Base-RTT probe state (see AstraeaHyperparameters::probe_epoch).
+  // last_min_refresh_ is the time of the most recent near-floor RTT sample;
+  // with hp_.skip_drain_on_fresh_floor set, an epoch drain is skipped while
+  // the floor is this fresh (0 = never refreshed).
   TimeNs last_min_refresh_ = 0;
   bool draining_ = false;
   TimeNs drain_until_ = 0;

@@ -39,6 +39,15 @@ struct AstraeaHyperparameters {
   // min-RTT estimate (the classic delay-based-CC bias).
   TimeNs probe_epoch = Seconds(2.5);
   TimeNs drain_window = Milliseconds(150);
+  // When set, an epoch whose latency floor was re-anchored by a near-floor
+  // RTT sample within the last probe_epoch skips its drain: the floor is
+  // demonstrably fresh, so shrinking the window would only cost throughput.
+  // Default off — in a fleet, a floor contaminated by a standing queue also
+  // looks "fresh" (every RTT sits near the corrupted floor), and only the
+  // unconditional synchronized drain re-anchors it — but a single-flow
+  // deployment on a real path (src/net) has no fleet to synchronize with and
+  // can trust its own floor.
+  bool skip_drain_on_fresh_floor = false;
 };
 
 // Table 3: the environment ranges episodes are sampled from.

@@ -1,0 +1,169 @@
+#include "src/net/link_emulator.h"
+
+#include <sys/epoll.h>
+
+#include <algorithm>
+#include <deque>
+
+#include "src/ipc/shm_ring.h"
+#include "src/util/logging.h"
+
+namespace astraea {
+namespace net {
+
+bool LinkEmulator::Start() {
+  socket_ = CreateUdpSocket(config_.listen_port);
+  if (!socket_.valid()) {
+    ASTRAEA_LOG(Error) << "link emulator: bind to port " << config_.listen_port << " failed";
+    return false;
+  }
+  stop_event_.Reset(::eventfd(0, EFD_NONBLOCK));
+  if (!stop_event_.valid()) {
+    socket_.Reset();
+    return false;
+  }
+  port_ = BoundPort(socket_.get());
+  stop_requested_.store(false, std::memory_order_release);
+  thread_ = std::thread([this] { RunLoop(); });
+  return true;
+}
+
+void LinkEmulator::Stop() {
+  if (!thread_.joinable()) {
+    return;
+  }
+  stop_requested_.store(true, std::memory_order_release);
+  uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(stop_event_.get(), &one, sizeof(one));
+  thread_.join();
+}
+
+void LinkEmulator::RunLoop() {
+  sockaddr_in dest{};
+  if (!ResolveIpv4(config_.forward_host, config_.forward_port, &dest)) {
+    ASTRAEA_LOG(Error) << "link emulator: bad forward address " << config_.forward_host << ":"
+                       << config_.forward_port;
+    return;
+  }
+  UniqueFd epoll(::epoll_create1(0));
+  UniqueFd deliver_timer = CreateMonotonicTimer();
+  if (!epoll.valid() || !deliver_timer.valid()) {
+    return;
+  }
+  for (int fd : {socket_.get(), stop_event_.get(), deliver_timer.get()}) {
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    ::epoll_ctl(epoll.get(), EPOLL_CTL_ADD, fd, &ev);
+  }
+
+  sockaddr_in client{};
+  bool have_client = false;
+
+  // Busy-until serialization + droptail occupancy, mirroring the sim Link:
+  // a datagram departs the queue at max(now, busy_until); occupancy counts
+  // bytes that have not yet departed.
+  TimeNs busy_until = 0;
+  uint64_t queued_bytes = 0;
+  std::deque<std::pair<TimeNs, uint32_t>> departures;  // (depart_time, bytes)
+
+  std::priority_queue<Scheduled, std::vector<Scheduled>, std::greater<Scheduled>> pending;
+  uint8_t buf[1 << 16];
+
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    const TimeNs now = ipc::MonotonicNowNs();
+    // Deliver everything due.
+    while (!pending.empty() && pending.top().deliver_at <= now) {
+      const Scheduled& next = pending.top();
+      const sockaddr_in& to = next.to_client ? client : dest;
+      ::sendto(socket_.get(), next.payload.data(), next.payload.size(), 0,
+               reinterpret_cast<const sockaddr*>(&to), sizeof(to));
+      if (next.to_client) {
+        ++report_.reverse_datagrams;
+      } else {
+        ++report_.forwarded_datagrams;
+      }
+      pending.pop();
+    }
+    // Free queue occupancy for departed datagrams.
+    while (!departures.empty() && departures.front().first <= now) {
+      queued_bytes -= departures.front().second;
+      departures.pop_front();
+    }
+    if (!pending.empty()) {
+      ArmTimerAt(deliver_timer.get(), pending.top().deliver_at);
+    } else {
+      DisarmTimer(deliver_timer.get());
+    }
+
+    epoll_event events[4];
+    const int n = ::epoll_wait(epoll.get(), events, 4, /*timeout_ms=*/100);
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == stop_event_.get()) {
+        DrainEventFd(stop_event_.get());
+        continue;
+      }
+      if (fd == deliver_timer.get()) {
+        DrainEventFd(deliver_timer.get());
+        continue;  // deliveries run at the top of the loop
+      }
+      while (true) {
+        sockaddr_in from{};
+        socklen_t from_len = sizeof(from);
+        const ssize_t got = ::recvfrom(socket_.get(), buf, sizeof(buf), 0,
+                                       reinterpret_cast<sockaddr*>(&from), &from_len);
+        if (got < 0) {
+          break;  // EAGAIN
+        }
+        const TimeNs arrival = ipc::MonotonicNowNs();
+        const bool from_dest = SameAddr(from, dest);
+        if (!from_dest) {
+          client = from;
+          have_client = true;
+        }
+        if (from_dest) {
+          // Reverse (ACK) path: pure propagation delay, uncongested.
+          if (!have_client) {
+            continue;
+          }
+          Scheduled s;
+          s.deliver_at = arrival + config_.one_way_delay;
+          s.to_client = true;
+          s.payload.assign(buf, buf + got);
+          pending.push(std::move(s));
+          continue;
+        }
+        // Data path: loss, droptail buffer, serialization, propagation.
+        if (config_.random_loss > 0.0 && rng_.Bernoulli(config_.random_loss)) {
+          ++report_.dropped_random;
+          continue;
+        }
+        while (!departures.empty() && departures.front().first <= arrival) {
+          queued_bytes -= departures.front().second;
+          departures.pop_front();
+        }
+        if (config_.buffer_bytes > 0 &&
+            queued_bytes + static_cast<uint64_t>(got) > config_.buffer_bytes) {
+          ++report_.dropped_buffer;
+          continue;
+        }
+        TimeNs depart = std::max(arrival, busy_until);
+        if (config_.rate > 0.0) {
+          depart += TransmissionDelay(static_cast<uint64_t>(got), config_.rate);
+        }
+        busy_until = depart;
+        queued_bytes += static_cast<uint64_t>(got);
+        departures.emplace_back(depart, static_cast<uint32_t>(got));
+        Scheduled s;
+        s.deliver_at = depart + config_.one_way_delay;
+        s.to_client = false;
+        s.payload.assign(buf, buf + got);
+        pending.push(std::move(s));
+      }
+    }
+  }
+}
+
+}  // namespace net
+}  // namespace astraea

@@ -1,0 +1,89 @@
+// Userspace WAN link emulator: a bidirectional UDP relay that imposes a
+// bottleneck rate, droptail buffer, propagation delay and random loss on the
+// data direction — the mahimahi/tc-netem substitution that lets the real
+// data plane run at WAN parameters entirely over loopback, without root.
+//
+// Topology matches the simulator's dumbbell: the first peer to send becomes
+// the "client" (sender); its datagrams are shaped (token-free busy-until
+// model, identical to the sim Link's serialization + droptail queue) and
+// forwarded to the configured destination; traffic from the destination
+// (ACKs) returns over a pure one-way delay, uncongested — the paper's
+// Pantheon-tunnel setup.
+
+#ifndef SRC_NET_LINK_EMULATOR_H_
+#define SRC_NET_LINK_EMULATOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <queue>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/net/socket_util.h"
+#include "src/util/rng.h"
+#include "src/util/time.h"
+
+namespace astraea {
+namespace net {
+
+struct LinkEmulatorConfig {
+  uint16_t listen_port = 0;  // client-facing side; 0 = ephemeral
+  std::string forward_host = "127.0.0.1";
+  uint16_t forward_port = 0;  // the receiver
+  RateBps rate = 0.0;         // bottleneck rate; 0 = unshaped
+  TimeNs one_way_delay = 0;   // propagation per direction (base RTT / 2)
+  uint64_t buffer_bytes = 0;  // droptail queue bound; 0 = unlimited
+  double random_loss = 0.0;   // data direction, non-congestive
+  uint64_t seed = 1;
+};
+
+struct LinkEmulatorReport {
+  uint64_t forwarded_datagrams = 0;  // data direction, delivered
+  uint64_t dropped_buffer = 0;
+  uint64_t dropped_random = 0;
+  uint64_t reverse_datagrams = 0;  // ACK direction (never dropped)
+};
+
+class LinkEmulator {
+ public:
+  explicit LinkEmulator(LinkEmulatorConfig config) : config_(config), rng_(config.seed) {}
+  ~LinkEmulator() { Stop(); }
+
+  LinkEmulator(const LinkEmulator&) = delete;
+  LinkEmulator& operator=(const LinkEmulator&) = delete;
+
+  // Binds and spawns the relay thread. False on socket errors.
+  bool Start();
+  // Stops and joins the relay thread (idempotent).
+  void Stop();
+
+  uint16_t port() const { return port_; }
+  // Stable only after Stop().
+  const LinkEmulatorReport& report() const { return report_; }
+
+ private:
+  struct Scheduled {
+    TimeNs deliver_at;
+    bool to_client;  // reverse direction
+    std::vector<uint8_t> payload;
+    bool operator>(const Scheduled& other) const { return deliver_at > other.deliver_at; }
+  };
+
+  void RunLoop();
+
+  LinkEmulatorConfig config_;
+  Rng rng_;
+  UniqueFd socket_;
+  UniqueFd stop_event_;
+  uint16_t port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> stop_requested_{false};
+
+  LinkEmulatorReport report_;
+};
+
+}  // namespace net
+}  // namespace astraea
+
+#endif  // SRC_NET_LINK_EMULATOR_H_

@@ -1,0 +1,44 @@
+// One-process loopback harness: receiver thread + optional link emulator +
+// sender, wired over 127.0.0.1 UDP sockets. Shared by tools/astraea_net, the
+// fig15 real-socket benchmark mode and tests/net_test.
+
+#ifndef SRC_NET_LOOPBACK_H_
+#define SRC_NET_LOOPBACK_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/net/link_emulator.h"
+#include "src/net/udp_receiver.h"
+#include "src/net/udp_sender.h"
+#include "src/sim/congestion_controller.h"
+
+namespace astraea {
+namespace net {
+
+struct LoopbackConfig {
+  // Sender knobs. host/port are filled in by the harness.
+  UdpSenderConfig sender;
+  UdpReceiverConfig receiver;
+  // When `shaped` is set, sender traffic is relayed through a LinkEmulator
+  // at these parameters; otherwise it goes straight to the receiver.
+  bool shaped = false;
+  LinkEmulatorConfig emulator;
+  std::function<std::unique_ptr<CongestionController>()> make_cc;
+};
+
+struct LoopbackResult {
+  bool ok = false;        // harness ran end to end (sockets bound, threads joined)
+  std::string error;      // why not, when !ok
+  UdpSenderReport sender;
+  UdpReceiverReport receiver;
+  LinkEmulatorReport emulator;  // zeros when the path was unshaped
+};
+
+LoopbackResult RunLoopbackTransfer(const LoopbackConfig& config);
+
+}  // namespace net
+}  // namespace astraea
+
+#endif  // SRC_NET_LOOPBACK_H_

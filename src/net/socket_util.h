@@ -1,0 +1,137 @@
+// Small POSIX helpers for the UDP data plane: RAII file descriptors,
+// non-blocking UDP socket setup, IPv4 address resolution and CLOCK_MONOTONIC
+// timerfd arming. All clocks are ipc::MonotonicNowNs() (steady_clock, which
+// glibc implements on CLOCK_MONOTONIC — the same clock timerfd uses), so
+// frame timestamps, pacing deadlines and RTO arming share one time base.
+
+#ifndef SRC_NET_SOCKET_UTIL_H_
+#define SRC_NET_SOCKET_UTIL_H_
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <sys/timerfd.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "src/util/time.h"
+
+namespace astraea {
+namespace net {
+
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  ~UniqueFd() { Reset(); }
+
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+  UniqueFd(UniqueFd&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      fd_ = std::exchange(other.fd_, -1);
+    }
+    return *this;
+  }
+
+  void Reset(int fd = -1) {
+    if (fd_ >= 0) {
+      ::close(fd_);
+    }
+    fd_ = fd;
+  }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+};
+
+// Non-blocking IPv4 UDP socket bound to `port` (0 = ephemeral / unbound
+// client side). Returns an invalid fd on failure.
+inline UniqueFd CreateUdpSocket(uint16_t port) {
+  UniqueFd fd(::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK, 0));
+  if (!fd.valid()) {
+    return fd;
+  }
+  int reuse = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+  // Loopback tests push hundreds of Mbps through one socket; give the kernel
+  // room before it tail-drops (best-effort: caps are fine).
+  int buf = 4 << 20;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_RCVBUF, &buf, sizeof(buf));
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_SNDBUF, &buf, sizeof(buf));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    fd.Reset();
+  }
+  return fd;
+}
+
+// The port a socket actually bound to (resolves ephemeral binds).
+inline uint16_t BoundPort(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return 0;
+  }
+  return ntohs(addr.sin_port);
+}
+
+// Dotted-quad IPv4 only (the data plane targets loopback and lab hosts; DNS
+// would drag in blocking resolution).
+inline bool ResolveIpv4(const std::string& host, uint16_t port, sockaddr_in* out) {
+  std::memset(out, 0, sizeof(*out));
+  out->sin_family = AF_INET;
+  out->sin_port = htons(port);
+  return ::inet_pton(AF_INET, host.c_str(), &out->sin_addr) == 1;
+}
+
+inline bool SameAddr(const sockaddr_in& a, const sockaddr_in& b) {
+  return a.sin_addr.s_addr == b.sin_addr.s_addr && a.sin_port == b.sin_port;
+}
+
+inline UniqueFd CreateMonotonicTimer() {
+  return UniqueFd(::timerfd_create(CLOCK_MONOTONIC, TFD_NONBLOCK));
+}
+
+// One-shot absolute arming on CLOCK_MONOTONIC; `deadline` in the
+// ipc::MonotonicNowNs() time base. A past deadline fires immediately.
+inline void ArmTimerAt(int fd, TimeNs deadline) {
+  itimerspec spec{};
+  if (deadline <= 0) {
+    deadline = 1;  // 0 would disarm
+  }
+  spec.it_value.tv_sec = deadline / kNanosPerSec;
+  spec.it_value.tv_nsec = deadline % kNanosPerSec;
+  ::timerfd_settime(fd, TFD_TIMER_ABSTIME, &spec, nullptr);
+}
+
+inline void DisarmTimer(int fd) {
+  itimerspec spec{};
+  ::timerfd_settime(fd, 0, &spec, nullptr);
+}
+
+// Drains a fired timerfd/eventfd so epoll edge state resets.
+inline void DrainEventFd(int fd) {
+  uint64_t ticks = 0;
+  while (::read(fd, &ticks, sizeof(ticks)) > 0) {
+  }
+}
+
+}  // namespace net
+}  // namespace astraea
+
+#endif  // SRC_NET_SOCKET_UTIL_H_

@@ -1,0 +1,109 @@
+// UDP data-plane receiver: accepts framed data packets, verifies CRC and
+// payload pattern, and acknowledges with delayed-ACK aggregation — one ACK
+// per `ack_every` new data frames or after `ack_delay`, whichever comes
+// first. Each ACK carries the cumulative ack point, a 64-bit SACK bitmap and
+// the newest frame's echoed timestamp, so the sender recovers per-packet
+// RTT/loss accounting from aggregated ACKs (see src/net/wire.h).
+
+#ifndef SRC_NET_UDP_RECEIVER_H_
+#define SRC_NET_UDP_RECEIVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+
+#include "src/net/socket_util.h"
+#include "src/net/wire.h"
+#include "src/util/time.h"
+
+namespace astraea {
+namespace net {
+
+struct UdpReceiverConfig {
+  uint16_t port = 0;  // 0 = ephemeral; read back via port() after Bind()
+  // Delayed-ACK policy: ACK immediately at every `ack_every`-th new data
+  // frame, or `ack_delay` after the first unacknowledged one.
+  uint32_t ack_every = 2;
+  TimeNs ack_delay = Milliseconds(2);
+  // Give up when no data frame arrives for this long (0 = wait forever).
+  TimeNs idle_timeout = Seconds(30.0);
+  // Check the deterministic payload pattern on every data frame (the
+  // end-to-end corruption metric); CRC validation always runs.
+  bool verify_payload = true;
+};
+
+struct UdpReceiverReport {
+  uint64_t received_frames = 0;    // accepted (new, valid) data frames
+  uint64_t received_bytes = 0;     // their payload bytes (goodput)
+  uint64_t duplicate_frames = 0;   // valid but already-seen sequence numbers
+  uint64_t corrupt_frames = 0;     // parse/CRC failures + payload mismatches
+  uint64_t acks_sent = 0;
+  bool fin_received = false;
+  TimeNs first_data_time = 0;  // monotonic; 0 until the first frame
+  TimeNs last_data_time = 0;
+
+  double goodput_bps() const {
+    const TimeNs span = last_data_time - first_data_time;
+    if (span <= 0) {
+      return 0.0;
+    }
+    return static_cast<double>(received_bytes) * 8.0 / ToSeconds(span);
+  }
+};
+
+class UdpReceiver {
+ public:
+  explicit UdpReceiver(UdpReceiverConfig config) : config_(config) {}
+
+  UdpReceiver(const UdpReceiver&) = delete;
+  UdpReceiver& operator=(const UdpReceiver&) = delete;
+
+  // Binds the socket; must succeed before Run(). Separate from Run() so the
+  // caller can read the ephemeral port() before starting the sender.
+  bool Bind();
+  uint16_t port() const { return port_; }
+
+  // Blocks until FIN (plus a short linger for retransmitted FINs), idle
+  // timeout, or RequestStop(). Returns false only on socket errors.
+  bool Run();
+
+  // Thread-safe; wakes the Run() loop.
+  void RequestStop();
+
+  const UdpReceiverReport& report() const { return report_; }
+
+ private:
+  void OnDatagram(const uint8_t* buf, size_t len, const sockaddr_in& from, TimeNs now);
+  void SendAck(TimeNs now);
+  void SendFinAck(const FinFrame& fin, const sockaddr_in& to);
+
+  UdpReceiverConfig config_;
+  UniqueFd socket_;
+  UniqueFd stop_event_;
+  uint16_t port_ = 0;
+  std::atomic<bool> stop_requested_{false};
+
+  // Reassembly state: everything below cum_ack_ has been received;
+  // out-of-order arrivals above it wait in ooo_ (bounded by the sender's
+  // window; entries fold into cum_ack_ as holes fill).
+  uint64_t cum_ack_ = 0;
+  std::set<uint64_t> ooo_;
+  uint64_t max_seq_ = 0;       // newest sequence seen (valid once any frame arrived)
+  bool any_data_ = false;
+  uint32_t flow_id_ = 0;       // adopted from the first data frame
+
+  // Pending delayed-ACK state.
+  uint32_t unacked_frames_ = 0;     // new frames since the last ACK
+  TimeNs oldest_unacked_time_ = 0;  // arrival of the first of those
+  TimeNs newest_recv_time_ = 0;     // arrival of the newest data frame
+  TimeNs newest_send_time_ = 0;     // its echoed sender timestamp
+  sockaddr_in peer_{};
+  bool have_peer_ = false;
+
+  UdpReceiverReport report_;
+};
+
+}  // namespace net
+}  // namespace astraea
+
+#endif  // SRC_NET_UDP_RECEIVER_H_

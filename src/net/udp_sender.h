@@ -1,0 +1,156 @@
+// UDP data-plane sender: drives a CongestionController over a real kernel
+// socket exactly the way the simulator's Sender (src/sim/endpoint.cc) drives
+// it over virtual links — same FlowMeter measurement engine, same
+// OnAck-per-packet / OnLoss / OnMtpTick event contract, same RFC 6298 RTO
+// policy and effective-cwnd floor. See DESIGN.md §13 for the equivalence
+// contract.
+//
+// The event loop is epoll over the socket plus three CLOCK_MONOTONIC
+// timerfds: pacing (armed at next_send_time when pacing_bps() is set), the
+// MTP clock (every SenderConfig-style `mtp`), and the RTO. Loss detection is
+// SACK-driven: the 64-bit bitmap in each ACK marks holes, and a hole is
+// declared lost once `reorder_threshold` higher sequences are acknowledged
+// (real networks reorder, so the simulator's FIFO "any gap is a drop" rule
+// gets a dup-ACK-style threshold). An RTO writes off the whole outstanding
+// window, mirroring the simulator.
+//
+// Data frames are not retransmitted (bulk-transfer model shared with the
+// simulator): a loss is charged to the controller and the transfer completes
+// when every frame has been acknowledged or written off.
+
+#ifndef SRC_NET_UDP_SENDER_H_
+#define SRC_NET_UDP_SENDER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/net/socket_util.h"
+#include "src/net/wire.h"
+#include "src/sim/congestion_controller.h"
+#include "src/sim/flow_meter.h"
+#include "src/util/time.h"
+
+namespace astraea {
+namespace net {
+
+struct UdpSenderConfig {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  uint32_t flow_id = 1;
+  // Application payload bytes to deliver; 0 = stream until max_runtime.
+  uint64_t total_bytes = 0;
+  // Total UDP payload bytes per data frame (wire header + pattern payload).
+  // 1200 keeps frames under every sane path MTU (QUIC's choice).
+  uint32_t mss = 1200;
+  TimeNs mtp = Milliseconds(30);  // Monitoring Time Period (paper Table 4)
+  TimeNs min_rto = Milliseconds(200);
+  TimeNs min_rtt_window = Seconds(60.0);
+  // SACK holes older than this many acknowledged frames are declared lost.
+  uint32_t reorder_threshold = 3;
+  // Hard wall-clock stop; 0 = run until the transfer resolves.
+  TimeNs max_runtime = Seconds(120.0);
+};
+
+struct UdpSenderReport {
+  // Wire-byte accounting, mirroring sim FlowStats (sent = acked + lost at
+  // completion since inflight drains through the FIN phase).
+  uint64_t bytes_sent = 0;
+  uint64_t bytes_acked = 0;
+  uint64_t bytes_lost = 0;
+  uint64_t frames_sent = 0;
+  uint64_t frames_acked = 0;
+  uint64_t acks_received = 0;
+  uint64_t corrupt_acks = 0;  // ACK datagrams that failed ParseFrame
+  uint64_t gap_loss_events = 0;
+  uint64_t rto_fires = 0;
+  uint64_t mtp_ticks = 0;
+  bool completed = false;  // every data frame acknowledged or written off
+  bool fin_acked = false;  // receiver confirmed the FIN
+  TimeNs elapsed = 0;
+  // From the acked-frame RTT samples (milliseconds).
+  double rtt_min_ms = 0.0;
+  double rtt_p50_ms = 0.0;
+  double rtt_p95_ms = 0.0;
+
+  double goodput_bps() const {
+    return elapsed > 0 ? static_cast<double>(bytes_acked) * 8.0 / ToSeconds(elapsed) : 0.0;
+  }
+};
+
+class UdpSender {
+ public:
+  UdpSender(std::unique_ptr<CongestionController> cc, UdpSenderConfig config);
+  ~UdpSender();
+
+  UdpSender(const UdpSender&) = delete;
+  UdpSender& operator=(const UdpSender&) = delete;
+
+  // Blocks until the transfer resolves, max_runtime expires or
+  // RequestStop(). Returns report().completed.
+  bool Run();
+
+  // Thread-safe; wakes the Run() loop.
+  void RequestStop();
+
+  const UdpSenderReport& report() const { return report_; }
+  CongestionController& cc() { return *cc_; }
+  const CongestionController& cc() const { return *cc_; }
+  const FlowMeter& meter() const { return meter_; }
+
+ private:
+  struct Outstanding {
+    uint64_t seq;
+    TimeNs sent_time;
+    uint32_t size_bytes;
+  };
+
+  uint64_t EffectiveCwnd() const;
+  bool WindowOpen() const;
+  bool HaveDataToSend() const;
+  void PumpSends(TimeNs now);       // paced or window-limited burst
+  void SendDataFrame(TimeNs now);
+  void OnAckFrame(const AckFrame& ack, TimeNs now);
+  void AckOutstanding(std::deque<Outstanding>::iterator it, const AckFrame& ack, TimeNs now);
+  void DetectSackLosses(TimeNs now);
+  TimeNs CurrentRto() const;
+  void OnRtoCheck(TimeNs now);
+  void MtpTick(TimeNs now);
+  void RunFinHandshake();
+  void FinishReport(TimeNs started);
+
+  std::unique_ptr<CongestionController> cc_;
+  UdpSenderConfig config_;
+  uint16_t payload_per_frame_ = 0;
+  uint64_t frames_total_ = 0;  // 0 when config_.total_bytes == 0 (unbounded)
+
+  UniqueFd socket_;
+  UniqueFd stop_event_;
+  UniqueFd pace_timer_;
+  UniqueFd mtp_timer_;
+  UniqueFd rto_timer_;
+  sockaddr_in dest_{};
+  std::atomic<bool> stop_requested_{false};
+
+  uint64_t next_seq_ = 0;
+  std::deque<Outstanding> outstanding_;  // ordered by seq
+  uint64_t inflight_bytes_ = 0;
+  uint64_t max_acked_seq_ = 0;  // highest seq ever acknowledged
+  bool any_acked_ = false;
+
+  FlowMeter meter_;
+  TimeNs last_ack_time_ = 0;
+  TimeNs next_send_time_ = 0;
+  TimeNs next_mtp_time_ = 0;
+
+  std::vector<float> rtt_samples_ms_;
+  UdpSenderReport report_;
+};
+
+}  // namespace net
+}  // namespace astraea
+
+#endif  // SRC_NET_UDP_SENDER_H_

@@ -55,6 +55,11 @@ struct MtpReport {
   uint64_t cwnd_bytes = 0;
   double pacing_bps = 0.0;      // pacing rate in force during the interval
   uint64_t acked_packets = 0;
+  // True when no ACK arrived in the interval. avg_rtt is then a lower-bound
+  // estimate (max of srtt and the silence elapsed since the last ACK), not a
+  // measurement: a stalled flow must not feed the policy a zero-throughput
+  // row that still claims a healthy latency.
+  bool stalled = false;
 };
 
 class CongestionController {

@@ -49,7 +49,8 @@ Sender::Sender(EventQueue* events, PacketPool* pool, int flow_id, Route data_rou
       flow_id_(flow_id),
       route_(std::move(data_route)),
       cc_(std::move(cc)),
-      config_(config) {
+      config_(config),
+      meter_(config.min_rtt_window) {
   ASTRAEA_CHECK(!route_.empty());
   ASTRAEA_CHECK(pool_ != nullptr);
   ASTRAEA_CHECK(cc_ != nullptr);
@@ -89,11 +90,11 @@ void Sender::VerifyInvariants(const char* where, bool deep) const {
   }
   // Note: min_rtt can transiently exceed srtt after the windowed min expires
   // while the EWMA is still converging, so only sign sanity is checked here.
-  if (srtt_ < 0 || min_rtt_ < 0) {
+  if (meter_.srtt() < 0 || meter_.min_rtt() < 0) {
     invariants::Report("flow.rtt_estimators",
                        std::string(where) + " flow " + std::to_string(flow_id_) + ": srtt " +
-                           std::to_string(srtt_) + " ns, min_rtt " + std::to_string(min_rtt_) +
-                           " ns");
+                           std::to_string(meter_.srtt()) + " ns, min_rtt " +
+                           std::to_string(meter_.min_rtt()) + " ns");
   }
   if (deep) {
     uint64_t recount = 0;
@@ -208,27 +209,13 @@ void Sender::SendPacket() {
   outstanding_.push_back({pkt.seq, pkt.sent_time, pkt.size_bytes});
   inflight_bytes_ += pkt.size_bytes;
   stats_.bytes_sent += pkt.size_bytes;
-  mtp_sent_bytes_ += pkt.size_bytes;
+  meter_.OnPacketSent(pkt.size_bytes);
   if (tracer_ != nullptr) {
     tracer_->Record(pkt.sent_time, TraceEventType::kSend, flow_id_, -1, pkt.seq,
                     static_cast<double>(pkt.size_bytes),
                     static_cast<double>(inflight_bytes_));
   }
   route_[0]->Accept(ref);
-}
-
-void Sender::UpdateRttEstimators(TimeNs rtt) {
-  min_rtt_filter_.set_window(config_.min_rtt_window);
-  min_rtt_filter_.Update(events_->now(), rtt);
-  min_rtt_ = min_rtt_filter_.Get(events_->now(), rtt);
-  if (srtt_ == 0) {
-    srtt_ = rtt;
-    rttvar_ = rtt / 2;
-  } else {
-    const TimeNs err = rtt > srtt_ ? rtt - srtt_ : srtt_ - rtt;
-    rttvar_ = (3 * rttvar_ + err) / 4;
-    srtt_ = (7 * srtt_ + rtt) / 8;
-  }
 }
 
 void Sender::DetectGapLosses(uint64_t acked_seq) {
@@ -243,7 +230,7 @@ void Sender::DetectGapLosses(uint64_t acked_seq) {
     ASTRAEA_CHECK(inflight_bytes_ >= lost);
     inflight_bytes_ -= lost;
     stats_.bytes_lost += lost;
-    mtp_lost_bytes_ += lost;
+    meter_.OnBytesLost(lost);
     if (tracer_ != nullptr) {
       tracer_->Record(events_->now(), TraceEventType::kLoss, flow_id_, -1, acked_seq,
                       static_cast<double>(lost), static_cast<double>(inflight_bytes_));
@@ -255,17 +242,6 @@ void Sender::DetectGapLosses(uint64_t acked_seq) {
     ev.inflight_bytes = inflight_bytes_;
     cc_->OnLoss(ev);
   }
-}
-
-double Sender::WindowedDeliveryRate() const {
-  if (delivered_window_.empty()) {
-    return 0.0;
-  }
-  const TimeNs span = events_->now() - delivered_window_.front().first;
-  if (span <= 0) {
-    return 0.0;
-  }
-  return static_cast<double>(delivered_window_bytes_) * 8.0 / ToSeconds(span);
 }
 
 void Sender::OnAckArrival(uint64_t seq, TimeNs data_sent_time, uint32_t size_bytes) {
@@ -282,34 +258,21 @@ void Sender::OnAckArrival(uint64_t seq, TimeNs data_sent_time, uint32_t size_byt
   last_ack_time_ = now;
 
   const TimeNs rtt = now - data_sent_time;
-  UpdateRttEstimators(rtt);
+  meter_.OnPacketAcked(now, rtt, size_bytes);
   if (tracer_ != nullptr) {
     tracer_->Record(now, TraceEventType::kAck, flow_id_, -1, seq, ToMillis(rtt),
                     static_cast<double>(inflight_bytes_));
   }
 
-  // Maintain the windowed goodput estimate (window = max(srtt, 50ms)).
-  delivered_window_.emplace_back(now, size_bytes);
-  delivered_window_bytes_ += size_bytes;
-  const TimeNs window = std::max<TimeNs>(srtt_, Milliseconds(50));
-  while (!delivered_window_.empty() && delivered_window_.front().first < now - window) {
-    delivered_window_bytes_ -= delivered_window_.front().second;
-    delivered_window_.pop_front();
-  }
-
-  mtp_acked_bytes_ += size_bytes;
-  mtp_acked_packets_ += 1;
-  mtp_rtt_sum_ms_ += ToMillis(rtt);
-
   if (running_) {
     AckEvent ev;
     ev.now = now;
     ev.rtt = rtt;
-    ev.srtt = srtt_;
-    ev.min_rtt = min_rtt_;
+    ev.srtt = meter_.srtt();
+    ev.min_rtt = meter_.min_rtt();
     ev.acked_bytes = size_bytes;
     ev.inflight_bytes = inflight_bytes_;
-    ev.delivery_rate_bps = WindowedDeliveryRate();
+    ev.delivery_rate_bps = meter_.WindowedDeliveryRate(now);
     cc_->OnAck(ev);
 
     if (cc_->pacing_bps().has_value()) {
@@ -325,12 +288,12 @@ void Sender::OnAckArrival(uint64_t seq, TimeNs data_sent_time, uint32_t size_byt
 }
 
 TimeNs Sender::CurrentRto() const {
-  if (srtt_ == 0) {
+  if (meter_.srtt() == 0) {
     // No RTT sample yet: RFC 6298's conservative initial RTO, so long-RTT
     // paths (satellite: 800ms) are not written off before the first ACK.
     return Seconds(1.0);
   }
-  return std::max(config_.min_rto, srtt_ + 4 * rttvar_);
+  return std::max(config_.min_rto, meter_.srtt() + 4 * meter_.rttvar());
 }
 
 void Sender::ArmRtoTimer() {
@@ -357,7 +320,7 @@ void Sender::OnRtoCheck(uint64_t generation) {
   if (std::getenv("ASTRAEA_DEBUG_RTO") != nullptr) {
     std::fprintf(stderr, "RTO fire t=%.3f last_ack=%.3f rto=%.3f srtt=%.1fms outstanding=%zu\n",
                  ToSeconds(events_->now()), ToSeconds(last_ack_time_),
-                 ToSeconds(CurrentRto()), ToMillis(srtt_), outstanding_.size());
+                 ToSeconds(CurrentRto()), ToMillis(meter_.srtt()), outstanding_.size());
   }
   // Timeout: write off everything outstanding.
   uint64_t lost = 0;
@@ -367,7 +330,7 @@ void Sender::OnRtoCheck(uint64_t generation) {
   outstanding_.clear();
   inflight_bytes_ = 0;
   stats_.bytes_lost += lost;
-  mtp_lost_bytes_ += lost;
+  meter_.OnBytesLost(lost);
   if (tracer_ != nullptr) {
     tracer_->Record(events_->now(), TraceEventType::kRtoFire, flow_id_, -1, next_seq_,
                     static_cast<double>(lost), ToMillis(CurrentRto()));
@@ -395,42 +358,20 @@ void Sender::OnRtoCheck(uint64_t generation) {
 void Sender::MtpTick() {
   const TimeNs now = events_->now();
 
-  MtpReport report;
-  report.now = now;
-  report.mtp = config_.mtp;
-  report.thr_bps = static_cast<double>(mtp_acked_bytes_) * 8.0 / ToSeconds(config_.mtp);
-  report.loss_bps = static_cast<double>(mtp_lost_bytes_) * 8.0 / ToSeconds(config_.mtp);
-  const uint64_t acked_plus_lost = mtp_acked_bytes_ + mtp_lost_bytes_;
-  report.loss_ratio =
-      acked_plus_lost == 0 ? 0.0
-                           : static_cast<double>(mtp_lost_bytes_) / static_cast<double>(acked_plus_lost);
-  report.avg_rtt =
-      mtp_acked_packets_ == 0
-          ? srtt_
-          : static_cast<TimeNs>(mtp_rtt_sum_ms_ / static_cast<double>(mtp_acked_packets_) *
-                                static_cast<double>(kNanosPerMilli));
-  report.srtt = srtt_;
-  report.min_rtt = min_rtt_;
-  report.inflight_bytes = inflight_bytes_;
-  report.inflight_packets = outstanding_.size();
-  report.cwnd_bytes = cc_->cwnd_bytes();
-  report.pacing_bps = cc_->pacing_bps().value_or(0.0);
-  report.acked_packets = mtp_acked_packets_;
+  const MtpReport report = meter_.BuildReport(now, config_.mtp, last_ack_time_, inflight_bytes_,
+                                              outstanding_.size(), *cc_);
   last_report_ = report;
 
   stats_.throughput_mbps.Add(now, ToMbps(report.thr_bps));
-  if (mtp_acked_packets_ > 0) {
-    stats_.rtt_ms.Add(now, mtp_rtt_sum_ms_ / static_cast<double>(mtp_acked_packets_));
+  if (meter_.interval_acked_packets() > 0) {
+    stats_.rtt_ms.Add(now, meter_.interval_rtt_sum_ms() /
+                               static_cast<double>(meter_.interval_acked_packets()));
   }
   stats_.cwnd_packets.Add(now, static_cast<double>(report.cwnd_bytes) / config_.mss);
-  stats_.sending_mbps.Add(now, ToMbps(static_cast<double>(mtp_sent_bytes_) * 8.0 /
+  stats_.sending_mbps.Add(now, ToMbps(static_cast<double>(meter_.interval_sent_bytes()) * 8.0 /
                                       ToSeconds(config_.mtp)));
 
-  mtp_acked_bytes_ = 0;
-  mtp_sent_bytes_ = 0;
-  mtp_lost_bytes_ = 0;
-  mtp_acked_packets_ = 0;
-  mtp_rtt_sum_ms_ = 0.0;
+  meter_.ResetInterval();
 
   cc_->OnMtpTick(report);
   if (tracer_ != nullptr) {

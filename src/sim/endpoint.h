@@ -16,11 +16,11 @@
 
 #include "src/sim/congestion_controller.h"
 #include "src/sim/event_queue.h"
+#include "src/sim/flow_meter.h"
 #include "src/sim/packet.h"
 #include "src/sim/packet_pool.h"
 #include "src/util/stats.h"
 #include "src/util/time.h"
-#include "src/util/windowed_filter.h"
 
 namespace astraea {
 
@@ -103,8 +103,8 @@ class Sender {
   const CongestionController& cc() const { return *cc_; }
 
   uint64_t inflight_bytes() const { return inflight_bytes_; }
-  TimeNs srtt() const { return srtt_; }
-  TimeNs min_rtt() const { return min_rtt_; }
+  TimeNs srtt() const { return meter_.srtt(); }
+  TimeNs min_rtt() const { return meter_.min_rtt(); }
   const MtpReport& last_report() const { return last_report_; }
 
   // Liveness token: scheduled lambdas (ACK delivery, timers) capture this
@@ -133,13 +133,11 @@ class Sender {
   void TrySend();                    // ACK-clocked burst send
   void SchedulePacedSend();          // paced send loop
   void SendPacket();
-  void UpdateRttEstimators(TimeNs rtt);
   void DetectGapLosses(uint64_t acked_seq);
   TimeNs CurrentRto() const;
   void ArmRtoTimer();
   void OnRtoCheck(uint64_t generation);
   void MtpTick();
-  double WindowedDeliveryRate() const;
 
   EventQueue* events_;
   PacketPool* pool_;
@@ -158,10 +156,9 @@ class Sender {
   std::deque<Outstanding> outstanding_;
   uint64_t inflight_bytes_ = 0;
 
-  TimeNs srtt_ = 0;
-  TimeNs rttvar_ = 0;
-  TimeNs min_rtt_ = 0;  // windowed (see SenderConfig::min_rtt_window)
-  WindowedMin<TimeNs> min_rtt_filter_{Seconds(60.0)};
+  // RTT estimators, delivery-rate window and per-MTP accumulators — the
+  // measurement engine shared with the real UDP data plane (src/net).
+  FlowMeter meter_;
   TimeNs last_ack_time_ = 0;
   uint64_t rto_generation_ = 0;
 
@@ -169,19 +166,9 @@ class Sender {
   bool pace_pending_ = false;
   TimeNs next_send_time_ = 0;
 
-  // Windowed goodput estimator (for AckEvent::delivery_rate_bps).
-  std::deque<std::pair<TimeNs, uint64_t>> delivered_window_;
-  uint64_t delivered_window_bytes_ = 0;
-
   // Invariant-checker deep-audit tick (only advances when the checker is on).
   mutable uint64_t audit_tick_ = 0;
 
-  // Per-MTP accumulators.
-  uint64_t mtp_acked_bytes_ = 0;
-  uint64_t mtp_sent_bytes_ = 0;
-  uint64_t mtp_lost_bytes_ = 0;
-  uint64_t mtp_acked_packets_ = 0;
-  double mtp_rtt_sum_ms_ = 0.0;
   uint64_t mtp_generation_ = 0;
   MtpReport last_report_;
 

@@ -26,10 +26,24 @@ class WindowedFilter {
     Expire(now);
   }
 
-  // Best (min or max) value within the window; `fallback` when empty.
+  // Best (min or max) value within the window; `fallback` when empty or when
+  // every retained sample has aged out. Expires stale samples as a side
+  // effect — use Peek from code that must not mutate the filter.
   T Get(TimeNs now, T fallback) {
     Expire(now);
     return samples_.empty() ? fallback : samples_.front().second;
+  }
+
+  // Same answer as Get (skips samples that Get would expire) without touching
+  // the deque, so it is safe from const contexts — invariant checks,
+  // accessors, logging.
+  T Peek(TimeNs now, T fallback) const {
+    for (const std::pair<TimeNs, T>& sample : samples_) {
+      if (!Expired(sample.first, now)) {
+        return sample.second;
+      }
+    }
+    return fallback;
   }
 
   bool empty() const { return samples_.empty(); }
@@ -37,8 +51,13 @@ class WindowedFilter {
   void Clear() { samples_.clear(); }
 
  private:
+  // A sample taken exactly `window_` ago is still in the window (strict <):
+  // callers that Update and Get at a fixed cadence equal to the window would
+  // otherwise see their freshest surviving sample flap out.
+  bool Expired(TimeNs sample_time, TimeNs now) const { return sample_time < now - window_; }
+
   void Expire(TimeNs now) {
-    while (!samples_.empty() && samples_.front().first < now - window_) {
+    while (!samples_.empty() && Expired(samples_.front().first, now)) {
       samples_.pop_front();
     }
   }

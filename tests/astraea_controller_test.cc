@@ -135,6 +135,82 @@ TEST(AstraeaControllerTest, DrainsOncePerEpochInAlignedWindow) {
   EXPECT_LE(drain_starts, 3);
 }
 
+// Regression for the last_min_refresh_ dead-state bug: the refresh timestamp
+// was recorded on every near-floor ACK but never consulted, so the epoch
+// drain fired even when the latency floor had just been re-anchored. With
+// skip_drain_on_fresh_floor set, a flow whose floor was refreshed within the
+// last epoch must not drain.
+TEST(AstraeaControllerTest, FreshFloorSkipsEpochDrainWhenEnabled) {
+  for (const bool skip : {false, true}) {
+    AstraeaHyperparameters hp;
+    hp.skip_drain_on_fresh_floor = skip;
+    AstraeaController cc(Distilled(), hp);
+    cc.OnFlowStart(0, 1500);
+    LossEvent loss;
+    loss.now = Milliseconds(10);
+    cc.OnLoss(loss);
+
+    // A near-floor RTT sample just before the epoch boundary re-anchors the
+    // floor (rtt within 5%/2ms tolerance of min_rtt).
+    AckEvent ack;
+    ack.now = hp.probe_epoch - hp.mtp;
+    ack.rtt = Milliseconds(30);
+    ack.srtt = Milliseconds(30);
+    ack.min_rtt = Milliseconds(30);
+    ack.acked_bytes = 1500;
+    cc.OnAck(ack);
+
+    // First MTP tick inside the next epoch's drain window.
+    MtpReport report;
+    report.mtp = hp.mtp;
+    report.now = hp.probe_epoch + hp.mtp;  // (now % epoch) = 30ms < 150ms window
+    report.avg_rtt = Milliseconds(60);
+    report.srtt = Milliseconds(60);
+    report.min_rtt = Milliseconds(30);
+    report.cwnd_bytes = cc.cwnd_bytes();
+    report.acked_packets = 10;
+    const uint64_t full_window = cc.cwnd_bytes();
+    cc.OnMtpTick(report);
+    if (skip) {
+      EXPECT_FALSE(cc.draining());
+      EXPECT_GE(cc.cwnd_bytes(), full_window * 17 / 20);
+    } else {
+      EXPECT_TRUE(cc.draining());
+    }
+  }
+}
+
+TEST(AstraeaControllerTest, StaleFloorStillDrainsWithSkipEnabled) {
+  AstraeaHyperparameters hp;
+  hp.skip_drain_on_fresh_floor = true;
+  AstraeaController cc(Distilled(), hp);
+  cc.OnFlowStart(0, 1500);
+  LossEvent loss;
+  loss.now = Milliseconds(10);
+  cc.OnLoss(loss);
+
+  // Floor refreshed early in flow life, then nothing near the floor for more
+  // than an epoch: the drain must fire (that is the probe's whole purpose).
+  AckEvent ack;
+  ack.now = Milliseconds(40);
+  ack.rtt = Milliseconds(30);
+  ack.srtt = Milliseconds(30);
+  ack.min_rtt = Milliseconds(30);
+  ack.acked_bytes = 1500;
+  cc.OnAck(ack);
+
+  MtpReport report;
+  report.mtp = hp.mtp;
+  report.now = 2 * hp.probe_epoch + hp.mtp;
+  report.avg_rtt = Milliseconds(60);
+  report.srtt = Milliseconds(60);
+  report.min_rtt = Milliseconds(30);
+  report.cwnd_bytes = cc.cwnd_bytes();
+  report.acked_packets = 10;
+  cc.OnMtpTick(report);
+  EXPECT_TRUE(cc.draining());
+}
+
 TEST(AstraeaControllerTest, DrainShrinksWindowAndRecovers) {
   AstraeaHyperparameters hp;
   AstraeaController cc(Distilled(), hp);

@@ -139,6 +139,55 @@ TEST(SenderTest, RtoFiresWhenEverythingIsLost) {
   EXPECT_GT(t.net->flow_stats(0).bytes_lost, 0u);
 }
 
+// Regression for the zero-ACK report skew: a silent MTP used to pair
+// thr_bps == 0 with avg_rtt == srtt — a (stalled-throughput, healthy-latency)
+// feature row no real network produces. A stalled interval must be marked and
+// its avg_rtt must grow with the silence.
+TEST(FlowMeterTest, ZeroAckIntervalIsStalledWithLowerBoundRtt) {
+  FlowMeter meter(Seconds(60.0));
+  FixedWindow cc(10 * 1500);
+
+  // One healthy interval first: srtt converges to 20ms.
+  meter.OnPacketAcked(Milliseconds(10), Milliseconds(20), 1500);
+  const MtpReport healthy = meter.BuildReport(Milliseconds(30), Milliseconds(30),
+                                              Milliseconds(10), 0, 0, cc);
+  EXPECT_FALSE(healthy.stalled);
+  EXPECT_EQ(healthy.avg_rtt, Milliseconds(20));
+  EXPECT_GT(healthy.thr_bps, 0.0);
+  meter.ResetInterval();
+
+  // A silent interval: last ACK at t=10ms, report at t=1s. The silence bounds
+  // every outstanding packet's RTT from below.
+  meter.OnPacketSent(1500);
+  const MtpReport stalled = meter.BuildReport(Seconds(1.0), Milliseconds(30),
+                                              Milliseconds(10), 1500, 1, cc);
+  EXPECT_TRUE(stalled.stalled);
+  EXPECT_EQ(stalled.thr_bps, 0.0);
+  EXPECT_EQ(stalled.avg_rtt, Seconds(1.0) - Milliseconds(10));
+  EXPECT_GE(stalled.avg_rtt, stalled.srtt);
+  meter.ResetInterval();
+
+  // Deeper into the stall the bound keeps growing — the policy sees latency
+  // inflating alongside the zeroed throughput, not a frozen healthy RTT.
+  const MtpReport deeper = meter.BuildReport(Seconds(2.0), Milliseconds(30),
+                                             Milliseconds(10), 1500, 1, cc);
+  EXPECT_TRUE(deeper.stalled);
+  EXPECT_GT(deeper.avg_rtt, stalled.avg_rtt);
+}
+
+TEST(SenderTest, BlackHoleProducesStalledReports) {
+  LinkConfig link = DefaultLink();
+  link.random_loss = 1.0;  // black hole: no data ever delivered, no ACKs
+  TestNet t(link, 10 * 1500);
+  // Stop between RTO fires (they land on whole seconds and reset the silence
+  // clock): the last MTP report at ~2.88s carries a ~0.88s silence bound.
+  t.net->Run(Seconds(2.9));
+  EXPECT_TRUE(t.controller->last_report.stalled);
+  EXPECT_EQ(t.controller->last_report.acked_packets, 0u);
+  EXPECT_EQ(t.controller->last_report.thr_bps, 0.0);
+  EXPECT_GT(t.controller->last_report.avg_rtt, 0);
+}
+
 TEST(SenderTest, MtpReportsArriveAtConfiguredCadence) {
   TestNet t(DefaultLink(), 20 * 1500);
   t.net->Run(Seconds(3.0));

@@ -485,6 +485,56 @@ TEST(WindowedFilterTest, EmptyReturnsFallback) {
   EXPECT_EQ(filter.Get(Seconds(0.0), 42), 42);
 }
 
+TEST(WindowedFilterTest, SampleExactlyWindowOldIsRetained) {
+  // The expiry comparison is strict (front().first < now - window): a sample
+  // taken exactly `window` ago is still in the window. Callers that Update
+  // and read at a cadence equal to the window must not see their freshest
+  // surviving sample flap out.
+  WindowedMin<double> filter(Seconds(10.0));
+  filter.Update(Seconds(0.0), 3.0);
+  EXPECT_DOUBLE_EQ(filter.Get(Seconds(10.0), 99.0), 3.0);   // age == window: kept
+  EXPECT_DOUBLE_EQ(filter.Peek(Seconds(10.0), 99.0), 3.0);
+  EXPECT_DOUBLE_EQ(filter.Get(Seconds(10.0) + 1, 99.0), 99.0);  // one ns older: expired
+}
+
+TEST(WindowedFilterTest, PeekDoesNotMutate) {
+  WindowedMin<double> filter(Seconds(5.0));
+  filter.Update(Seconds(0.0), 2.0);
+  filter.Update(Seconds(1.0), 7.0);
+  // Far in the future every sample has aged out: Peek reports the fallback
+  // but must leave the deque untouched, so a subsequent Peek at an earlier
+  // time still sees the samples. Get would have dropped them.
+  EXPECT_DOUBLE_EQ(filter.Peek(Seconds(100.0), 42.0), 42.0);
+  EXPECT_FALSE(filter.empty());
+  EXPECT_DOUBLE_EQ(filter.Peek(Seconds(3.0), 42.0), 2.0);
+  EXPECT_DOUBLE_EQ(filter.Get(Seconds(100.0), 42.0), 42.0);
+  EXPECT_TRUE(filter.empty());
+}
+
+TEST(WindowedFilterTest, PeekSkipsExpiredPrefixWithoutRemoving) {
+  WindowedMin<double> filter(Seconds(10.0));
+  filter.Update(Seconds(0.0), 1.0);   // the min, but stale at t=15
+  filter.Update(Seconds(8.0), 4.0);   // still live at t=15
+  EXPECT_DOUBLE_EQ(filter.Peek(Seconds(15.0), 99.0), 4.0);
+  EXPECT_FALSE(filter.empty());
+  EXPECT_DOUBLE_EQ(filter.Get(Seconds(15.0), 99.0), 4.0);
+}
+
+TEST(WindowedFilterTest, ShrunkWindowExpiresStaleSamplesOnNextCall) {
+  WindowedMin<double> filter(Seconds(60.0));
+  filter.Update(Seconds(0.0), 1.0);
+  filter.Update(Seconds(5.0), 6.0);
+  EXPECT_DOUBLE_EQ(filter.Get(Seconds(10.0), 99.0), 1.0);
+  // Shrinking the window must actually retire samples that are stale under
+  // the new width the next time the filter is consulted.
+  filter.set_window(Seconds(2.0));
+  EXPECT_DOUBLE_EQ(filter.Peek(Seconds(10.0), 99.0), 99.0);  // both now stale
+  EXPECT_DOUBLE_EQ(filter.Get(Seconds(10.0), 99.0), 99.0);
+  EXPECT_TRUE(filter.empty());
+  filter.Update(Seconds(11.0), 3.0);
+  EXPECT_DOUBLE_EQ(filter.Get(Seconds(12.0), 99.0), 3.0);
+}
+
 // Property sweep: Jain index is bounded in [1/n, 1] for positive allocations.
 class JainPropertyTest : public ::testing::TestWithParam<int> {};
 

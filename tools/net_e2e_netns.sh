@@ -1,0 +1,114 @@
+#!/usr/bin/env bash
+# End-to-end check of the real-packet UDP data plane across network
+# namespaces with kernel (tc netem/tbf) shaping — the closest thing to a real
+# WAN path without leaving one machine. Requires root and `ip`/`tc`; exits 0
+# with a SKIP message when either is missing, so it is safe to call from CI.
+#
+#   sudo tools/net_e2e_netns.sh [build-dir] [--rate-mbit N] [--delay-ms N]
+#                               [--loss-pct P] [--bytes N]
+#
+# Topology: veth pair between namespaces "astraea_tx" and "astraea_rx";
+# netem (delay/loss) + tbf (rate) on both ends; astraea_net recv in rx,
+# astraea_net send in tx. Asserts the transfer completes with zero corrupt
+# frames and nonzero goodput.
+
+set -euo pipefail
+
+BUILD_DIR="build"
+RATE_MBIT=50
+DELAY_MS=10   # per direction => 2x base RTT
+LOSS_PCT=0
+BYTES=$((16 * 1024 * 1024))
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --rate-mbit) RATE_MBIT="$2"; shift 2 ;;
+    --delay-ms)  DELAY_MS="$2";  shift 2 ;;
+    --loss-pct)  LOSS_PCT="$2";  shift 2 ;;
+    --bytes)     BYTES="$2";     shift 2 ;;
+    *)           BUILD_DIR="$1"; shift ;;
+  esac
+done
+
+NET_BIN="$BUILD_DIR/tools/astraea_net"
+if [[ ! -x "$NET_BIN" ]]; then
+  echo "SKIP: $NET_BIN not built"
+  exit 0
+fi
+if [[ "$(id -u)" -ne 0 ]] || ! command -v ip >/dev/null || ! command -v tc >/dev/null; then
+  echo "SKIP: needs root plus iproute2 (ip, tc)"
+  exit 0
+fi
+if ! ip netns add astraea_probe 2>/dev/null; then
+  echo "SKIP: cannot create network namespaces here"
+  exit 0
+fi
+ip netns del astraea_probe
+
+TX_NS=astraea_tx
+RX_NS=astraea_rx
+cleanup() {
+  ip netns del "$TX_NS" 2>/dev/null || true
+  ip netns del "$RX_NS" 2>/dev/null || true
+}
+trap cleanup EXIT
+cleanup
+
+ip netns add "$TX_NS"
+ip netns add "$RX_NS"
+ip link add veth_tx type veth peer name veth_rx
+ip link set veth_tx netns "$TX_NS"
+ip link set veth_rx netns "$RX_NS"
+ip -n "$TX_NS" addr add 10.77.0.1/24 dev veth_tx
+ip -n "$RX_NS" addr add 10.77.0.2/24 dev veth_rx
+ip -n "$TX_NS" link set veth_tx up
+ip -n "$RX_NS" link set veth_rx up
+ip -n "$TX_NS" link set lo up
+ip -n "$RX_NS" link set lo up
+
+# Shape both directions: netem for delay/loss, tbf child for the rate limit.
+# Kernels without sch_netem/sch_tbf (minimal containers) still run the
+# transfer, just unshaped — the cross-namespace kernel path is the point.
+SHAPED=1
+for spec in "$TX_NS veth_tx" "$RX_NS veth_rx"; do
+  read -r ns dev <<< "$spec"
+  if ! ip netns exec "$ns" tc qdisc add dev "$dev" root handle 1: netem \
+      delay "${DELAY_MS}ms" loss "${LOSS_PCT}%" 2>/dev/null; then
+    echo "note: kernel lacks the netem qdisc; running unshaped"
+    SHAPED=0
+    break
+  fi
+  if ! ip netns exec "$ns" tc qdisc add dev "$dev" parent 1: handle 10: tbf \
+      rate "${RATE_MBIT}mbit" burst 32kbit latency 50ms 2>/dev/null; then
+    echo "note: kernel lacks the tbf qdisc; running delay/loss only"
+    break
+  fi
+done
+echo "shaped=$SHAPED"
+
+# Both subcommands print a one-object JSON report on stdout (logs go to
+# stderr), so plain redirection captures the machine-readable result.
+echo "== rx: $NET_BIN recv --port 9000"
+ip netns exec "$RX_NS" "$NET_BIN" recv --port 9000 > /tmp/netns_recv.json &
+RECV_PID=$!
+sleep 0.5
+
+echo "== tx: $NET_BIN send --host 10.77.0.2 --port 9000 --bytes $BYTES"
+SEND_RC=0
+ip netns exec "$TX_NS" "$NET_BIN" send --host 10.77.0.2 --port 9000 \
+  --bytes "$BYTES" > /tmp/netns_send.json || SEND_RC=$?
+
+wait "$RECV_PID" || true
+
+python3 - << 'EOF'
+import json
+send = json.load(open("/tmp/netns_send.json"))
+recv = json.load(open("/tmp/netns_recv.json"))
+assert send["completed"], send
+assert send["goodput_mbps"] > 0, send
+assert recv["corrupt_frames"] == 0, recv
+print(f"netns e2e OK: goodput {send['goodput_mbps']:.1f} Mbps, "
+      f"rtt p95 {send['rtt_p95_ms']:.1f} ms, "
+      f"{recv['received_frames']} frames, 0 corrupt")
+EOF
+exit "$SEND_RC"
