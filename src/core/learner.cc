@@ -144,8 +144,7 @@ constexpr uint32_t kLearnerStateVersion = 1;
 void Learner::SaveState(const std::string& path) const {
   CheckpointWriter ckpt(path);
   BinaryWriter* w = ckpt.payload();
-  w->WriteU32(kLearnerStateMagic);
-  w->WriteU32(kLearnerStateVersion);
+  WriteSchemaHeader(w, {kLearnerStateMagic, kLearnerStateVersion});
   w->WriteU32(static_cast<uint32_t>(episodes_done_));
   w->WriteU32(static_cast<uint32_t>(decay_horizon_));
   rng_.SaveState(w);
@@ -157,12 +156,8 @@ void Learner::SaveState(const std::string& path) const {
 void Learner::LoadState(const std::string& path) {
   CheckpointReader ckpt(path);
   BinaryReader* r = ckpt.payload();
-  if (r->ReadU32() != kLearnerStateMagic) {
-    throw SerializationError("not a learner training-state checkpoint: " + path);
-  }
-  if (r->ReadU32() != kLearnerStateVersion) {
-    throw SerializationError("unsupported learner training-state version: " + path);
-  }
+  ReadSchemaHeader(r, kLearnerStateMagic, kLearnerStateVersion, kLearnerStateVersion,
+                   "learner training-state (" + path + ")");
   const int episodes_done = static_cast<int>(r->ReadU32());
   const int decay_horizon = static_cast<int>(r->ReadU32());
   rng_.LoadState(r);

@@ -32,14 +32,32 @@ EnvEpisodeConfig SampleEpisode(const TrainingEnvRanges& ranges, Rng* rng) {
 }
 
 MultiFlowEnv::MultiFlowEnv(EnvEpisodeConfig config, const AstraeaHyperparameters& hp,
-                           Td3Trainer* trainer, ReplayBuffer* buffer, double noise_std, Rng* rng)
+                           Td3Trainer* trainer, TransitionSink* buffer, double noise_std,
+                           Rng* rng)
     : config_(std::move(config)),
       hp_(hp),
-      trainer_(trainer),
       buffer_(buffer),
       noise_std_(noise_std),
-      rng_(rng->Fork()) {
+      own_rng_(rng->Fork()),
+      rng_(&own_rng_) {
+  Build(std::make_shared<TrainerActorPolicy>(trainer));
+}
+
+MultiFlowEnv::MultiFlowEnv(EnvEpisodeConfig config, const AstraeaHyperparameters& hp,
+                           std::shared_ptr<const Policy> policy, TransitionSink* buffer,
+                           double noise_std, Rng* rng)
+    : config_(std::move(config)),
+      hp_(hp),
+      buffer_(buffer),
+      noise_std_(noise_std),
+      own_rng_(0),  // unused; noise comes from the caller's persistent stream
+      rng_(rng) {
+  Build(std::move(policy));
+}
+
+void MultiFlowEnv::Build(std::shared_ptr<const Policy> policy) {
   ASTRAEA_CHECK(!config_.flows.empty());
+  next_update_ = hp_.model_update_interval;
   network_ = std::make_unique<Network>(config_.seed);
 
   LinkConfig link;
@@ -50,13 +68,15 @@ MultiFlowEnv::MultiFlowEnv(EnvEpisodeConfig config, const AstraeaHyperparameters
       static_cast<uint64_t>(config_.buffer_bdp *
                             static_cast<double>(BdpBytes(config_.bandwidth, config_.base_rtt))),
       3000);
+  link.random_loss = config_.random_loss;
+  link.trace = config_.trace;
+  link.queue_factory = config_.queue_factory;
   network_->AddLink(link);
 
   link_info_.base_one_way_delay = config_.base_rtt / 2;
   link_info_.buffer_bytes = link.buffer_bytes;
   link_info_.bandwidth = config_.bandwidth;
 
-  auto policy = std::make_shared<TrainerActorPolicy>(trainer_);
   controllers_.resize(config_.flows.size(), nullptr);
   pending_.resize(config_.flows.size());
 
@@ -116,7 +136,7 @@ RewardBreakdown MultiFlowEnv::ComputeGlobalReward() const {
 
 double MultiFlowEnv::OnDecision(int flow_id, const StateView& view, double proposed) {
   const double action =
-      std::clamp(proposed + rng_.Normal(0.0, noise_std_), -1.0, 1.0);
+      std::clamp(proposed + rng_->Normal(0.0, noise_std_), -1.0, 1.0);
 
   const std::vector<float> global_state = ObserveGlobalState();
   const std::vector<float> local_state(view.state_vector.begin(), view.state_vector.end());
@@ -151,14 +171,18 @@ double MultiFlowEnv::OnDecision(int flow_id, const StateView& view, double propo
   return action;
 }
 
-EpisodeStats MultiFlowEnv::Run(const std::function<void()>& on_update) {
-  for (TimeNs t = hp_.model_update_interval; t <= config_.episode_length;
-       t += hp_.model_update_interval) {
-    network_->Run(t);
-    if (on_update) {
-      on_update();
-    }
+bool MultiFlowEnv::AdvanceOneInterval() {
+  if (done()) {
+    return false;
   }
+  network_->Run(next_update_);
+  next_update_ += hp_.model_update_interval;
+  return true;
+}
+
+EpisodeStats MultiFlowEnv::Finish() {
+  ASTRAEA_CHECK(!finished_);
+  finished_ = true;
   network_->Run(config_.episode_length);
   if (stats_.decisions > 0) {
     stats_.mean_reward /= stats_.decisions;
@@ -169,6 +193,15 @@ EpisodeStats MultiFlowEnv::Run(const std::function<void()>& on_update) {
     stats_.mean_r_stab /= stats_.decisions;
   }
   return stats_;
+}
+
+EpisodeStats MultiFlowEnv::Run(const std::function<void()>& on_update) {
+  while (AdvanceOneInterval()) {
+    if (on_update) {
+      on_update();
+    }
+  }
+  return Finish();
 }
 
 }  // namespace astraea

@@ -8,6 +8,14 @@
 // link, and the (g, s, a, r, g', s') transition is pushed into the shared
 // replay buffer. Policy parameters stay in the Td3Trainer — all agents share
 // them (centralized training, decentralized execution).
+//
+// Two driving modes:
+//  * Run(on_update) — the serial Learner's loop: advance one model-update
+//    interval, perform gradient steps, repeat.
+//  * AdvanceOneInterval()/Finish() — the vectorized trainer's segment API:
+//    N environments advance one interval each on the thread pool, a barrier
+//    drains their staged transitions in deterministic order, the learner
+//    updates, and the next round begins with fresh actor snapshots.
 
 #ifndef SRC_CORE_MULTI_FLOW_ENV_H_
 #define SRC_CORE_MULTI_FLOW_ENV_H_
@@ -21,6 +29,8 @@
 #include "src/rl/replay_buffer.h"
 #include "src/rl/td3.h"
 #include "src/sim/network.h"
+#include "src/sim/queue_disc.h"
+#include "src/sim/rate_provider.h"
 #include "src/util/rng.h"
 
 namespace astraea {
@@ -35,6 +45,11 @@ struct EnvEpisodeConfig {
   RateBps bandwidth = Mbps(100);
   TimeNs base_rtt = Milliseconds(30);
   double buffer_bdp = 1.0;
+  // Domain-randomization extensions (src/train/domain_sampler.*). Defaults
+  // reproduce the original Table-3-only environment byte for byte.
+  double random_loss = 0.0;             // iid wire loss on the bottleneck
+  QueueFactory queue_factory;           // AQM override (default DropTail)
+  std::shared_ptr<RateProvider> trace;  // time-varying rate; overrides bandwidth
   std::vector<FlowSchedule> flows;
   TimeNs episode_length = Seconds(30.0);
   uint64_t seed = 1;
@@ -59,16 +74,36 @@ struct EpisodeStats {
 
 class MultiFlowEnv {
  public:
-  // `trainer` provides the shared actor; `buffer` receives transitions.
+  // Serial-learner mode: `trainer` provides the shared actor; `buffer`
+  // receives transitions; a private noise stream is forked from `rng`.
   // `noise_std` is the exploration noise added to each proposed action.
   MultiFlowEnv(EnvEpisodeConfig config, const AstraeaHyperparameters& hp, Td3Trainer* trainer,
-               ReplayBuffer* buffer, double noise_std, Rng* rng);
+               TransitionSink* buffer, double noise_std, Rng* rng);
+
+  // Vectorized-actor mode: decisions come from `policy` (typically an
+  // adapter over a per-actor snapshot of the shared network) and exploration
+  // noise is drawn directly from `rng` — NOT forked — so the caller's
+  // per-actor stream persists across episodes and can be checkpointed.
+  // `rng` must outlive the environment.
+  MultiFlowEnv(EnvEpisodeConfig config, const AstraeaHyperparameters& hp,
+               std::shared_ptr<const Policy> policy, TransitionSink* buffer, double noise_std,
+               Rng* rng);
 
   // Runs the episode; `on_update` fires every hp.model_update_interval of
   // environment time (the Learner performs its 20 gradient steps there).
   EpisodeStats Run(const std::function<void()>& on_update);
 
+  // Segment API: advances the simulation by one model-update interval and
+  // returns true, or returns false once the episode horizon is reached.
+  bool AdvanceOneInterval();
+  bool done() const { return next_update_ > config_.episode_length; }
+  // Runs any residual tail past the last whole interval and returns the
+  // episode means. Call exactly once, after AdvanceOneInterval() returns
+  // false. Run() == while (AdvanceOneInterval()) on_update(); Finish();
+  EpisodeStats Finish();
+
   Network& network() { return *network_; }
+  const EnvEpisodeConfig& config() const { return config_; }
 
  private:
   struct PendingDecision {
@@ -78,22 +113,25 @@ class MultiFlowEnv {
     float action = 0.0f;
   };
 
+  void Build(std::shared_ptr<const Policy> policy);
   double OnDecision(int flow_id, const StateView& view, double proposed);
   std::vector<float> ObserveGlobalState() const;
   RewardBreakdown ComputeGlobalReward() const;
 
   EnvEpisodeConfig config_;
   AstraeaHyperparameters hp_;
-  Td3Trainer* trainer_;
-  ReplayBuffer* buffer_;
+  TransitionSink* buffer_;
   double noise_std_;
-  Rng rng_;
+  Rng own_rng_;   // forked stream backing `rng_` in serial-learner mode
+  Rng* rng_;      // the stream exploration noise is drawn from
 
   std::unique_ptr<Network> network_;
   std::vector<AstraeaController*> controllers_;  // index = flow id
   std::vector<PendingDecision> pending_;
   LinkInfo link_info_;
   EpisodeStats stats_;
+  TimeNs next_update_ = 0;
+  bool finished_ = false;
 };
 
 // Policy adapter exposing the trainer's current actor to AstraeaController.
@@ -107,6 +145,22 @@ class TrainerActorPolicy : public Policy {
 
  private:
   const Td3Trainer* trainer_;
+};
+
+// Policy adapter over a caller-owned actor snapshot (vectorized training:
+// each actor slot copies the shared parameters at the start of a round, so
+// parallel environments never touch the live training networks and every
+// decision within a round uses the same weights regardless of worker count).
+class SnapshotActorPolicy : public Policy {
+ public:
+  explicit SnapshotActorPolicy(const Mlp* actor) : actor_(actor) {}
+  double Act(const StateView& view) const override {
+    return actor_->Infer(view.state_vector)[0];
+  }
+  std::string name() const override { return "astraea-train-snapshot"; }
+
+ private:
+  const Mlp* actor_;
 };
 
 }  // namespace astraea

@@ -27,13 +27,47 @@ struct Transition {
   bool terminal = false;
 };
 
-class ReplayBuffer {
+// Write side of experience collection. Environments push transitions through
+// this so the same MultiFlowEnv can feed the serial ReplayBuffer directly or
+// a per-actor staging vector that the vectorized trainer later interleaves
+// into its sharded buffer in a deterministic order.
+class TransitionSink {
+ public:
+  virtual ~TransitionSink() = default;
+  virtual void Add(Transition t) = 0;
+};
+
+// Read/sampling side consumed by Td3Trainer::Update. Implemented by the
+// serial ReplayBuffer and by the vectorized trainer's ShardedReplayBuffer;
+// both sample uniformly with replacement using the caller's Rng, so the
+// learner's random stream is identical whichever backing store is in use.
+class ReplaySource {
+ public:
+  virtual ~ReplaySource() = default;
+  virtual size_t size() const = 0;
+  virtual const Transition& at(size_t i) const = 0;
+  // Uniformly samples `n` indices in [0, size()) with replacement.
+  virtual std::vector<size_t> SampleIndices(size_t n, Rng* rng) const = 0;
+};
+
+// Appends into a caller-owned vector; the vectorized trainer's per-actor
+// staging area between the parallel advance and the interleaved drain.
+class VectorSink : public TransitionSink {
+ public:
+  explicit VectorSink(std::vector<Transition>* out) : out_(out) {}
+  void Add(Transition t) override { out_->push_back(std::move(t)); }
+
+ private:
+  std::vector<Transition>* out_;
+};
+
+class ReplayBuffer : public TransitionSink, public ReplaySource {
  public:
   explicit ReplayBuffer(size_t capacity) : capacity_(capacity) {
     ASTRAEA_CHECK(capacity_ > 0);
   }
 
-  void Add(Transition t) {
+  void Add(Transition t) override {
     if (entries_.size() < capacity_) {
       entries_.push_back(std::move(t));
     } else {
@@ -43,15 +77,15 @@ class ReplayBuffer {
     ++total_added_;
   }
 
-  size_t size() const { return entries_.size(); }
+  size_t size() const override { return entries_.size(); }
   size_t capacity() const { return capacity_; }
   uint64_t total_added() const { return total_added_; }
   bool empty() const { return entries_.empty(); }
 
-  const Transition& at(size_t i) const { return entries_[i]; }
+  const Transition& at(size_t i) const override { return entries_[i]; }
 
   // Uniformly samples `n` indices (with replacement).
-  std::vector<size_t> SampleIndices(size_t n, Rng* rng) const {
+  std::vector<size_t> SampleIndices(size_t n, Rng* rng) const override {
     ASTRAEA_CHECK(!entries_.empty());
     std::vector<size_t> out(n);
     for (auto& idx : out) {

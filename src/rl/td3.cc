@@ -88,7 +88,7 @@ std::vector<float> Td3Trainer::ActWithNoise(std::span<const float> local_state, 
   return action;
 }
 
-Td3Diagnostics Td3Trainer::Update(const ReplayBuffer& buffer, Rng* rng) {
+Td3Diagnostics Td3Trainer::Update(const ReplaySource& buffer, Rng* rng) {
   Td3Diagnostics diag;
   if (buffer.size() < config_.batch_size) {
     return diag;
@@ -222,7 +222,7 @@ Td3Diagnostics Td3Trainer::Update(const ReplayBuffer& buffer, Rng* rng) {
   return diag;
 }
 
-Td3Diagnostics Td3Trainer::UpdateReference(const ReplayBuffer& buffer, Rng* rng) {
+Td3Diagnostics Td3Trainer::UpdateReference(const ReplaySource& buffer, Rng* rng) {
   Td3Diagnostics diag;
   if (buffer.size() < config_.batch_size) {
     return diag;

@@ -56,11 +56,11 @@ class Td3Trainer {
   // fewer than batch_size transitions. Runs on the flat batched kernels
   // (Mlp::ForwardBatch / BackwardBatch); draws from `rng` in the same order as
   // UpdateReference so both paths consume identical random streams.
-  Td3Diagnostics Update(const ReplayBuffer& buffer, Rng* rng);
+  Td3Diagnostics Update(const ReplaySource& buffer, Rng* rng);
 
   // Per-sample reference implementation of the same update, kept for parity
   // testing the batched path (and as executable documentation of Algorithm 1).
-  Td3Diagnostics UpdateReference(const ReplayBuffer& buffer, Rng* rng);
+  Td3Diagnostics UpdateReference(const ReplaySource& buffer, Rng* rng);
 
   // Deterministic action from the current policy (deployment path).
   std::vector<float> Act(std::span<const float> local_state) const;

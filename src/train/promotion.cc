@@ -1,0 +1,281 @@
+#include "src/train/promotion.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "src/core/astraea_controller.h"
+#include "src/sim/network.h"
+#include "src/util/metrics.h"
+#include "src/util/stats.h"
+
+namespace astraea {
+
+namespace {
+
+// Composite the verdict compares: reward-shaped but dimensionless. Latency
+// only penalizes past the reward block's (1+beta) grace band, in units of
+// the base RTT; loss is weighted like the Eq. 4 loss term relative to
+// throughput.
+double ScoreComposite(const ScenarioScore& s, TimeNs base_rtt, double beta) {
+  const double base_ms = static_cast<double>(base_rtt) / 1e6;
+  const double lat_pen = std::max(0.0, s.p95_delay_ms / base_ms - (1.0 + beta));
+  return s.utilization + s.jain - 0.25 * lat_pen - 2.0 * s.loss_rate;
+}
+
+}  // namespace
+
+std::vector<GateScenario> GoldenGateSuite() {
+  std::vector<GateScenario> suite;
+  // Mirrors the golden-trace trio (tools/golden_trace.cc): a clean DropTail
+  // dumbbell, a lossy deep-buffer path, and a RED bottleneck — each as a
+  // 3-flow staggered fairness scenario.
+  GateScenario clean;
+  clean.name = "clean";
+  suite.push_back(clean);
+
+  GateScenario lossy;
+  lossy.name = "lossy";
+  lossy.bandwidth = Mbps(48);
+  lossy.base_rtt = Milliseconds(60);
+  lossy.buffer_bdp = 2.0;
+  lossy.random_loss = 0.01;
+  lossy.seed = 2;
+  suite.push_back(lossy);
+
+  GateScenario red;
+  red.name = "red";
+  red.bandwidth = Mbps(96);
+  red.base_rtt = Milliseconds(30);
+  red.buffer_bdp = 2.0;
+  red.red = true;
+  red.seed = 3;
+  suite.push_back(red);
+  return suite;
+}
+
+PromotionGate::PromotionGate(GateOptions options) : options_(std::move(options)) {
+  if (options_.suite.empty()) {
+    options_.suite = GoldenGateSuite();
+  }
+  // Pre-register verdict metrics at construction (PR-6/PR-7 convention).
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.GetCounter("train.promote.accepted_total");
+  reg.GetCounter("train.promote.rejected_total");
+  reg.GetCounter("train.promote.scenarios_total");
+}
+
+ScenarioScore PromotionGate::Evaluate(const GateScenario& scenario,
+                                      std::shared_ptr<const Policy> policy) const {
+  Network network(scenario.seed);
+
+  LinkConfig link;
+  link.name = "gate-bottleneck";
+  link.rate = scenario.bandwidth;
+  link.propagation_delay = scenario.base_rtt / 2;
+  link.buffer_bytes = std::max<uint64_t>(
+      static_cast<uint64_t>(scenario.buffer_bdp *
+                            static_cast<double>(BdpBytes(scenario.bandwidth, scenario.base_rtt))),
+      3000);
+  link.random_loss = scenario.random_loss;
+  if (scenario.red) {
+    const uint64_t capacity = link.buffer_bytes;
+    link.queue_factory = [capacity](Rng rng) -> std::unique_ptr<QueueDiscipline> {
+      RedConfig red;
+      red.capacity_bytes = capacity;
+      return std::make_unique<RedQueue>(red, rng);
+    };
+  }
+  network.AddLink(link);
+
+  const AstraeaHyperparameters hp = options_.hp;
+  for (int i = 0; i < scenario.flows; ++i) {
+    FlowSpec spec;
+    spec.scheme = "astraea-gate";
+    spec.start = scenario.stagger * i;
+    spec.duration = -1;
+    spec.link_path = {0};
+    spec.make_cc = [policy, hp] { return std::make_unique<AstraeaController>(policy, hp); };
+    network.AddFlow(spec);
+  }
+  network.Run(scenario.until);
+
+  // Score over the second half of the run: every flow is active and the
+  // transient from staggered starts has passed.
+  const TimeNs begin = scenario.until / 2;
+  const TimeNs end = scenario.until;
+
+  ScenarioScore score;
+  double total_mbps = 0.0;
+  std::vector<double> rtt_samples;
+  uint64_t bytes_sent = 0;
+  uint64_t bytes_lost = 0;
+  for (size_t i = 0; i < network.flow_count(); ++i) {
+    const FlowStats& stats = network.flow_stats(static_cast<int>(i));
+    total_mbps += stats.throughput_mbps.MeanOver(begin, end);
+    for (const auto& [t, rtt_ms] : stats.rtt_ms.points()) {
+      if (t >= begin && t < end) {
+        rtt_samples.push_back(rtt_ms);
+      }
+    }
+    bytes_sent += stats.bytes_sent;
+    bytes_lost += stats.bytes_lost;
+  }
+  score.utilization = total_mbps / (scenario.bandwidth / 1e6);
+
+  std::vector<double> rates;
+  double jain_sum = 0.0;
+  int slots = 0;
+  for (TimeNs t = begin; t + Seconds(1.0) <= end; t += Seconds(1.0)) {
+    rates.clear();
+    for (size_t i = 0; i < network.flow_count(); ++i) {
+      rates.push_back(network.flow_stats(static_cast<int>(i)).throughput_mbps.MeanOver(
+          t, t + Seconds(1.0)));
+    }
+    jain_sum += JainIndex(rates);
+    ++slots;
+  }
+  score.jain = slots > 0 ? jain_sum / slots : 1.0;
+  score.p95_delay_ms = rtt_samples.empty() ? 0.0 : Percentile(std::move(rtt_samples), 95.0);
+  score.loss_rate =
+      bytes_sent > 0 ? static_cast<double>(bytes_lost) / static_cast<double>(bytes_sent) : 0.0;
+  score.composite = ScoreComposite(score, scenario.base_rtt, options_.hp.reward.beta);
+  return score;
+}
+
+GateReport PromotionGate::Compare(std::shared_ptr<const Policy> candidate,
+                                  std::shared_ptr<const Policy> incumbent) const {
+  constexpr double kTieTolerance = 1e-6;
+  GateReport report;
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  double worst_regression = 0.0;
+  std::string worst_scenario;
+  for (const GateScenario& scenario : options_.suite) {
+    GateScenarioResult result;
+    result.name = scenario.name;
+    result.candidate = Evaluate(scenario, candidate);
+    result.incumbent = Evaluate(scenario, incumbent);
+    reg.GetCounter("train.promote.scenarios_total").Increment(2);
+    report.candidate_total += result.candidate.composite;
+    report.incumbent_total += result.incumbent.composite;
+    const double delta = result.candidate.composite - result.incumbent.composite;
+    if (delta > kTieTolerance) {
+      ++report.wins;
+    } else if (delta < -kTieTolerance) {
+      ++report.losses;
+      if (-delta > worst_regression) {
+        worst_regression = -delta;
+        worst_scenario = scenario.name;
+      }
+    }
+    report.scenarios.push_back(std::move(result));
+  }
+
+  if (worst_regression > options_.max_scenario_regression) {
+    report.accepted = false;
+    std::ostringstream reason;
+    reason << "regression of " << worst_regression << " composite points on '" << worst_scenario
+           << "' exceeds the " << options_.max_scenario_regression << " budget";
+    report.reason = reason.str();
+  } else if (report.candidate_total > report.incumbent_total + kTieTolerance) {
+    report.accepted = true;
+    report.reason = "candidate total beats incumbent";
+  } else {
+    report.accepted = false;
+    report.reason = "candidate total does not beat incumbent (ties keep the incumbent)";
+  }
+  reg.GetCounter(report.accepted ? "train.promote.accepted_total"
+                                 : "train.promote.rejected_total")
+      .Increment();
+  return report;
+}
+
+GateReport PromotionGate::CompareFiles(const std::string& candidate_path,
+                                       const std::string& incumbent_path) const {
+  // The candidate must be a real trained network; LoadFromFile throws
+  // SerializationError otherwise (no silent distilled fallback here).
+  std::shared_ptr<const Policy> candidate = MlpPolicy::LoadFromFile(candidate_path);
+  std::shared_ptr<const Policy> incumbent;
+  try {
+    incumbent = MlpPolicy::LoadFromFile(incumbent_path);
+  } catch (const SerializationError&) {
+    incumbent = std::make_shared<DistilledPolicy>();
+  }
+  return Compare(std::move(candidate), std::move(incumbent));
+}
+
+std::string GateReport::ToJson() const {
+  std::ostringstream os;
+  os << "{\"accepted\":" << (accepted ? "true" : "false") << ",\"reason\":\"" << reason
+     << "\",\"wins\":" << wins << ",\"losses\":" << losses
+     << ",\"candidate_total\":" << candidate_total << ",\"incumbent_total\":" << incumbent_total
+     << ",\"scenarios\":[";
+  for (size_t i = 0; i < scenarios.size(); ++i) {
+    const GateScenarioResult& r = scenarios[i];
+    auto emit = [&os](const char* who, const ScenarioScore& s) {
+      os << "\"" << who << "\":{\"utilization\":" << s.utilization << ",\"jain\":" << s.jain
+         << ",\"p95_delay_ms\":" << s.p95_delay_ms << ",\"loss_rate\":" << s.loss_rate
+         << ",\"composite\":" << s.composite << "}";
+    };
+    os << (i > 0 ? "," : "") << "{\"name\":\"" << r.name << "\",";
+    emit("candidate", r.candidate);
+    os << ",";
+    emit("incumbent", r.incumbent);
+    os << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+void AtomicInstall(const std::string& candidate_path, const std::string& install_path) {
+  std::ifstream in(candidate_path, std::ios::binary);
+  if (!in) {
+    throw SerializationError("cannot read candidate for install: " + candidate_path);
+  }
+  std::ostringstream blob;
+  blob << in.rdbuf();
+  const std::string bytes = blob.str();
+
+  const std::string tmp = install_path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    throw SerializationError("cannot open " + tmp + ": " + std::strerror(errno));
+  }
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      const int saved = errno;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      throw SerializationError("write to " + tmp + " failed: " + std::strerror(saved));
+    }
+    off += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0 || ::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    throw SerializationError("fsync/close of " + tmp + " failed");
+  }
+  if (::rename(tmp.c_str(), install_path.c_str()) != 0) {
+    const int saved = errno;
+    ::unlink(tmp.c_str());
+    throw SerializationError("rename to " + install_path + " failed: " + std::strerror(saved));
+  }
+  std::string dir = install_path;
+  const size_t slash = dir.find_last_of('/');
+  dir = slash == std::string::npos ? "." : dir.substr(0, slash + 1);
+  const int dirfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dirfd >= 0) {
+    ::fsync(dirfd);
+    ::close(dirfd);
+  }
+}
+
+}  // namespace astraea

@@ -1,0 +1,111 @@
+// Checkpoint promotion gate (DESIGN.md §14): a candidate policy replaces the
+// incumbent only after beating it on the golden scenario trio — the same
+// link configurations the 27 golden traces pin (clean / lossy / RED), each
+// run as a staggered multi-flow dumbbell and scored on utilization, Jain
+// fairness and p95 delay. tools/astraea_promote wraps this in a CLI whose
+// accept path installs the candidate with the checkpoint container's atomic
+// tmp+fsync+rename protocol, so astraea_serve's SIGHUP hot-reload (PR 4)
+// only ever sees a fully written, gate-approved artifact.
+
+#ifndef SRC_TRAIN_PROMOTION_H_
+#define SRC_TRAIN_PROMOTION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/policy.h"
+#include "src/core/training_config.h"
+#include "src/sim/queue_disc.h"
+#include "src/util/time.h"
+
+namespace astraea {
+
+// One gate scenario: a dumbbell the candidate must not regress on.
+struct GateScenario {
+  std::string name;
+  RateBps bandwidth = Mbps(96);
+  TimeNs base_rtt = Milliseconds(40);
+  double buffer_bdp = 1.0;
+  double random_loss = 0.0;
+  bool red = false;     // RED bottleneck instead of DropTail
+  int flows = 3;        // Astraea flows, staggered by `stagger`
+  TimeNs stagger = Seconds(1.0);
+  TimeNs until = Seconds(8.0);
+  uint64_t seed = 1;
+};
+
+// The golden trio (clean / lossy / red) as multi-flow fairness scenarios.
+std::vector<GateScenario> GoldenGateSuite();
+
+struct ScenarioScore {
+  double utilization = 0.0;   // aggregate goodput / link rate over the window
+  double jain = 1.0;          // mean Jain over 1s slots in the scoring window
+  double p95_delay_ms = 0.0;  // p95 of all flows' per-MTP RTT samples
+  double loss_rate = 0.0;     // bytes lost / bytes sent
+  // utilization + jain - latency/loss penalties; the scalar the verdict
+  // compares. See ScoreComposite() in promotion.cc for the exact formula.
+  double composite = 0.0;
+};
+
+struct GateScenarioResult {
+  std::string name;
+  ScenarioScore candidate;
+  ScenarioScore incumbent;
+};
+
+struct GateReport {
+  std::vector<GateScenarioResult> scenarios;
+  double candidate_total = 0.0;
+  double incumbent_total = 0.0;
+  int wins = 0;    // scenarios where the candidate's composite is higher
+  int losses = 0;  // ... lower by more than the tie tolerance
+  bool accepted = false;
+  std::string reason;
+  std::string ToJson() const;
+};
+
+struct GateOptions {
+  AstraeaHyperparameters hp;
+  // Accept requires candidate_total > incumbent_total AND no single scenario
+  // regressing by more than max_scenario_regression (composite points).
+  double max_scenario_regression = 0.10;
+  std::vector<GateScenario> suite;  // empty: GoldenGateSuite()
+};
+
+class PromotionGate {
+ public:
+  explicit PromotionGate(GateOptions options = {});
+
+  // Scores one policy on one scenario (deterministic: fixed seeds).
+  ScenarioScore Evaluate(const GateScenario& scenario,
+                         std::shared_ptr<const Policy> policy) const;
+
+  // Full gate run; bumps train.promote.{accepted,rejected}_total.
+  GateReport Compare(std::shared_ptr<const Policy> candidate,
+                     std::shared_ptr<const Policy> incumbent) const;
+
+  // File-level wrapper: the candidate must parse as a trained Mlp checkpoint
+  // (a candidate that silently fell back to the distilled policy could
+  // "beat" a real incumbent without containing a network — exactly the
+  // ROADMAP 1d failure mode). Throws SerializationError if it does not.
+  // A missing/unreadable incumbent is scored as the distilled fallback, so
+  // first-ever promotions have a meaningful bar to clear.
+  GateReport CompareFiles(const std::string& candidate_path,
+                          const std::string& incumbent_path) const;
+
+  const GateOptions& options() const { return options_; }
+
+ private:
+  GateOptions options_;
+};
+
+// Installs `candidate_path`'s bytes at `install_path` with the durability
+// protocol of src/util/checkpoint.h (tmp + fsync + rename + dir fsync), so a
+// serving process hot-reloading on SIGHUP can never observe a torn artifact.
+// Throws SerializationError on any I/O failure.
+void AtomicInstall(const std::string& candidate_path, const std::string& install_path);
+
+}  // namespace astraea
+
+#endif  // SRC_TRAIN_PROMOTION_H_

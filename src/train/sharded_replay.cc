@@ -1,0 +1,119 @@
+#include "src/train/sharded_replay.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace astraea {
+
+ShardedReplayBuffer::ShardedReplayBuffer(size_t capacity, size_t shards) {
+  ASTRAEA_CHECK(capacity > 0);
+  ASTRAEA_CHECK(shards > 0);
+  const size_t per_shard = (capacity + shards - 1) / shards;
+  shards_.reserve(shards);
+  for (size_t s = 0; s < shards; ++s) {
+    shards_.emplace_back(per_shard);
+  }
+}
+
+void ShardedReplayBuffer::DrainInterleaved(std::vector<std::vector<Transition>>* staged) {
+  const size_t queues = staged->size();
+  if (queues == 0) {
+    return;
+  }
+  // Per-queue read offsets for this drain; the persistent cursor only tracks
+  // which queue the next visit lands on.
+  std::vector<size_t> read(queues, 0);
+  size_t remaining = 0;
+  for (const auto& q : *staged) {
+    remaining += q.size();
+  }
+  while (remaining > 0) {
+    const size_t q = static_cast<size_t>(cursor_ % queues);
+    cursor_ = (cursor_ + 1) % queues;
+    std::vector<Transition>& src = (*staged)[q];
+    if (read[q] >= src.size()) {
+      ++stalls_;
+      continue;
+    }
+    shards_[static_cast<size_t>(global_seq_ % shards_.size())].Add(std::move(src[read[q]]));
+    ++read[q];
+    ++global_seq_;
+    --remaining;
+  }
+  for (auto& q : *staged) {
+    q.clear();
+  }
+}
+
+size_t ShardedReplayBuffer::size() const {
+  size_t total = 0;
+  for (const ReplayBuffer& s : shards_) {
+    total += s.size();
+  }
+  return total;
+}
+
+size_t ShardedReplayBuffer::capacity() const {
+  size_t total = 0;
+  for (const ReplayBuffer& s : shards_) {
+    total += s.capacity();
+  }
+  return total;
+}
+
+const Transition& ShardedReplayBuffer::at(size_t i) const {
+  for (const ReplayBuffer& s : shards_) {
+    if (i < s.size()) {
+      return s.at(i);
+    }
+    i -= s.size();
+  }
+  ASTRAEA_CHECK(false && "ShardedReplayBuffer::at out of range");
+  return shards_.front().at(0);  // unreachable
+}
+
+std::vector<size_t> ShardedReplayBuffer::SampleIndices(size_t n, Rng* rng) const {
+  const size_t total = size();
+  ASTRAEA_CHECK(total > 0);
+  std::vector<size_t> out(n);
+  for (auto& idx : out) {
+    idx = static_cast<size_t>(rng->UniformInt(0, static_cast<int64_t>(total) - 1));
+  }
+  return out;
+}
+
+void ShardedReplayBuffer::Save(BinaryWriter* writer) const {
+  writer->WriteU64(shards_.size());
+  writer->WriteU64(global_seq_);
+  writer->WriteU64(cursor_);
+  writer->WriteU64(stalls_);
+  for (const ReplayBuffer& s : shards_) {
+    s.Save(writer);
+  }
+}
+
+void ShardedReplayBuffer::Load(BinaryReader* reader) {
+  const uint64_t shards = reader->ReadU64();
+  if (shards != shards_.size()) {
+    throw SerializationError("sharded replay checkpoint has " + std::to_string(shards) +
+                             " shards, this trainer is configured for " +
+                             std::to_string(shards_.size()));
+  }
+  const uint64_t global_seq = reader->ReadU64();
+  const uint64_t cursor = reader->ReadU64();
+  const uint64_t stalls = reader->ReadU64();
+  std::vector<ReplayBuffer> loaded;
+  loaded.reserve(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    ReplayBuffer shard(shards_[s].capacity());
+    shard.Load(reader);
+    loaded.push_back(std::move(shard));
+  }
+  shards_ = std::move(loaded);
+  global_seq_ = global_seq;
+  cursor_ = cursor;
+  stalls_ = stalls;
+}
+
+}  // namespace astraea

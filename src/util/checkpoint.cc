@@ -105,6 +105,19 @@ uint32_t Crc32(const void* data, size_t len) {
   return c ^ 0xFFFFFFFFu;
 }
 
+uint32_t ReadSchemaHeader(BinaryReader* reader, uint32_t magic, uint32_t min_version,
+                          uint32_t max_version, const std::string& what) {
+  if (reader->ReadU32() != magic) {
+    throw SerializationError("not a " + what + " checkpoint (bad magic)");
+  }
+  const uint32_t version = reader->ReadU32();
+  if (version < min_version || version > max_version) {
+    throw SerializationError("unsupported " + what + " checkpoint version " +
+                             std::to_string(version));
+  }
+  return version;
+}
+
 CheckpointWriter::CheckpointWriter(std::string path)
     : path_(std::move(path)), writer_(&buf_) {}
 

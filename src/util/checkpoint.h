@@ -34,6 +34,27 @@ namespace astraea {
 // Crc32("123456789") == 0xCBF43926.
 uint32_t Crc32(const void* data, size_t len);
 
+// Payload schema header: every checkpoint payload leads with a u32 magic (the
+// subsystem) and a u32 version. The helpers below are the one place the
+// magic/version handshake lives, so every subsystem rejects foreign or
+// future checkpoints with the same message shape. Byte-compatible with the
+// hand-rolled WriteU32(magic)/WriteU32(version) pairs they replaced.
+struct CheckpointSchema {
+  uint32_t magic = 0;
+  uint32_t version = 0;
+};
+
+inline void WriteSchemaHeader(BinaryWriter* writer, CheckpointSchema schema) {
+  writer->WriteU32(schema.magic);
+  writer->WriteU32(schema.version);
+}
+
+// Validates the magic and that version is in [min_version, max_version];
+// returns the version read (so callers can branch on older layouts). `what`
+// labels the error, typically "<subsystem> training-state (path)".
+uint32_t ReadSchemaHeader(BinaryReader* reader, uint32_t magic, uint32_t min_version,
+                          uint32_t max_version, const std::string& what);
+
 inline constexpr uint32_t kCheckpointFooterMagic = 0x4153434Bu;  // "ASCK"
 inline constexpr size_t kCheckpointFooterSize = 16;
 

@@ -159,6 +159,26 @@ TEST(MlpPolicyTest, RunsACheckpointRoundTrip) {
   std::filesystem::remove(path);
 }
 
+TEST(MlpPolicyTest, ShippedTrainedArtifactLoads) {
+  // models/astraea_policy_trained.ckpt is the checked-in trained actor. It
+  // must parse as a real network — historically it was corrupt and every
+  // consumer silently fell back to the distilled policy (ROADMAP 1d), which
+  // made "trained" benches measure the wrong controller.
+  const std::string path =
+      std::string(ASTRAEA_SOURCE_DIR) + "/models/astraea_policy_trained.ckpt";
+  ASSERT_TRUE(std::filesystem::exists(path)) << path;
+  const auto policy = MlpPolicy::LoadFromFile(path);
+  EXPECT_EQ(policy->actor().input_size(), 40);  // kLocalFeatures * history
+  EXPECT_EQ(policy->actor().output_size(), 1);
+  ViewFixture fx(100, Milliseconds(40), Milliseconds(30));
+  const double a = policy->Act(fx.view);
+  EXPECT_GE(a, -1.0);
+  EXPECT_LE(a, 1.0);
+  // And the default loader must pick it up as the trained policy, not the
+  // distilled fallback.
+  EXPECT_EQ(LoadDefaultPolicy(path)->name(), "astraea-mlp");
+}
+
 TEST(LoadDefaultPolicyTest, FallsBackToDistilled) {
   // With no checkpoint anywhere, the loader must return the distilled policy.
   const auto policy = LoadDefaultPolicy("/nonexistent/path.ckpt");

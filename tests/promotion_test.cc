@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "src/train/promotion.h"
+
+namespace astraea {
+namespace {
+
+// Always shrinks the window: drives utilization toward the floor on every
+// scenario, so it reliably loses to any reasonable policy.
+class CrippledPolicy : public Policy {
+ public:
+  double Act(const StateView&) const override { return -1.0; }
+  std::string name() const override { return "crippled"; }
+};
+
+// One short, small scenario keeps each Evaluate() to a fraction of a second.
+GateOptions QuickGate() {
+  GateOptions options;
+  GateScenario scenario;
+  scenario.name = "quick";
+  scenario.bandwidth = Mbps(24);
+  scenario.base_rtt = Milliseconds(30);
+  scenario.flows = 2;
+  scenario.until = Seconds(4.0);
+  options.suite = {scenario};
+  return options;
+}
+
+TEST(PromotionGateTest, RejectsAWorseCandidate) {
+  PromotionGate gate(QuickGate());
+  const GateReport report = gate.Compare(std::make_shared<CrippledPolicy>(),
+                                         std::make_shared<DistilledPolicy>());
+  EXPECT_FALSE(report.accepted);
+  EXPECT_EQ(report.losses, 1);
+  EXPECT_LT(report.candidate_total, report.incumbent_total);
+}
+
+TEST(PromotionGateTest, AcceptsABetterCandidate) {
+  PromotionGate gate(QuickGate());
+  const GateReport report = gate.Compare(std::make_shared<DistilledPolicy>(),
+                                         std::make_shared<CrippledPolicy>());
+  EXPECT_TRUE(report.accepted);
+  EXPECT_EQ(report.wins, 1);
+  EXPECT_GT(report.candidate_total, report.incumbent_total);
+}
+
+TEST(PromotionGateTest, TieKeepsTheIncumbent) {
+  // Identical policies score identically (Evaluate is deterministic); a tie
+  // must not trigger a pointless install.
+  PromotionGate gate(QuickGate());
+  const auto policy = std::make_shared<DistilledPolicy>();
+  const GateReport report = gate.Compare(policy, policy);
+  EXPECT_FALSE(report.accepted);
+  EXPECT_EQ(report.wins, 0);
+  EXPECT_EQ(report.losses, 0);
+  EXPECT_DOUBLE_EQ(report.candidate_total, report.incumbent_total);
+}
+
+TEST(PromotionGateTest, EvaluateIsDeterministic) {
+  PromotionGate gate(QuickGate());
+  const auto policy = std::make_shared<DistilledPolicy>();
+  const ScenarioScore a = gate.Evaluate(gate.options().suite[0], policy);
+  const ScenarioScore b = gate.Evaluate(gate.options().suite[0], policy);
+  EXPECT_EQ(a.composite, b.composite);
+  EXPECT_EQ(a.utilization, b.utilization);
+  EXPECT_EQ(a.p95_delay_ms, b.p95_delay_ms);
+}
+
+TEST(PromotionGateTest, DefaultSuiteIsTheGoldenTrio) {
+  PromotionGate gate;
+  ASSERT_EQ(gate.options().suite.size(), 3u);
+  EXPECT_EQ(gate.options().suite[0].name, "clean");
+  EXPECT_EQ(gate.options().suite[1].name, "lossy");
+  EXPECT_EQ(gate.options().suite[2].name, "red");
+}
+
+TEST(PromotionGateTest, CompareFilesRejectsAnUnparsableCandidate) {
+  // A candidate that cannot load as a trained network must error out, not
+  // silently fall back to the distilled policy and "win" (ROADMAP 1d).
+  const std::string garbage = "/tmp/astraea_promotion_garbage.ckpt";
+  {
+    std::ofstream out(garbage, std::ios::binary);
+    out << "not a checkpoint";
+  }
+  PromotionGate gate(QuickGate());
+  EXPECT_THROW(gate.CompareFiles(garbage, garbage), SerializationError);
+  std::filesystem::remove(garbage);
+}
+
+TEST(PromotionGateTest, ReportSerializesToJson) {
+  PromotionGate gate(QuickGate());
+  const GateReport report = gate.Compare(std::make_shared<DistilledPolicy>(),
+                                         std::make_shared<CrippledPolicy>());
+  const std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"accepted\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"quick\""), std::string::npos);
+  EXPECT_NE(json.find("\"utilization\""), std::string::npos);
+}
+
+TEST(AtomicInstallTest, ReplacesTheTargetBytes) {
+  const std::string candidate = "/tmp/astraea_install_candidate.bin";
+  const std::string target = "/tmp/astraea_install_target.bin";
+  {
+    std::ofstream out(candidate, std::ios::binary);
+    out << "new-policy-bytes";
+  }
+  {
+    std::ofstream out(target, std::ios::binary);
+    out << "old";
+  }
+  AtomicInstall(candidate, target);
+  std::ifstream in(target, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  EXPECT_EQ(bytes, "new-policy-bytes");
+  EXPECT_FALSE(std::filesystem::exists(target + ".tmp"));
+  std::filesystem::remove(candidate);
+  std::filesystem::remove(target);
+}
+
+TEST(AtomicInstallTest, MissingCandidateThrowsAndLeavesTargetIntact) {
+  const std::string target = "/tmp/astraea_install_keep.bin";
+  {
+    std::ofstream out(target, std::ios::binary);
+    out << "incumbent";
+  }
+  EXPECT_THROW(AtomicInstall("/tmp/astraea_no_such_candidate.bin", target),
+               SerializationError);
+  std::ifstream in(target, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  EXPECT_EQ(bytes, "incumbent");
+  std::filesystem::remove(target);
+}
+
+}  // namespace
+}  // namespace astraea

@@ -1,0 +1,110 @@
+// astraea_promote: checkpoint promotion gate CLI (DESIGN.md §14).
+//
+//   astraea_promote --candidate new.ckpt --incumbent models/astraea_policy.ckpt
+//                   [--install] [--json report.json]
+//
+// Scores the candidate against the incumbent on the golden scenario suite
+// (utilization, Jain fairness, p95 delay, loss — see src/train/promotion.h).
+// Without --install this is a dry run: the verdict is printed and nothing is
+// written. With --install, an accepted candidate atomically replaces the
+// incumbent file (tmp + fsync + rename), which is exactly the artifact
+// astraea_serve hot-reloads on SIGHUP.
+//
+// Exit codes: 0 accept, 2 reject, 1 error (unreadable candidate, I/O).
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "src/train/promotion.h"
+
+namespace astraea {
+namespace {
+
+int Main(int argc, char** argv) {
+  std::string candidate;
+  std::string incumbent;
+  std::string json_path;
+  bool install = false;
+
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", argv[i]);
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--candidate") == 0) {
+      candidate = next();
+    } else if (std::strcmp(argv[i], "--incumbent") == 0) {
+      incumbent = next();
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json_path = next();
+    } else if (std::strcmp(argv[i], "--install") == 0) {
+      install = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 1;
+    }
+  }
+  if (candidate.empty() || incumbent.empty()) {
+    std::fprintf(stderr,
+                 "usage: astraea_promote --candidate PATH --incumbent PATH"
+                 " [--install] [--json PATH]\n");
+    return 1;
+  }
+
+  PromotionGate gate;
+  GateReport report;
+  try {
+    report = gate.CompareFiles(candidate, incumbent);
+  } catch (const SerializationError& e) {
+    std::fprintf(stderr, "promotion gate error: %s\n", e.what());
+    return 1;
+  }
+
+  const std::string json = report.ToJson();
+  if (!json_path.empty()) {
+    std::FILE* out = std::fopen(json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(out, "%s\n", json.c_str());
+    std::fclose(out);
+  }
+
+  for (const GateScenarioResult& r : report.scenarios) {
+    std::printf("  %-8s candidate %+.4f  incumbent %+.4f  (util %.3f/%.3f, jain %.3f/%.3f,"
+                " p95 %.1f/%.1f ms)\n",
+                r.name.c_str(), r.candidate.composite, r.incumbent.composite,
+                r.candidate.utilization, r.incumbent.utilization, r.candidate.jain,
+                r.incumbent.jain, r.candidate.p95_delay_ms, r.incumbent.p95_delay_ms);
+  }
+  std::printf("totals: candidate %+.4f vs incumbent %+.4f (%d wins, %d losses)\n",
+              report.candidate_total, report.incumbent_total, report.wins, report.losses);
+
+  if (!report.accepted) {
+    std::printf("verdict: REJECT — %s\n", report.reason.c_str());
+    return 2;
+  }
+  std::printf("verdict: ACCEPT — %s\n", report.reason.c_str());
+  if (install) {
+    try {
+      AtomicInstall(candidate, incumbent);
+    } catch (const SerializationError& e) {
+      std::fprintf(stderr, "install failed: %s\n", e.what());
+      return 1;
+    }
+    std::printf("installed %s -> %s\n", candidate.c_str(), incumbent.c_str());
+  } else {
+    std::printf("dry run (pass --install to replace the incumbent)\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace astraea
+
+int main(int argc, char** argv) { return astraea::Main(argc, argv); }

@@ -2,146 +2,61 @@
 //
 //   astraea_train --episodes 80 --out models/astraea_policy.ckpt [--seed 7]
 //                 [--episode-len 30] [--envs 4] [--print-config]
+//                 [--workers N] [--shards 8] [--randomize]
 //                 [--resume models/astraea_policy.ckpt.state-40]
 //                 [--checkpoint-every 10] [--keep 3]
 //                 [--metrics-out train_metrics.jsonl]
+//                 [--promote-against models/astraea_policy.ckpt]
+//
+// Without --workers, training runs the original serial Learner. With
+// --workers N (N >= 1) it runs the vectorized trainer (DESIGN.md §14):
+// --envs parallel actor environments on N threads feeding one TD3 learner
+// through a sharded replay buffer with a deterministic interleave — results
+// are bit-identical for every N, so --workers only changes wall-clock.
+// --randomize widens episode sampling from the Table-3 ranges to the full
+// scenario-family domain (loss, RED/CoDel, LTE-like rate traces).
 //
 // --metrics-out appends one JSON object per episode (reward components, TD
 // losses, gradient norms, replay occupancy) plus a final registry snapshot —
 // the machine-readable twin of the stdout table.
 //
-// Episodes are sampled from the Table-3 ranges (bandwidth 40-160 Mbps, RTT
-// 10-140 ms, buffer 0.1-16 BDP, 2-5 flows with heterogeneous RTTs and Poisson
-// arrivals). Every 5 s of environment time the learner performs 20 TD3
-// updates on the shared replay buffer. Every 10 episodes a deterministic
-// 3-flow evaluation reports the average Jain index.
-//
 // Crash safety: every --checkpoint-every episodes the full training state
-// (networks, optimizers, replay buffer, RNG stream, episode counter) is
+// (networks, optimizers, replay buffer, RNG streams, actor cursors) is
 // written atomically to "<out>.state-<episode>", keeping the last --keep
 // files. --episodes is the TOTAL target, so after a crash, rerunning the
 // same command with --resume pointing at the newest state file continues to
 // the same end state — bit-identical to a run that was never interrupted.
+//
+// --promote-against runs the promotion gate (src/train/promotion.h) after
+// training: the freshly saved --out candidate is scored against the named
+// incumbent on the golden scenario suite and, only on an accept verdict,
+// atomically installed over it (the file astraea_serve hot-reloads on
+// SIGHUP).
 
 #include <cstdio>
 #include <cstring>
 #include <deque>
+#include <functional>
 #include <string>
 
 #include "src/core/learner.h"
+#include "src/train/promotion.h"
+#include "src/train/vectorized_trainer.h"
 #include "src/util/cli_flags.h"
 #include "src/util/metrics.h"
 
 namespace astraea {
 namespace {
 
-int Main(int argc, char** argv) {
-  int episodes = 60;
-  int env_instances = 1;
-  double episode_len_s = 30.0;
-  std::string out = "models/astraea_policy.ckpt";
-  std::string resume;
-  int checkpoint_every = 10;
-  int keep = 3;
-  uint64_t seed = 7;
-  bool print_config = false;
-  std::string metrics_out;
-
-  for (int i = 1; i < argc; ++i) {
-    auto next = [&]() -> const char* {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "missing value for %s\n", argv[i]);
-        std::exit(1);
-      }
-      return argv[++i];
-    };
-    if (std::strcmp(argv[i], "--episodes") == 0) {
-      episodes = static_cast<int>(cli::ParseInt("--episodes", next(), 1, 1'000'000));
-    } else if (std::strcmp(argv[i], "--episode-len") == 0) {
-      episode_len_s = cli::ParseDouble("--episode-len", next(), 0.1, 36000.0);
-    } else if (std::strcmp(argv[i], "--envs") == 0) {
-      env_instances = static_cast<int>(cli::ParseInt("--envs", next(), 1, 64));
-    } else if (std::strcmp(argv[i], "--out") == 0) {
-      out = next();
-    } else if (std::strcmp(argv[i], "--resume") == 0) {
-      resume = next();
-    } else if (std::strcmp(argv[i], "--checkpoint-every") == 0) {
-      checkpoint_every = static_cast<int>(cli::ParseInt("--checkpoint-every", next(), 0, 1'000'000));
-    } else if (std::strcmp(argv[i], "--keep") == 0) {
-      keep = static_cast<int>(cli::ParseInt("--keep", next(), 1, 1000));
-    } else if (std::strcmp(argv[i], "--seed") == 0) {
-      seed = cli::ParseU64("--seed", next());
-    } else if (std::strcmp(argv[i], "--metrics-out") == 0) {
-      metrics_out = next();
-    } else if (std::strcmp(argv[i], "--print-config") == 0) {
-      print_config = true;
-    } else {
-      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
-      return 1;
-    }
-  }
-
-  LearnerConfig config;
-  config.seed = seed;
-  config.episode_length = Seconds(episode_len_s);
-  config.env_instances = env_instances;
-  // Pin the noise schedule to the total target so checkpointed/resumed runs
-  // and straight-through runs follow identical decay.
-  config.exploration_decay_episodes = episodes;
-
-  if (print_config) {
-    std::printf("%s", DescribeConfig(config.hp, config.ranges).c_str());
-    return 0;
-  }
-
-  Learner learner(config);
-  if (!resume.empty()) {
-    try {
-      learner.LoadState(resume);
-    } catch (const SerializationError& e) {
-      std::fprintf(stderr, "cannot resume from %s: %s\n", resume.c_str(), e.what());
-      return 1;
-    }
-    std::printf("resumed from %s at episode %d\n", resume.c_str(), learner.episodes_done());
-  }
-  const int remaining = episodes - learner.episodes_done();
-  if (remaining <= 0) {
-    std::printf("checkpoint already at episode %d >= target %d; nothing to do\n",
-                learner.episodes_done(), episodes);
-    return 0;
-  }
-
-  std::printf("training Astraea to episode %d (%d to go, episode length %.0fs)\n", episodes,
-              remaining, episode_len_s);
-  std::printf("%-8s %-12s %-10s %-10s %-12s %-10s\n", "episode", "mean_reward", "r_fair",
-              "r_thr", "critic_loss", "eval_jain");
-
-  // Last-K rotation of full-state checkpoints written by this process. Files
-  // from a previous (crashed) run are left alone — the one being resumed
-  // from must survive, and a rerun regenerates the same episodes anyway.
-  std::deque<std::string> state_files;
-  auto save_state = [&](int episode) {
-    const std::string path = out + ".state-" + std::to_string(episode);
-    learner.SaveState(path);
-    state_files.push_back(path);
-    while (static_cast<int>(state_files.size()) > keep) {
-      std::remove(state_files.front().c_str());
-      state_files.pop_front();
-    }
-    return path;
-  };
-
+struct EpisodePrinter {
   std::FILE* metrics_file = nullptr;
-  if (!metrics_out.empty()) {
-    metrics_file = std::fopen(metrics_out.c_str(), "w");
-    if (metrics_file == nullptr) {
-      std::fprintf(stderr, "cannot open --metrics-out file: %s\n", metrics_out.c_str());
-      return 1;
-    }
-  }
-
   double best_jain = -1.0;
-  learner.Train(remaining, [&](const EpisodeDiagnostics& d) {
+  std::function<void(const std::string&)> save_policy;   // called on eval improvements
+  std::function<std::string(int)> save_state;            // returns the state path
+  int checkpoint_every = 10;
+  std::string out;
+
+  void operator()(const EpisodeDiagnostics& d) {
     if (metrics_file != nullptr) {
       std::fprintf(metrics_file,
                    "{\"episode\":%d,\"mean_reward\":%.6g,\"r_thr\":%.6g,\"r_lat\":%.6g,"
@@ -162,34 +77,243 @@ int Main(int argc, char** argv) {
       std::printf("%-10.4f", d.eval_jain);
       if (d.eval_jain > best_jain) {
         best_jain = d.eval_jain;
-        learner.SaveCheckpoint(out);
+        save_policy(out);
         std::printf("  [checkpoint saved]");
       }
     }
     if (checkpoint_every > 0 && d.episode % checkpoint_every == 0) {
-      const std::string path = save_state(d.episode);
-      std::printf("  [state %s]", path.c_str());
+      std::printf("  [state %s]", save_state(d.episode).c_str());
     }
     std::printf("\n");
     std::fflush(stdout);
-  });
+  }
+};
 
-  // Leave a resumable state file at the exact end of the run, plus a final
-  // policy artifact if evaluation never improved.
-  if (checkpoint_every > 0 && learner.episodes_done() % checkpoint_every != 0) {
-    save_state(learner.episodes_done());
+int RunPromotion(const std::string& candidate, const std::string& incumbent) {
+  PromotionGate gate;
+  GateReport report;
+  try {
+    report = gate.CompareFiles(candidate, incumbent);
+  } catch (const SerializationError& e) {
+    std::fprintf(stderr, "promotion gate error: %s\n", e.what());
+    return 1;
   }
-  if (best_jain < 0.0) {
-    learner.SaveCheckpoint(out);
+  std::printf("promotion gate: %s\n", report.ToJson().c_str());
+  if (!report.accepted) {
+    std::printf("verdict: REJECT (%s); incumbent %s kept\n", report.reason.c_str(),
+                incumbent.c_str());
+    return 0;
   }
+  try {
+    AtomicInstall(candidate, incumbent);
+  } catch (const SerializationError& e) {
+    std::fprintf(stderr, "install failed: %s\n", e.what());
+    return 1;
+  }
+  std::printf("verdict: ACCEPT (%s); installed %s -> %s\n", report.reason.c_str(),
+              candidate.c_str(), incumbent.c_str());
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  int episodes = 60;
+  int env_instances = 1;
+  double episode_len_s = 30.0;
+  std::string out = "models/astraea_policy.ckpt";
+  std::string resume;
+  int checkpoint_every = 10;
+  int keep = 3;
+  uint64_t seed = 7;
+  bool print_config = false;
+  std::string metrics_out;
+  int workers = -1;  // <0: serial Learner path
+  int shards = 8;
+  bool randomize = false;
+  std::string promote_against;
+
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", argv[i]);
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--episodes") == 0) {
+      episodes = static_cast<int>(cli::ParseInt("--episodes", next(), 1, 1'000'000));
+    } else if (std::strcmp(argv[i], "--episode-len") == 0) {
+      episode_len_s = cli::ParseDouble("--episode-len", next(), 0.1, 36000.0);
+    } else if (std::strcmp(argv[i], "--envs") == 0) {
+      env_instances = static_cast<int>(cli::ParseInt("--envs", next(), 1, 64));
+    } else if (std::strcmp(argv[i], "--workers") == 0) {
+      workers = static_cast<int>(cli::ParseInt("--workers", next(), 1, 256));
+    } else if (std::strcmp(argv[i], "--shards") == 0) {
+      shards = static_cast<int>(cli::ParseInt("--shards", next(), 1, 1024));
+    } else if (std::strcmp(argv[i], "--randomize") == 0) {
+      randomize = true;
+    } else if (std::strcmp(argv[i], "--promote-against") == 0) {
+      promote_against = next();
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      out = next();
+    } else if (std::strcmp(argv[i], "--resume") == 0) {
+      resume = next();
+    } else if (std::strcmp(argv[i], "--checkpoint-every") == 0) {
+      checkpoint_every = static_cast<int>(cli::ParseInt("--checkpoint-every", next(), 0, 1'000'000));
+    } else if (std::strcmp(argv[i], "--keep") == 0) {
+      keep = static_cast<int>(cli::ParseInt("--keep", next(), 1, 1000));
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      seed = cli::ParseU64("--seed", next());
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0) {
+      metrics_out = next();
+    } else if (std::strcmp(argv[i], "--print-config") == 0) {
+      print_config = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 1;
+    }
+  }
+
+  if (print_config) {
+    LearnerConfig config;
+    std::printf("%s", DescribeConfig(config.hp, config.ranges).c_str());
+    return 0;
+  }
+
+  std::FILE* metrics_file = nullptr;
+  if (!metrics_out.empty()) {
+    metrics_file = std::fopen(metrics_out.c_str(), "w");
+    if (metrics_file == nullptr) {
+      std::fprintf(stderr, "cannot open --metrics-out file: %s\n", metrics_out.c_str());
+      return 1;
+    }
+  }
+
+  // Last-K rotation of full-state checkpoints written by this process. Files
+  // from a previous (crashed) run are left alone — the one being resumed
+  // from must survive, and a rerun regenerates the same episodes anyway.
+  std::deque<std::string> state_files;
+  auto rotate = [&](const std::string& path) {
+    state_files.push_back(path);
+    while (static_cast<int>(state_files.size()) > keep) {
+      std::remove(state_files.front().c_str());
+      state_files.pop_front();
+    }
+    return path;
+  };
+
+  EpisodePrinter printer;
+  printer.metrics_file = metrics_file;
+  printer.checkpoint_every = checkpoint_every;
+  printer.out = out;
+
+  int episodes_done_at_end = 0;
+  if (workers >= 1) {
+    VectorizedTrainerConfig config;
+    config.seed = seed;
+    config.episode_length = Seconds(episode_len_s);
+    config.num_envs = env_instances;
+    config.workers = static_cast<size_t>(workers);
+    config.replay_shards = static_cast<size_t>(shards);
+    config.domain = randomize ? DomainRanges::Extended() : DomainRanges::TableThree();
+    config.exploration_decay_episodes = episodes;
+
+    VectorizedTrainer trainer(config);
+    if (!resume.empty()) {
+      try {
+        trainer.LoadState(resume);
+      } catch (const SerializationError& e) {
+        std::fprintf(stderr, "cannot resume from %s: %s\n", resume.c_str(), e.what());
+        return 1;
+      }
+      std::printf("resumed from %s at episode %d\n", resume.c_str(), trainer.episodes_done());
+    }
+    const int remaining = episodes - trainer.episodes_done();
+    if (remaining <= 0) {
+      std::printf("checkpoint already at episode %d >= target %d; nothing to do\n",
+                  trainer.episodes_done(), episodes);
+      return 0;
+    }
+    std::printf(
+        "training Astraea to episode %d (%d to go, %d envs, %d workers, %s domain, episode "
+        "length %.0fs)\n",
+        episodes, remaining, env_instances, workers, randomize ? "extended" : "table-3",
+        episode_len_s);
+    std::printf("%-8s %-12s %-10s %-10s %-12s %-10s\n", "episode", "mean_reward", "r_fair",
+                "r_thr", "critic_loss", "eval_jain");
+    printer.save_policy = [&trainer](const std::string& path) { trainer.SaveCheckpoint(path); };
+    printer.save_state = [&trainer, &out, &rotate](int episode) {
+      const std::string path = out + ".state-" + std::to_string(episode);
+      trainer.SaveState(path);
+      return rotate(path);
+    };
+    trainer.Train(remaining, std::ref(printer));
+    if (checkpoint_every > 0 && trainer.episodes_done() % checkpoint_every != 0) {
+      printer.save_state(trainer.episodes_done());
+    }
+    if (printer.best_jain < 0.0) {
+      trainer.SaveCheckpoint(out);
+    }
+    episodes_done_at_end = trainer.episodes_done();
+    std::printf("state fingerprint: %08x (env steps %llu)\n", trainer.StateFingerprint(),
+                static_cast<unsigned long long>(trainer.total_env_steps()));
+  } else {
+    LearnerConfig config;
+    config.seed = seed;
+    config.episode_length = Seconds(episode_len_s);
+    config.env_instances = env_instances;
+    // Pin the noise schedule to the total target so checkpointed/resumed runs
+    // and straight-through runs follow identical decay.
+    config.exploration_decay_episodes = episodes;
+
+    Learner learner(config);
+    if (!resume.empty()) {
+      try {
+        learner.LoadState(resume);
+      } catch (const SerializationError& e) {
+        std::fprintf(stderr, "cannot resume from %s: %s\n", resume.c_str(), e.what());
+        return 1;
+      }
+      std::printf("resumed from %s at episode %d\n", resume.c_str(), learner.episodes_done());
+    }
+    const int remaining = episodes - learner.episodes_done();
+    if (remaining <= 0) {
+      std::printf("checkpoint already at episode %d >= target %d; nothing to do\n",
+                  learner.episodes_done(), episodes);
+      return 0;
+    }
+    std::printf("training Astraea to episode %d (%d to go, episode length %.0fs)\n", episodes,
+                remaining, episode_len_s);
+    std::printf("%-8s %-12s %-10s %-10s %-12s %-10s\n", "episode", "mean_reward", "r_fair",
+                "r_thr", "critic_loss", "eval_jain");
+    printer.save_policy = [&learner](const std::string& path) { learner.SaveCheckpoint(path); };
+    printer.save_state = [&learner, &out, &rotate](int episode) {
+      const std::string path = out + ".state-" + std::to_string(episode);
+      learner.SaveState(path);
+      return rotate(path);
+    };
+    learner.Train(remaining, std::ref(printer));
+    if (checkpoint_every > 0 && learner.episodes_done() % checkpoint_every != 0) {
+      printer.save_state(learner.episodes_done());
+    }
+    if (printer.best_jain < 0.0) {
+      learner.SaveCheckpoint(out);
+    }
+    episodes_done_at_end = learner.episodes_done();
+  }
+
   if (metrics_file != nullptr) {
-    // Final line: the whole process-wide registry (learner.* gauges and
-    // histograms, inference.* if any ran) as one JSON object.
+    // Final line: the whole process-wide registry (learner.*/train.* gauges
+    // and histograms, inference.* if any ran) as one JSON object.
     std::fprintf(metrics_file, "{\"registry\":%s}\n",
                  MetricsRegistry::Global().ToJson().c_str());
     std::fclose(metrics_file);
   }
-  std::printf("done; best eval Jain %.4f; checkpoint: %s\n", best_jain, out.c_str());
+  std::printf("done at episode %d; best eval Jain %.4f; checkpoint: %s\n", episodes_done_at_end,
+              printer.best_jain, out.c_str());
+
+  if (!promote_against.empty()) {
+    return RunPromotion(out, promote_against);
+  }
   return 0;
 }
 
