@@ -4,32 +4,55 @@
 // throughput vs normalized-delay summary for all schemes.
 //
 // Substitution note (DESIGN.md): the Verizon LTE trace is replaced by a
-// synthetic LTE-like trace with the same qualitative dynamics.
+// synthetic LTE-like trace with the same qualitative dynamics. Pass
+// --trace[=PATH] to replay a Mahimahi capture instead (default: the bundled
+// traces/cellular.trace).
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "bench/harness/metrics.h"
 #include "bench/harness/scenario.h"
 #include "bench/harness/table.h"
 
+#ifndef ASTRAEA_SOURCE_DIR
+#define ASTRAEA_SOURCE_DIR "."
+#endif
+
 namespace astraea {
 namespace {
-
-std::shared_ptr<RateTrace> CellTrace(TimeNs duration, uint64_t seed) {
-  Rng rng(seed);
-  return std::make_shared<RateTrace>(
-      MakeLteLikeTrace(duration, Milliseconds(20), Mbps(1), Mbps(60), &rng));
-}
 
 int Main(int argc, char** argv) {
   const bool quick = QuickMode(argc, argv);
   const TimeNs until = Seconds(quick ? 25.0 : 60.0);
   const int reps = BenchReps(2);
 
+  // --trace[=PATH]: replay a Mahimahi capture instead of the synthetic trace.
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0) {
+      trace_path = std::string(ASTRAEA_SOURCE_DIR) + "/traces/cellular.trace";
+    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      trace_path = argv[i] + 8;
+    }
+  }
+  auto cell_trace = [&](TimeNs duration, uint64_t seed) {
+    if (!trace_path.empty()) {
+      return std::make_shared<RateTrace>(LoadMahimahiTrace(trace_path));
+    }
+    Rng rng(seed);
+    return std::make_shared<RateTrace>(
+        MakeLteLikeTrace(duration, Milliseconds(20), Mbps(1), Mbps(60), &rng));
+  };
+  if (!trace_path.empty()) {
+    std::printf("replaying Mahimahi trace: %s\n\n", trace_path.c_str());
+  }
+
   PrintBenchHeader("Figure 13", "Adaptation to rapidly changing cellular capacity "
                                 "(Astraea vs Vivace timeline)");
   {
-    auto trace = CellTrace(until, 99);
+    auto trace = cell_trace(until, 99);
     std::printf("%7s  %12s  %14s  %13s\n", "t(s)", "capacity(Mbps)", "astraea(Mbps)",
                 "vivace(Mbps)");
     auto run = [&](const std::string& scheme) {
@@ -65,7 +88,7 @@ int Main(int argc, char** argv) {
       DumbbellConfig config;
       config.base_rtt = Milliseconds(40);
       config.buffer_bdp = 20.0;
-      config.trace = CellTrace(until, 200 + static_cast<uint64_t>(rep));
+      config.trace = cell_trace(until, 200 + static_cast<uint64_t>(rep));
       config.seed = 77 + static_cast<uint64_t>(rep);
       DumbbellScenario scenario(config);
       scenario.AddFlow(scheme, 0);

@@ -105,6 +105,27 @@ std::vector<double> FlowMeanThroughputs(const Network& net, TimeNs begin, TimeNs
   return out;
 }
 
+double WorstFlowShare(const std::vector<double>& throughputs_mbps) {
+  if (throughputs_mbps.empty()) {
+    return 1.0;
+  }
+  double sum = 0.0;
+  double worst = throughputs_mbps.front();
+  for (const double thr : throughputs_mbps) {
+    sum += thr;
+    worst = std::min(worst, thr);
+  }
+  const double fair = sum / static_cast<double>(throughputs_mbps.size());
+  return fair > 0.0 ? worst / fair : 1.0;
+}
+
+double HarmIndex(double baseline_mbps, double actual_mbps) {
+  if (baseline_mbps <= 0.0) {
+    return 0.0;
+  }
+  return std::max(0.0, 1.0 - actual_mbps / baseline_mbps);
+}
+
 void WriteFlowStatsCsv(const Network& net, const std::string& path) {
   std::ofstream out(path);
   if (!out) {

@@ -32,6 +32,19 @@ double AggregateLossRatio(const Network& net);
 // Per-flow mean throughput (Mbps) over [begin, end).
 std::vector<double> FlowMeanThroughputs(const Network& net, TimeNs begin, TimeNs end);
 
+// Fair-Aurora-style fairness scores for the cross-scheme competition matrix.
+//
+// Worst-flow share: min(throughput) / fair share (= mean). 1.0 is perfectly
+// fair; 0.0 means some flow was starved outright. Complements Jain, which
+// can stay high while one of many flows starves.
+double WorstFlowShare(const std::vector<double>& throughputs_mbps);
+
+// Harm of the competition on a flow: how far `actual` falls below the
+// `baseline` it achieves against an equal-RTT copy of itself (the
+// self-competition fair share). 0 = unharmed, 1 = starved; negative harm
+// (doing better than baseline) clamps to 0.
+double HarmIndex(double baseline_mbps, double actual_mbps);
+
 // Dumps every flow's per-MTP series as CSV (columns: time_s, flow, scheme,
 // throughput_mbps, rtt_ms, cwnd_pkts) for offline plotting.
 void WriteFlowStatsCsv(const Network& net, const std::string& path);

@@ -49,18 +49,20 @@ int DumbbellScenario::AddFlowWithFactory(const std::string& label, CcFactory fac
   return network_->AddFlow(spec);
 }
 
-void DumbbellScenario::Run(TimeNs until) { network_->Run(until); }
-
-namespace {
-
-// Order-sensitive 64-bit combiner (boost::hash_combine layout over a
-// SplitMix-style constant). Not cryptographic — just collision-resistant
-// enough that a perturbed simulation can't plausibly produce the same digest.
-uint64_t MixFingerprint(uint64_t h, uint64_t v) {
-  return h ^ (v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2));
+int DumbbellScenario::AddFlowWithConfig(const std::string& scheme, SenderConfig sender,
+                                        TimeNs start, TimeNs duration, TimeNs extra_rtt) {
+  FlowSpec spec;
+  spec.scheme = scheme;
+  spec.make_cc = MakeSchemeFactory(scheme, &options_);
+  spec.start = start;
+  spec.duration = duration;
+  spec.extra_one_way_delay = extra_rtt;
+  spec.link_path = {0};
+  spec.sender = sender;
+  return network_->AddFlow(spec);
 }
 
-}  // namespace
+void DumbbellScenario::Run(TimeNs until) { network_->Run(until); }
 
 ShardResult RunDumbbellShard(const ShardedDumbbellConfig& config, size_t shard_index) {
   DumbbellConfig shard_config = config.shard;

@@ -30,6 +30,14 @@ struct DumbbellConfig {
 // sim_scale tests); shard i simulates with Rng::DeriveSeed(stream, i).
 inline constexpr uint64_t kSimScaleSeedStream = 0xA57AEA03;
 
+// Order-sensitive 64-bit combiner (boost::hash_combine layout over a
+// SplitMix-style constant) shared by every sharded runner. Not cryptographic
+// — just collision-resistant enough that a perturbed simulation can't
+// plausibly produce the same digest.
+inline uint64_t MixFingerprint(uint64_t h, uint64_t v) {
+  return h ^ (v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2));
+}
+
 class DumbbellScenario {
  public:
   explicit DumbbellScenario(DumbbellConfig config);
@@ -40,6 +48,10 @@ class DumbbellScenario {
               TimeNs extra_rtt = 0);
   int AddFlowWithFactory(const std::string& label, CcFactory factory, TimeNs start,
                          TimeNs duration = -1, TimeNs extra_rtt = 0);
+  // Full control over the per-flow SenderConfig (budgeted incast requests,
+  // non-default MTP/MSS).
+  int AddFlowWithConfig(const std::string& scheme, SenderConfig sender, TimeNs start,
+                        TimeNs duration = -1, TimeNs extra_rtt = 0);
 
   void Run(TimeNs until);
 

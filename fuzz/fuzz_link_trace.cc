@@ -1,0 +1,47 @@
+// Fuzz target: the Mahimahi link-trace parser (src/sim/link_trace.h).
+// Contract under arbitrary bytes: ParseLinkRateTrace either returns a valid
+// trace or throws SerializationError — never crashes. A returned trace must
+// satisfy the format's invariants (non-empty, non-decreasing, bounded), and
+// its canonical text form must parse back to an equal trace (round-trip
+// identity), with canonicalization a fixpoint.
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/sim/link_trace.h"
+#include "src/util/serialization.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  astraea::LinkRateTrace trace;
+  try {
+    trace = astraea::ParseLinkRateTrace(data, size);
+  } catch (const astraea::SerializationError&) {
+    return 0;  // Expected for malformed input.
+  }
+  // Accepted input: check the parser enforced its own invariants.
+  if (trace.opportunities_ms.empty() ||
+      trace.opportunities_ms.size() > astraea::kMaxLinkTraceOpportunities) {
+    std::abort();
+  }
+  int64_t prev = 0;
+  for (const int64_t t : trace.opportunities_ms) {
+    if (t < prev || t > astraea::kMaxLinkTraceMs) {
+      std::abort();  // parser let a decreasing/out-of-range timestamp through
+    }
+    prev = t;
+  }
+  // Round trip: canonical form must parse back to an equal trace, and must
+  // itself be canonical (fixpoint).
+  const std::string canon = astraea::CanonicalLinkRateTrace(trace);
+  const astraea::LinkRateTrace reparsed =
+      astraea::ParseLinkRateTrace(canon.data(), canon.size());
+  if (!(reparsed == trace)) {
+    std::abort();
+  }
+  if (astraea::CanonicalLinkRateTrace(reparsed) != canon) {
+    std::abort();
+  }
+  return 0;
+}

@@ -20,7 +20,7 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
       std::abort();  // parser accepted a partial record
     }
     for (const astraea::TraceEvent& ev : events) {
-      if (static_cast<uint8_t>(ev.type) > static_cast<uint8_t>(astraea::TraceEventType::kAction)) {
+      if (static_cast<uint8_t>(ev.type) > static_cast<uint8_t>(astraea::TraceEventType::kEcnMark)) {
         std::abort();  // parser let an unknown type tag through
       }
     }

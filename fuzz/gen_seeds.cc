@@ -195,6 +195,21 @@ int Main(int argc, char** argv) {
     WriteFile(net_dir / "fin_trailing_byte.bin", fin_trailing);
   }
 
+  // fuzz_link_trace: well-formed Mahimahi traces plus canonical rejects
+  // (comments/CRLF are accepted on input; the rest must throw).
+  const auto lt_dir = root / "fuzz_link_trace";
+  std::filesystem::create_directories(lt_dir);
+  WriteFile(lt_dir / "valid.trace", "0\n0\n3\n3\n3\n20\n40\n40\n");
+  WriteFile(lt_dir / "comments_crlf.trace", "# capture\r\n\r\n5\r\n7\r\n# mid\r\n9\r\n");
+  WriteFile(lt_dir / "single.trace", "17\n");
+  WriteFile(lt_dir / "no_trailing_newline.trace", "1\n2\n3");
+  WriteFile(lt_dir / "decreasing.trace", "5\n4\n");
+  WriteFile(lt_dir / "garbage.trace", "12monkeys\n");
+  WriteFile(lt_dir / "negative.trace", "-3\n");
+  WriteFile(lt_dir / "too_large.trace", "99999999999\n");
+  WriteFile(lt_dir / "empty.trace", "");
+  WriteFile(lt_dir / "comment_only.trace", "# nothing here\n");
+
   // fuzz_cli_flags: representative accepted/rejected tokens.
   const auto cli_dir = root / "fuzz_cli_flags";
   std::filesystem::create_directories(cli_dir);

@@ -1,0 +1,84 @@
+#include "src/cc/dctcp.h"
+
+#include <algorithm>
+
+namespace astraea {
+
+namespace {
+// DCTCP's recommended EWMA gain for the marked-fraction estimate.
+constexpr double kG = 1.0 / 16.0;
+}  // namespace
+
+void Dctcp::OnFlowStart(TimeNs /*now*/, uint32_t mss) {
+  mss_ = mss;
+  cwnd_ = 10ULL * mss_;
+  ssthresh_ = UINT64_MAX;
+  alpha_ = 0.0;
+  window_acked_bytes_ = 0;
+  window_ce_bytes_ = 0;
+  window_end_ = 0;
+}
+
+void Dctcp::AdvanceWindow(TimeNs now) {
+  if (window_end_ == 0) {
+    window_end_ = now + srtt_;
+    return;
+  }
+  if (now < window_end_ || window_acked_bytes_ == 0) {
+    return;
+  }
+  const double frac =
+      static_cast<double>(window_ce_bytes_) / static_cast<double>(window_acked_bytes_);
+  alpha_ = (1.0 - kG) * alpha_ + kG * frac;
+  if (window_ce_bytes_ > 0) {
+    // One proportional decrease per window of marked data; marks also end
+    // slow start the first time they appear.
+    const uint64_t reduced =
+        static_cast<uint64_t>(static_cast<double>(cwnd_) * (1.0 - alpha_ / 2.0));
+    cwnd_ = std::max<uint64_t>(reduced, 2ULL * mss_);
+    ssthresh_ = std::min(ssthresh_, cwnd_);
+  }
+  window_acked_bytes_ = 0;
+  window_ce_bytes_ = 0;
+  window_end_ = now + srtt_;
+}
+
+void Dctcp::OnAck(const AckEvent& ev) {
+  srtt_ = std::max<TimeNs>(ev.srtt, 1);
+  window_acked_bytes_ += ev.acked_bytes;
+  if (ev.ecn_ce) {
+    window_ce_bytes_ += ev.acked_bytes;
+  }
+  AdvanceWindow(ev.now);
+  if (ev.now < recovery_until_) {
+    return;
+  }
+  if (in_slow_start()) {
+    cwnd_ += ev.acked_bytes;
+    return;
+  }
+  ca_accumulator_ += static_cast<double>(ev.acked_bytes) * mss_ / static_cast<double>(cwnd_);
+  if (ca_accumulator_ >= mss_) {
+    cwnd_ += mss_;
+    ca_accumulator_ -= mss_;
+  }
+}
+
+void Dctcp::OnLoss(const LossEvent& ev) {
+  // Losses still exist under ECN (taildrop above the mark threshold, wire
+  // loss); react exactly like NewReno so the scheme is safe without ECN.
+  if (ev.is_timeout) {
+    ssthresh_ = std::max<uint64_t>(cwnd_ / 2, 2ULL * mss_);
+    cwnd_ = 2ULL * mss_;
+    recovery_until_ = 0;
+    return;
+  }
+  if (ev.now < recovery_until_) {
+    return;
+  }
+  ssthresh_ = std::max<uint64_t>(cwnd_ / 2, 2ULL * mss_);
+  cwnd_ = ssthresh_;
+  recovery_until_ = ev.now + srtt_;
+}
+
+}  // namespace astraea

@@ -1,0 +1,48 @@
+// DCTCP (Alizadeh et al., SIGCOMM 2010): slow start + AIMD like NewReno, but
+// the multiplicative decrease is proportional to the *fraction* of CE-marked
+// bytes, estimated with the g=1/16 EWMA over one-RTT observation windows.
+// The scheme is the ECN consumer of the datacenter scenario family: it
+// advertises EcnCapable() so the sender sets ECT and an EcnMarkingQueue can
+// mark instead of dropping. On paths without ECN it degrades to NewReno
+// behaviour (alpha stays 0, losses halve the window).
+
+#ifndef SRC_CC_DCTCP_H_
+#define SRC_CC_DCTCP_H_
+
+#include "src/sim/congestion_controller.h"
+
+namespace astraea {
+
+class Dctcp : public CongestionController {
+ public:
+  void OnFlowStart(TimeNs now, uint32_t mss) override;
+  void OnAck(const AckEvent& ev) override;
+  void OnLoss(const LossEvent& ev) override;
+
+  uint64_t cwnd_bytes() const override { return cwnd_; }
+  std::string name() const override { return "dctcp"; }
+  bool EcnCapable() const override { return true; }
+
+  double alpha() const { return alpha_; }
+  bool in_slow_start() const { return cwnd_ < ssthresh_; }
+
+ private:
+  void AdvanceWindow(TimeNs now);
+
+  uint32_t mss_ = 1500;
+  uint64_t cwnd_ = 0;
+  uint64_t ssthresh_ = UINT64_MAX;
+  TimeNs recovery_until_ = 0;
+  TimeNs srtt_ = Milliseconds(1);
+  double ca_accumulator_ = 0.0;
+
+  // Per-observation-window (~one RTT) CE accounting feeding the alpha EWMA.
+  double alpha_ = 0.0;
+  uint64_t window_acked_bytes_ = 0;
+  uint64_t window_ce_bytes_ = 0;
+  TimeNs window_end_ = 0;
+};
+
+}  // namespace astraea
+
+#endif  // SRC_CC_DCTCP_H_

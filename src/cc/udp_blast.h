@@ -1,0 +1,35 @@
+// Unresponsive constant-rate blaster: ignores every congestion signal and
+// paces at a fixed rate with an effectively unbounded window. Models the
+// background UDP traffic of the adversarial scenario family (bufferbloat
+// blasts) and gives the promotion gate a hostile competitor. Not a TCP
+// scheme — it never backs off by design.
+
+#ifndef SRC_CC_UDP_BLAST_H_
+#define SRC_CC_UDP_BLAST_H_
+
+#include "src/sim/congestion_controller.h"
+
+namespace astraea {
+
+class UdpBlast : public CongestionController {
+ public:
+  // `rate_bps` is the constant send rate; the window is capped at roughly
+  // one second's worth of data so a dead path cannot queue unbounded state.
+  explicit UdpBlast(double rate_bps) : rate_bps_(rate_bps) {}
+
+  void OnFlowStart(TimeNs /*now*/, uint32_t mss) override { mss_ = mss; }
+
+  uint64_t cwnd_bytes() const override {
+    return static_cast<uint64_t>(rate_bps_ / 8.0) + 2ULL * mss_;
+  }
+  std::optional<double> pacing_bps() const override { return rate_bps_; }
+  std::string name() const override { return "blast"; }
+
+ private:
+  double rate_bps_;
+  uint32_t mss_ = 1500;
+};
+
+}  // namespace astraea
+
+#endif  // SRC_CC_UDP_BLAST_H_

@@ -4,9 +4,11 @@
 #include "src/cc/bbr.h"
 #include "src/cc/copa.h"
 #include "src/cc/cubic.h"
+#include "src/cc/dctcp.h"
 #include "src/cc/newreno.h"
 #include "src/cc/orca.h"
 #include "src/cc/remy.h"
+#include "src/cc/udp_blast.h"
 #include "src/cc/vegas.h"
 #include "src/core/astraea_controller.h"
 #include "src/util/logging.h"
@@ -42,6 +44,13 @@ CcFactory MakeSchemeFactory(const std::string& name, SchemeOptions* options) {
   }
   if (name == "remy") {
     return [] { return std::make_unique<Remy>(); };
+  }
+  if (name == "dctcp") {
+    return [] { return std::make_unique<Dctcp>(); };
+  }
+  if (name == "blast") {
+    const double rate = options->blast_rate_bps;
+    return [rate] { return std::make_unique<UdpBlast>(rate); };
   }
   if (name == "astraea") {
     if (options->astraea_policy == nullptr) {

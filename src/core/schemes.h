@@ -21,14 +21,20 @@ struct SchemeOptions {
   // Overrides for the tuned-Vivace experiments (Fig. 2).
   VivaceConfig vivace;
   AstraeaHyperparameters astraea_hp;
+  // Constant send rate of the unresponsive "blast" pseudo-scheme (the
+  // adversarial scenarios' background UDP traffic).
+  double blast_rate_bps = 20e6;
 };
 
 // Returns a factory for `name`; aborts on unknown names (listed below).
 // Known names: newreno, cubic, vegas, bbr, copa, vivace, aurora, orca, remy,
-// astraea.
+// astraea — plus the extras outside the paper's comparison set: dctcp
+// (ECN-reactive, datacenter scenarios) and blast (unresponsive UDP blaster,
+// adversarial scenarios).
 CcFactory MakeSchemeFactory(const std::string& name, SchemeOptions* options);
 
-// All scheme names in the paper's comparison order.
+// All scheme names in the paper's comparison order (the extras dctcp/blast
+// are intentionally excluded so figure benches keep their scheme set).
 std::vector<std::string> AllSchemeNames();
 
 }  // namespace astraea

@@ -30,6 +30,9 @@ struct AckEvent {
   uint64_t acked_bytes = 0;
   uint64_t inflight_bytes = 0;  // after this ACK was processed
   double delivery_rate_bps = 0.0;  // recent goodput estimate (BBR-style)
+  // Receiver echoed a CE mark for this packet (ECN-enabled bottlenecks only;
+  // always false on paths without an EcnMarkingQueue).
+  bool ecn_ce = false;
 };
 
 struct LossEvent {
@@ -60,6 +63,10 @@ struct MtpReport {
   // measurement: a stalled flow must not feed the policy a zero-throughput
   // row that still claims a healthy latency.
   bool stalled = false;
+  // ECN accounting over the interval: CE-marked ACKed bytes, and their share
+  // of all ACKed bytes (0 on paths without an EcnMarkingQueue).
+  uint64_t ecn_ce_bytes = 0;
+  double ecn_ce_ratio = 0.0;
 };
 
 class CongestionController {
@@ -78,6 +85,12 @@ class CongestionController {
   virtual std::optional<double> pacing_bps() const { return std::nullopt; }
 
   virtual std::string name() const = 0;
+
+  // Whether the scheme reacts to CE marks. The sender sets ECT on outgoing
+  // packets only when this is true, so ECN-blind schemes keep today's
+  // drop/delay signal byte-for-byte (the marking queue never touches
+  // non-ECT packets).
+  virtual bool EcnCapable() const { return false; }
 
   // Optional event tracing: the sender forwards its tracer (and flow id) so
   // learning controllers can record per-decision events (kAction). The base

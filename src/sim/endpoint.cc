@@ -26,6 +26,7 @@ void Receiver::Accept(PacketRef ref) {
   const uint64_t seq = pkt.seq;
   const TimeNs sent = pkt.sent_time;
   const uint32_t size = pkt.size_bytes;
+  const bool ecn_ce = pkt.ecn_ce;
   pool_->Release(ref);
   received_bytes_ += size;
   if (sender_ == nullptr) {
@@ -35,9 +36,9 @@ void Receiver::Accept(PacketRef ref) {
   // lambda holds only a weak handle — if the sender is torn down before the
   // ACK lands, the handle has expired and the ACK is silently discarded.
   std::weak_ptr<Sender*> weak = sender_->weak_handle();
-  events_->ScheduleAfter(ack_return_delay_, [weak, seq, sent, size] {
+  events_->ScheduleAfter(ack_return_delay_, [weak, seq, sent, size, ecn_ce] {
     if (auto alive = weak.lock()) {
-      (*alive)->OnAckArrival(seq, sent, size);
+      (*alive)->OnAckArrival(seq, sent, size, ecn_ce);
     }
   });
 }
@@ -160,14 +161,27 @@ uint64_t Sender::EffectiveCwnd() const {
   return std::max<uint64_t>(cc_->cwnd_bytes(), 2ULL * config_.mss);
 }
 
+bool Sender::BudgetExhausted() const {
+  return config_.max_transfer_bytes > 0 && stats_.bytes_sent >= config_.max_transfer_bytes;
+}
+
+void Sender::MaybeComplete() {
+  if (config_.max_transfer_bytes == 0 || stats_.completed_at >= 0 || !BudgetExhausted() ||
+      inflight_bytes_ != 0) {
+    return;
+  }
+  stats_.completed_at = events_->now();
+  Stop();
+}
+
 void Sender::TrySend() {
-  while (running_ && inflight_bytes_ + config_.mss <= EffectiveCwnd()) {
+  while (running_ && !BudgetExhausted() && inflight_bytes_ + config_.mss <= EffectiveCwnd()) {
     SendPacket();
   }
 }
 
 void Sender::SchedulePacedSend() {
-  if (!running_ || pace_pending_) {
+  if (!running_ || pace_pending_ || BudgetExhausted()) {
     return;
   }
   if (inflight_bytes_ + config_.mss > EffectiveCwnd()) {
@@ -184,7 +198,7 @@ void Sender::SchedulePacedSend() {
     }
     Sender* self = *alive;
     self->pace_pending_ = false;
-    if (!self->running_ ||
+    if (!self->running_ || self->BudgetExhausted() ||
         self->inflight_bytes_ + self->config_.mss > self->EffectiveCwnd()) {
       return;
     }
@@ -206,6 +220,9 @@ void Sender::SendPacket() {
   pkt.sent_time = events_->now();
   pkt.route = &route_;
   pkt.hop = 0;
+  // Pool slots recycle; both ECN fields must be re-initialized every send.
+  pkt.ecn_capable = cc_->EcnCapable();
+  pkt.ecn_ce = false;
   outstanding_.push_back({pkt.seq, pkt.sent_time, pkt.size_bytes});
   inflight_bytes_ += pkt.size_bytes;
   stats_.bytes_sent += pkt.size_bytes;
@@ -244,17 +261,24 @@ void Sender::DetectGapLosses(uint64_t acked_seq) {
   }
 }
 
-void Sender::OnAckArrival(uint64_t seq, TimeNs data_sent_time, uint32_t size_bytes) {
+void Sender::OnAckArrival(uint64_t seq, TimeNs data_sent_time, uint32_t size_bytes,
+                          bool ecn_ce) {
   // ACKs arriving after Stop() still update accounting so inflight drains.
   const TimeNs now = events_->now();
   DetectGapLosses(seq);
   if (outstanding_.empty() || outstanding_.front().seq != seq) {
-    return;  // already written off by an RTO; ignore the late ACK
+    MaybeComplete();  // the gap write-off may have resolved the last bytes
+    return;           // already written off by an RTO; ignore the late ACK
   }
   outstanding_.pop_front();
   ASTRAEA_CHECK(inflight_bytes_ >= size_bytes);
   inflight_bytes_ -= size_bytes;
   stats_.bytes_acked += size_bytes;
+  interval_acked_bytes_ += size_bytes;
+  if (ecn_ce) {
+    stats_.bytes_ce_marked += size_bytes;
+    interval_ce_bytes_ += size_bytes;
+  }
   last_ack_time_ = now;
 
   const TimeNs rtt = now - data_sent_time;
@@ -273,6 +297,7 @@ void Sender::OnAckArrival(uint64_t seq, TimeNs data_sent_time, uint32_t size_byt
     ev.acked_bytes = size_bytes;
     ev.inflight_bytes = inflight_bytes_;
     ev.delivery_rate_bps = meter_.WindowedDeliveryRate(now);
+    ev.ecn_ce = ecn_ce;
     cc_->OnAck(ev);
 
     if (cc_->pacing_bps().has_value()) {
@@ -282,6 +307,7 @@ void Sender::OnAckArrival(uint64_t seq, TimeNs data_sent_time, uint32_t size_byt
     }
     ArmRtoTimer();
   }
+  MaybeComplete();
   if (invariants::Enabled()) {
     VerifyInvariants("OnAckArrival", ++audit_tick_ % kDeepAuditPeriod == 0);
   }
@@ -350,6 +376,7 @@ void Sender::OnRtoCheck(uint64_t generation) {
     TrySend();
   }
   ArmRtoTimer();
+  MaybeComplete();
   if (invariants::Enabled()) {
     VerifyInvariants("OnRtoCheck", ++audit_tick_ % kDeepAuditPeriod == 0);
   }
@@ -358,8 +385,17 @@ void Sender::OnRtoCheck(uint64_t generation) {
 void Sender::MtpTick() {
   const TimeNs now = events_->now();
 
-  const MtpReport report = meter_.BuildReport(now, config_.mtp, last_ack_time_, inflight_bytes_,
-                                              outstanding_.size(), *cc_);
+  MtpReport report = meter_.BuildReport(now, config_.mtp, last_ack_time_, inflight_bytes_,
+                                        outstanding_.size(), *cc_);
+  // ECN accounting is patched on after BuildReport so the FlowMeter itself
+  // stays identical between the simulator and the real UDP data plane.
+  report.ecn_ce_bytes = interval_ce_bytes_;
+  report.ecn_ce_ratio = interval_acked_bytes_ > 0
+                            ? static_cast<double>(interval_ce_bytes_) /
+                                  static_cast<double>(interval_acked_bytes_)
+                            : 0.0;
+  interval_ce_bytes_ = 0;
+  interval_acked_bytes_ = 0;
   last_report_ = report;
 
   stats_.throughput_mbps.Add(now, ToMbps(report.thr_bps));

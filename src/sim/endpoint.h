@@ -58,6 +58,11 @@ struct SenderConfig {
   uint32_t initial_cwnd_packets = 10;
   TimeNs mtp = Milliseconds(30);      // Monitoring Time Period (Table 4)
   TimeNs min_rto = Milliseconds(200);
+  // Request/response transfers (incast): stop emitting new data once this
+  // many bytes have been sent, and record FlowStats::completed_at when the
+  // last outstanding byte is ACKed or written off. 0 = unlimited bulk
+  // transfer (the default; existing scenarios are unaffected).
+  uint64_t max_transfer_bytes = 0;
   // min-RTT is maintained over a sliding window (kernel-style) so routing
   // changes do not pin a stale floor forever. The window is long (the kernel
   // uses minutes) because controllers re-anchor it with explicit drain
@@ -75,8 +80,13 @@ struct FlowStats {
   uint64_t bytes_sent = 0;
   uint64_t bytes_acked = 0;
   uint64_t bytes_lost = 0;
+  // ACKed bytes whose data packet carried a CE mark (ECN bottlenecks only).
+  uint64_t bytes_ce_marked = 0;
   TimeNs started_at = -1;
   TimeNs stopped_at = -1;
+  // Budgeted transfers only (SenderConfig::max_transfer_bytes > 0): when the
+  // whole request was resolved (every sent byte ACKed or declared lost).
+  TimeNs completed_at = -1;
 };
 
 class Sender {
@@ -94,8 +104,11 @@ class Sender {
   void Stop();              // stops transmitting now (inflight drains silently)
   bool running() const { return running_; }
 
-  // Called by the Receiver when an ACK arrives back.
-  void OnAckArrival(uint64_t seq, TimeNs data_sent_time, uint32_t size_bytes);
+  // Called by the Receiver when an ACK arrives back. `ecn_ce` echoes the CE
+  // mark of the data packet (RFC 3168 ECE, immediate per-packet feedback as
+  // in DCTCP); the default keeps every non-ECN call site unchanged.
+  void OnAckArrival(uint64_t seq, TimeNs data_sent_time, uint32_t size_bytes,
+                    bool ecn_ce = false);
 
   int flow_id() const { return flow_id_; }
   const FlowStats& stats() const { return stats_; }
@@ -130,6 +143,11 @@ class Sender {
   };
 
   uint64_t EffectiveCwnd() const;
+  // Budgeted transfers: true once max_transfer_bytes have been emitted.
+  bool BudgetExhausted() const;
+  // Budgeted transfers: records completed_at (once) when every sent byte has
+  // been resolved, and stops the flow so its timers disarm.
+  void MaybeComplete();
   void TrySend();                    // ACK-clocked burst send
   void SchedulePacedSend();          // paced send loop
   void SendPacket();
@@ -159,6 +177,11 @@ class Sender {
   // RTT estimators, delivery-rate window and per-MTP accumulators — the
   // measurement engine shared with the real UDP data plane (src/net).
   FlowMeter meter_;
+  // ECN interval accumulators live beside the meter (not inside it) so the
+  // FlowMeter stays bit-equivalent with the real UDP data plane, which has
+  // no ECN feedback channel.
+  uint64_t interval_ce_bytes_ = 0;
+  uint64_t interval_acked_bytes_ = 0;
   TimeNs last_ack_time_ = 0;
   uint64_t rto_generation_ = 0;
 

@@ -1,0 +1,145 @@
+#include "src/sim/link_trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "src/util/serialization.h"
+
+namespace astraea {
+
+LinkRateTrace ParseLinkRateTrace(const void* data, size_t size) {
+  const char* bytes = static_cast<const char*>(data);
+  LinkRateTrace trace;
+  size_t pos = 0;
+  size_t line_no = 0;
+  while (pos < size) {
+    size_t eol = pos;
+    while (eol < size && bytes[eol] != '\n') {
+      ++eol;
+    }
+    size_t len = eol - pos;
+    if (len > 0 && bytes[pos + len - 1] == '\r') {
+      --len;  // CRLF
+    }
+    ++line_no;
+    const char* line = bytes + pos;
+    pos = eol + 1;
+    if (len == 0 || line[0] == '#') {
+      continue;
+    }
+    int64_t value = 0;
+    for (size_t i = 0; i < len; ++i) {
+      const char c = line[i];
+      if (c < '0' || c > '9') {
+        throw SerializationError("link trace line " + std::to_string(line_no) +
+                                 ": non-digit byte in timestamp");
+      }
+      value = value * 10 + (c - '0');
+      if (value > kMaxLinkTraceMs) {
+        throw SerializationError("link trace line " + std::to_string(line_no) +
+                                 ": timestamp exceeds " + std::to_string(kMaxLinkTraceMs) +
+                                 " ms");
+      }
+    }
+    if (!trace.opportunities_ms.empty() && value < trace.opportunities_ms.back()) {
+      throw SerializationError("link trace line " + std::to_string(line_no) +
+                               ": timestamp " + std::to_string(value) +
+                               " ms decreases (previous " +
+                               std::to_string(trace.opportunities_ms.back()) + " ms)");
+    }
+    if (trace.opportunities_ms.size() >= kMaxLinkTraceOpportunities) {
+      throw SerializationError("link trace exceeds " +
+                               std::to_string(kMaxLinkTraceOpportunities) + " opportunities");
+    }
+    trace.opportunities_ms.push_back(value);
+  }
+  if (trace.opportunities_ms.empty()) {
+    throw SerializationError("link trace has no delivery opportunities");
+  }
+  return trace;
+}
+
+std::string CanonicalLinkRateTrace(const LinkRateTrace& trace) {
+  std::string out;
+  out.reserve(trace.opportunities_ms.size() * 8);
+  char buf[32];
+  for (const int64_t ms : trace.opportunities_ms) {
+    const int n = std::snprintf(buf, sizeof(buf), "%lld\n", static_cast<long long>(ms));
+    out.append(buf, static_cast<size_t>(n));
+  }
+  return out;
+}
+
+LinkRateTrace LoadLinkRateTraceFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw SerializationError("cannot open trace file: " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) {
+    throw SerializationError("trace read failed: " + path);
+  }
+  const std::string contents = buf.str();
+  try {
+    return ParseLinkRateTrace(contents.data(), contents.size());
+  } catch (const SerializationError& e) {
+    throw SerializationError(path + ": " + e.what());
+  }
+}
+
+void SaveLinkRateTraceFile(const LinkRateTrace& trace, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw SerializationError("cannot open trace file for writing: " + path);
+  }
+  const std::string text = CanonicalLinkRateTrace(trace);
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  out.flush();
+  if (!out.good()) {
+    throw SerializationError("trace write failed (disk full?): " + path);
+  }
+}
+
+RateTrace ToRateTrace(const LinkRateTrace& trace, uint32_t mtu_bytes, TimeNs granularity) {
+  // Identical bucketing to the original LoadMahimahiTrace: count
+  // opportunities per slot, floor empty slots at 1 Kbps.
+  std::map<int64_t, int64_t> slot_counts;
+  int64_t max_ms = 0;
+  for (const int64_t ms : trace.opportunities_ms) {
+    max_ms = std::max(max_ms, ms);
+    slot_counts[Milliseconds(ms) / granularity] += 1;
+  }
+  const int64_t slots = Milliseconds(max_ms) / granularity + 1;
+  std::vector<std::pair<TimeNs, RateBps>> steps;
+  steps.reserve(static_cast<size_t>(slots));
+  const double slot_seconds = ToSeconds(granularity);
+  for (int64_t s = 0; s < slots; ++s) {
+    const auto it = slot_counts.find(s);
+    const double pkts = it != slot_counts.end() ? static_cast<double>(it->second) : 0.0;
+    const double bps = std::max(pkts * mtu_bytes * 8.0 / slot_seconds, Kbps(1.0));
+    steps.emplace_back(s * granularity, bps);
+  }
+  return RateTrace(std::move(steps));
+}
+
+LinkRateTrace FromRateTrace(const RateTrace& trace, TimeNs duration, uint32_t mtu_bytes) {
+  // 1 ms credit walk mirroring SaveMahimahiTrace: one opportunity per
+  // accumulated MTU of capacity.
+  LinkRateTrace out;
+  double credit_bits = 0.0;
+  const double bits_per_pkt = mtu_bytes * 8.0;
+  for (TimeNs t = 0; t < duration; t += Milliseconds(1)) {
+    credit_bits += trace.RateAt(t) * ToSeconds(Milliseconds(1));
+    while (credit_bits >= bits_per_pkt) {
+      out.opportunities_ms.push_back(t / kNanosPerMilli);
+      credit_bits -= bits_per_pkt;
+    }
+  }
+  return out;
+}
+
+}  // namespace astraea

@@ -1,0 +1,75 @@
+// Mahimahi-compatible link trace: a list of packet delivery opportunities,
+// one integer millisecond timestamp per line (duplicates = several
+// opportunities in the same millisecond). This is the interchange format of
+// the trace-driven scenario family — the bundled cellular/satellite captures
+// under traces/ and everything `--trace` modes load.
+//
+// Like every serialized surface in this repo the parser is hostile-byte-safe
+// (fuzz/fuzz_link_trace.cc): arbitrary input either yields a valid trace or
+// throws SerializationError — garbage lines, non-monotone timestamps,
+// overflow and oversized inputs are all rejected rather than silently
+// coerced. A parsed trace has a canonical text form; Parse(Canonical(t)) is
+// the identity, which is the fuzzer's round-trip property.
+//
+// (Named LinkRateTrace because network.h already uses LinkTrace for the
+// per-link sampling series.)
+
+#ifndef SRC_SIM_LINK_TRACE_H_
+#define SRC_SIM_LINK_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sim/rate_provider.h"
+#include "src/util/time.h"
+
+namespace astraea {
+
+struct LinkRateTrace {
+  // Non-decreasing delivery-opportunity timestamps in milliseconds. Each
+  // opportunity delivers one MTU-sized packet.
+  std::vector<int64_t> opportunities_ms;
+
+  bool operator==(const LinkRateTrace& other) const {
+    return opportunities_ms == other.opportunities_ms;
+  }
+};
+
+// Hard limits enforced by the parser (hostile-input bounds).
+inline constexpr int64_t kMaxLinkTraceMs = 86'400'000;      // 24 hours
+inline constexpr size_t kMaxLinkTraceOpportunities = 1 << 22;  // ~4M lines
+
+// Parses the text format from an in-memory buffer. Accepts LF or CRLF line
+// endings, blank lines and '#' comments. Throws SerializationError on a
+// non-digit byte in a timestamp, a timestamp above kMaxLinkTraceMs, a
+// decreasing timestamp, more than kMaxLinkTraceOpportunities lines, or a
+// trace with no opportunities at all.
+LinkRateTrace ParseLinkRateTrace(const void* data, size_t size);
+
+// Canonical text form: one "%lld\n" per opportunity, no comments. Parsing it
+// back yields an equal trace (round-trip identity).
+std::string CanonicalLinkRateTrace(const LinkRateTrace& trace);
+
+// File wrappers around Parse/Canonical. Load throws SerializationError on
+// I/O failure or any parse error; Save writes the canonical form atomically
+// enough for test use (plain write + flush check).
+LinkRateTrace LoadLinkRateTraceFile(const std::string& path);
+void SaveLinkRateTraceFile(const LinkRateTrace& trace, const std::string& path);
+
+// Buckets opportunities into per-`granularity` rate slots for the simulator's
+// piecewise-constant RateTrace (rates floored at 1 Kbps so outage slots keep
+// finite service times). This is the RateProvider integration point:
+// LoadMahimahiTrace == ToRateTrace(LoadLinkRateTraceFile(path)).
+RateTrace ToRateTrace(const LinkRateTrace& trace, uint32_t mtu_bytes = 1500,
+                      TimeNs granularity = Milliseconds(20));
+
+// Exports `duration` worth of a RateTrace as delivery opportunities (1 ms
+// credit walk). When every slot rate is an integer number of MTUs per slot
+// the export is exact, so ToRateTrace(FromRateTrace(t)) reproduces t — the
+// bit-identity property tests/rate_provider_test.cc checks end to end.
+LinkRateTrace FromRateTrace(const RateTrace& trace, TimeNs duration, uint32_t mtu_bytes = 1500);
+
+}  // namespace astraea
+
+#endif  // SRC_SIM_LINK_TRACE_H_

@@ -68,6 +68,7 @@ class Network {
   void Run(TimeNs until);
 
   EventQueue& events() { return events_; }
+  const EventQueue& events() const { return events_; }
   PacketPool& packet_pool() { return pool_; }
   TimeNs now() const { return events_.now(); }
 

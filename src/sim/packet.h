@@ -27,6 +27,12 @@ struct Packet {
   TimeNs sent_time = 0;       // when the data packet left the sender
   const Route* route = nullptr;
   size_t hop = 0;             // index of the sink currently holding the packet
+  // ECN: the sender sets ecn_capable (ECT) when its controller reacts to
+  // marks; an EcnMarkingQueue sets ecn_ce (CE) instead of dropping, and the
+  // receiver echoes CE back on the ACK. Pool slots are recycled, so the
+  // sender must reinitialize both on every acquire.
+  bool ecn_capable = false;
+  bool ecn_ce = false;
 };
 
 // Generation-stamped handle to a pooled Packet. Copying the ref does not copy

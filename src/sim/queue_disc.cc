@@ -5,6 +5,7 @@
 #include <string>
 
 #include "src/sim/invariants.h"
+#include "src/util/logging.h"
 
 namespace astraea {
 
@@ -239,6 +240,56 @@ void CoDelQueue::VerifyExtraInvariants() const {
     invariants::Report("queue.codel_drop_state",
                        "dropping state with drop_count=" + std::to_string(drop_count_));
   }
+}
+
+// --------------------------------------------------------------------- ECN
+
+EcnMarkingQueue::EcnMarkingQueue(std::unique_ptr<QueueDiscipline> inner, EcnConfig config)
+    : inner_(std::move(inner)), config_(config) {
+  ASTRAEA_CHECK(inner_ != nullptr);
+  ASTRAEA_CHECK(config_.mark_threshold_bytes > 0);
+}
+
+void EcnMarkingQueue::set_pool(PacketPool* pool) {
+  QueueDiscipline::set_pool(pool);
+  inner_->set_pool(pool);
+}
+
+void EcnMarkingQueue::set_tracer(Tracer* tracer, int32_t link_id) {
+  QueueDiscipline::set_tracer(tracer, link_id);
+  inner_->set_tracer(tracer, link_id);
+}
+
+bool EcnMarkingQueue::Enqueue(PacketRef ref, TimeNs now) {
+  ++enqueued_packets_;
+  Packet& pkt = pool_->Get(ref);
+  if (pkt.ecn_capable) {
+    ++ect_packets_;
+    // DCTCP instantaneous-depth rule: mark when the backlog including this
+    // arrival crosses K. The decision reads the inner queue but never drops,
+    // so byte conservation is solely the inner discipline's business.
+    if (!pkt.ecn_ce && inner_->queued_bytes() + pkt.size_bytes > config_.mark_threshold_bytes) {
+      pkt.ecn_ce = true;
+      ++marked_packets_;
+      if (tracer_ != nullptr) {
+        tracer_->Record(now, TraceEventType::kEcnMark, pkt.flow_id, trace_link_id_, pkt.seq,
+                        static_cast<double>(pkt.size_bytes),
+                        static_cast<double>(inner_->queued_bytes()));
+      }
+    }
+  }
+  return inner_->Enqueue(ref, now);
+}
+
+void EcnMarkingQueue::VerifyExtraInvariants() const {
+  if (marked_packets_ > ect_packets_ || ect_packets_ > enqueued_packets_) {
+    invariants::Report("queue.ecn_mark_accounting",
+                       "marked " + std::to_string(marked_packets_) + " > ect " +
+                           std::to_string(ect_packets_) + " or ect > enqueued " +
+                           std::to_string(enqueued_packets_));
+  }
+  // Deep audit cascades to the wrapped discipline's own occupancy/byte checks.
+  inner_->VerifyInvariants(true);
 }
 
 }  // namespace astraea

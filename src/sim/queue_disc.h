@@ -60,8 +60,9 @@ class QueueDiscipline {
   void VerifyInvariants(bool deep) const;
 
   // Attaches the pool the refs resolve against. Must be called (by the Link,
-  // or directly in tests) before the first Enqueue.
-  void set_pool(PacketPool* pool) { pool_ = pool; }
+  // or directly in tests) before the first Enqueue. Virtual so decorators
+  // (EcnMarkingQueue) can forward the pool to the wrapped discipline.
+  virtual void set_pool(PacketPool* pool) { pool_ = pool; }
 
  protected:
   // Discipline-specific extra checks run on deep audits only.
@@ -71,7 +72,7 @@ class QueueDiscipline {
 
   // Attaches an event tracer (drop events carry the owning link's id). The
   // discipline records only drops; enqueue/dequeue events come from the Link.
-  void set_tracer(Tracer* tracer, int32_t link_id) {
+  virtual void set_tracer(Tracer* tracer, int32_t link_id) {
     tracer_ = tracer;
     trace_link_id_ = link_id;
   }
@@ -201,6 +202,54 @@ class CoDelQueue : public QueueDiscipline {
   bool dropping_ = false;
   TimeNs drop_next_ = 0;
   int drop_count_ = 0;
+};
+
+// DCTCP-style threshold marking as a decorator over any inner discipline
+// (RFC 3168 CE + the DCTCP instantaneous-depth rule). Keeping marking out of
+// DropTail/RED/CoDel means their byte accounting, RNG draws and drop
+// schedules are untouched: with no ECT traffic (or marking disabled) a
+// wrapped queue is event-for-event identical to the bare inner queue, which
+// is what keeps the pre-ECN goldens bit-exact.
+//
+// Delay-signal fallback: non-ECT packets pass through unmarked and still see
+// the inner discipline's queueing delay and drops, so ECN-blind schemes get
+// the same congestion signal they always had.
+struct EcnConfig {
+  // Mark CE when the instantaneous backlog (including the arriving packet)
+  // exceeds this. DCTCP's K; choose well below the hard capacity so marks
+  // land before taildrop.
+  uint64_t mark_threshold_bytes = 37'500;
+};
+
+class EcnMarkingQueue : public QueueDiscipline {
+ public:
+  EcnMarkingQueue(std::unique_ptr<QueueDiscipline> inner, EcnConfig config);
+
+  bool Enqueue(PacketRef ref, TimeNs now) override;
+  std::optional<PacketRef> Dequeue(TimeNs now) override { return inner_->Dequeue(now); }
+  uint64_t queued_bytes() const override { return inner_->queued_bytes(); }
+  size_t queued_packets() const override { return inner_->queued_packets(); }
+  uint64_t dropped_bytes() const override { return inner_->dropped_bytes(); }
+  uint64_t capacity_bytes() const override { return inner_->capacity_bytes(); }
+  uint64_t RecountQueuedBytes() const override { return inner_->RecountQueuedBytes(); }
+
+  void set_pool(PacketPool* pool) override;
+  void set_tracer(Tracer* tracer, int32_t link_id) override;
+
+  uint64_t marked_packets() const { return marked_packets_; }
+  uint64_t ect_packets() const { return ect_packets_; }
+  const EcnConfig& config() const { return config_; }
+  QueueDiscipline& inner() { return *inner_; }
+
+ protected:
+  void VerifyExtraInvariants() const override;
+
+ private:
+  std::unique_ptr<QueueDiscipline> inner_;
+  EcnConfig config_;
+  uint64_t marked_packets_ = 0;
+  uint64_t ect_packets_ = 0;
+  uint64_t enqueued_packets_ = 0;
 };
 
 }  // namespace astraea

@@ -2,9 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <fstream>
-#include <map>
 
+#include "src/sim/link_trace.h"
 #include "src/util/logging.h"
 #include "src/util/serialization.h"
 
@@ -85,62 +84,15 @@ RateTrace MakeSquareWaveTrace(TimeNs duration, TimeNs period, RateBps low, RateB
 }
 
 RateTrace LoadMahimahiTrace(const std::string& path, uint32_t mtu_bytes, TimeNs granularity) {
-  std::ifstream in(path);
-  if (!in) {
-    throw SerializationError("cannot open trace file: " + path);
-  }
-  // Count delivery opportunities per granularity slot.
-  std::map<int64_t, int64_t> slot_counts;
-  int64_t max_ms = 0;
-  std::string line;
-  while (std::getline(in, line)) {
-    if (line.empty() || line[0] == '#') {
-      continue;
-    }
-    const int64_t ms = std::strtoll(line.c_str(), nullptr, 10);
-    max_ms = std::max(max_ms, ms);
-    slot_counts[Milliseconds(ms) / granularity] += 1;
-  }
-  if (slot_counts.empty()) {
-    throw SerializationError("empty trace file: " + path);
-  }
-  const int64_t slots = Milliseconds(max_ms) / granularity + 1;
-  std::vector<std::pair<TimeNs, RateBps>> steps;
-  steps.reserve(static_cast<size_t>(slots));
-  const double slot_seconds = ToSeconds(granularity);
-  for (int64_t s = 0; s < slots; ++s) {
-    const auto it = slot_counts.find(s);
-    const double pkts = it != slot_counts.end() ? static_cast<double>(it->second) : 0.0;
-    // Clamp to a tiny positive floor so service time stays finite in outages.
-    const double bps = std::max(pkts * mtu_bytes * 8.0 / slot_seconds, Kbps(1.0));
-    steps.emplace_back(s * granularity, bps);
-  }
-  return RateTrace(std::move(steps));
+  // Strict load-then-bucket via the hostile-byte-safe parser (link_trace.h):
+  // unlike the original strtoll loop, garbage lines and non-monotone
+  // timestamps are rejected instead of silently coerced to zero.
+  return ToRateTrace(LoadLinkRateTraceFile(path), mtu_bytes, granularity);
 }
 
 void SaveMahimahiTrace(const RateTrace& trace, const std::string& path, TimeNs duration,
                        uint32_t mtu_bytes) {
-  std::ofstream out(path);
-  if (!out) {
-    throw SerializationError("cannot open trace file for writing: " + path);
-  }
-  // Walk in 1ms steps, emitting one line per accumulated MTU of capacity.
-  double credit_bits = 0.0;
-  for (TimeNs t = 0; t < duration; t += Milliseconds(1)) {
-    credit_bits += trace.RateAt(t) * ToSeconds(Milliseconds(1));
-    const double bits_per_pkt = mtu_bytes * 8.0;
-    while (credit_bits >= bits_per_pkt) {
-      out << (t / kNanosPerMilli) << "\n";
-      credit_bits -= bits_per_pkt;
-    }
-    if (!out.good()) {
-      throw SerializationError("trace write failed (disk full?): " + path);
-    }
-  }
-  out.flush();
-  if (!out.good()) {
-    throw SerializationError("trace flush failed (disk full?): " + path);
-  }
+  SaveLinkRateTraceFile(FromRateTrace(trace, duration, mtu_bytes), path);
 }
 
 }  // namespace astraea

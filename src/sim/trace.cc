@@ -49,6 +49,8 @@ const char* TraceEventTypeName(TraceEventType type) {
       return "cwnd";
     case TraceEventType::kAction:
       return "action";
+    case TraceEventType::kEcnMark:
+      return "ecn_mark";
   }
   return "unknown";
 }
@@ -186,7 +188,7 @@ std::vector<TraceEvent> ParseBinaryTrace(const void* data, size_t size) {
     ev.time = time;
     uint8_t type = 0;
     take(&type, sizeof(type), "record");
-    if (type > static_cast<uint8_t>(TraceEventType::kAction)) {
+    if (type > static_cast<uint8_t>(TraceEventType::kEcnMark)) {
       throw std::runtime_error("unknown trace event type " + std::to_string(type));
     }
     ev.type = static_cast<TraceEventType>(type);

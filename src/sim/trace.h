@@ -37,6 +37,7 @@ enum class TraceEventType : uint8_t {
   kRtoFire = 6,   // retransmission timeout fired       a=lost_bytes b=rto_ms
   kCwnd = 7,      // per-MTP window/pacing decision     a=cwnd_bytes b=pacing_bps
   kAction = 8,    // learning-agent action applied      a=action     b=cwnd_bytes after
+  kEcnMark = 9,   // queue set CE on an ECT packet      a=size_bytes b=queued_bytes
 };
 
 // Stable lowercase name used in JSONL/CSV output.

@@ -11,8 +11,11 @@
 #include <memory>
 #include <sstream>
 
+#include "src/cc/newreno.h"
+#include "src/cc/udp_blast.h"
 #include "src/core/astraea_controller.h"
 #include "src/sim/network.h"
+#include "src/sim/rate_provider.h"
 #include "src/util/metrics.h"
 #include "src/util/stats.h"
 
@@ -61,6 +64,44 @@ std::vector<GateScenario> GoldenGateSuite() {
   return suite;
 }
 
+std::vector<GateScenario> UniverseGateSuite(const std::string& traces_dir) {
+  std::vector<GateScenario> suite;
+  // Shallow-buffer ECN bottleneck: the datacenter regime, scaled to the
+  // gate's second-scale runtime (the candidate must keep delay low without
+  // starving when the queue marks instead of dropping).
+  GateScenario shallow;
+  shallow.name = "shallow-ecn";
+  shallow.bandwidth = Mbps(96);
+  shallow.base_rtt = Milliseconds(10);
+  shallow.buffer_bdp = 0.5;
+  shallow.ecn = true;
+  shallow.seed = 11;
+  suite.push_back(shallow);
+
+  // Trace replay: the bundled cellular capture (swinging capacity, deep
+  // buffer) — the regime where latency inflation is easiest to buy.
+  GateScenario cellular;
+  cellular.name = "cellular";
+  cellular.trace_path = traces_dir + "/cellular.trace";
+  cellular.buffer_bdp = 8.0;
+  cellular.flows = 2;
+  cellular.seed = 12;
+  suite.push_back(cellular);
+
+  // Contested link: a NewReno competitor from t=0 and an unresponsive blast
+  // through the middle of the scoring window.
+  GateScenario contested;
+  contested.name = "contested";
+  contested.bandwidth = Mbps(48);
+  contested.base_rtt = Milliseconds(30);
+  contested.buffer_bdp = 2.0;
+  contested.flows = 2;
+  contested.cross_traffic = true;
+  contested.seed = 13;
+  suite.push_back(contested);
+  return suite;
+}
+
 PromotionGate::PromotionGate(GateOptions options) : options_(std::move(options)) {
   if (options_.suite.empty()) {
     options_.suite = GoldenGateSuite();
@@ -76,21 +117,41 @@ ScenarioScore PromotionGate::Evaluate(const GateScenario& scenario,
                                       std::shared_ptr<const Policy> policy) const {
   Network network(scenario.seed);
 
+  // When a trace drives the link, its long-run mean rate replaces the nominal
+  // bandwidth for buffer sizing and utilization scoring — the 96 Mbps default
+  // against a ~12 Mbps cellular capture would both oversize the buffer into a
+  // bufferbloat trap and make full utilization unreachable for any policy.
+  std::shared_ptr<RateProvider> trace;
+  RateBps effective_rate = scenario.bandwidth;
+  if (!scenario.trace_path.empty()) {
+    trace = std::make_shared<RateTrace>(LoadMahimahiTrace(scenario.trace_path));
+    effective_rate = trace->CapacityBits(0, scenario.until) / ToSeconds(scenario.until);
+  }
+
   LinkConfig link;
   link.name = "gate-bottleneck";
   link.rate = scenario.bandwidth;
   link.propagation_delay = scenario.base_rtt / 2;
   link.buffer_bytes = std::max<uint64_t>(
       static_cast<uint64_t>(scenario.buffer_bdp *
-                            static_cast<double>(BdpBytes(scenario.bandwidth, scenario.base_rtt))),
+                            static_cast<double>(BdpBytes(effective_rate, scenario.base_rtt))),
       3000);
   link.random_loss = scenario.random_loss;
+  link.trace = trace;
   if (scenario.red) {
     const uint64_t capacity = link.buffer_bytes;
     link.queue_factory = [capacity](Rng rng) -> std::unique_ptr<QueueDiscipline> {
       RedConfig red;
       red.capacity_bytes = capacity;
       return std::make_unique<RedQueue>(red, rng);
+    };
+  } else if (scenario.ecn) {
+    const uint64_t capacity = link.buffer_bytes;
+    const uint64_t threshold = scenario.ecn_threshold_bytes;
+    link.queue_factory = [capacity, threshold](Rng) -> std::unique_ptr<QueueDiscipline> {
+      EcnConfig ecn;
+      ecn.mark_threshold_bytes = threshold;
+      return std::make_unique<EcnMarkingQueue>(std::make_unique<DropTailQueue>(capacity), ecn);
     };
   }
   network.AddLink(link);
@@ -105,6 +166,27 @@ ScenarioScore PromotionGate::Evaluate(const GateScenario& scenario,
     spec.make_cc = [policy, hp] { return std::make_unique<AstraeaController>(policy, hp); };
     network.AddFlow(spec);
   }
+  if (scenario.cross_traffic) {
+    // Scored flows are [0, scenario.flows); the environment traffic rides
+    // behind them: a NewReno competitor for the whole run and an
+    // unresponsive blast through the middle of the scoring window.
+    FlowSpec competitor;
+    competitor.scheme = "newreno";
+    competitor.start = 0;
+    competitor.duration = -1;
+    competitor.link_path = {0};
+    competitor.make_cc = [] { return std::make_unique<NewReno>(); };
+    network.AddFlow(competitor);
+
+    const double blast_bps = 0.4 * scenario.bandwidth;
+    FlowSpec blast;
+    blast.scheme = "blast";
+    blast.start = scenario.until / 2 + scenario.until / 8;
+    blast.duration = scenario.until / 8;
+    blast.link_path = {0};
+    blast.make_cc = [blast_bps] { return std::make_unique<UdpBlast>(blast_bps); };
+    network.AddFlow(blast);
+  }
   network.Run(scenario.until);
 
   // Score over the second half of the run: every flow is active and the
@@ -117,7 +199,10 @@ ScenarioScore PromotionGate::Evaluate(const GateScenario& scenario,
   std::vector<double> rtt_samples;
   uint64_t bytes_sent = 0;
   uint64_t bytes_lost = 0;
-  for (size_t i = 0; i < network.flow_count(); ++i) {
+  // Only the Astraea flows are scored; cross traffic (when present) is
+  // environment, not candidate output.
+  const size_t scored = static_cast<size_t>(scenario.flows);
+  for (size_t i = 0; i < scored; ++i) {
     const FlowStats& stats = network.flow_stats(static_cast<int>(i));
     total_mbps += stats.throughput_mbps.MeanOver(begin, end);
     for (const auto& [t, rtt_ms] : stats.rtt_ms.points()) {
@@ -128,14 +213,17 @@ ScenarioScore PromotionGate::Evaluate(const GateScenario& scenario,
     bytes_sent += stats.bytes_sent;
     bytes_lost += stats.bytes_lost;
   }
-  score.utilization = total_mbps / (scenario.bandwidth / 1e6);
+  score.utilization =
+      total_mbps /
+      (trace ? trace->CapacityBits(begin, end) / (ToSeconds(end - begin) * 1e6)
+             : scenario.bandwidth / 1e6);
 
   std::vector<double> rates;
   double jain_sum = 0.0;
   int slots = 0;
   for (TimeNs t = begin; t + Seconds(1.0) <= end; t += Seconds(1.0)) {
     rates.clear();
-    for (size_t i = 0; i < network.flow_count(); ++i) {
+    for (size_t i = 0; i < scored; ++i) {
       rates.push_back(network.flow_stats(static_cast<int>(i)).throughput_mbps.MeanOver(
           t, t + Seconds(1.0)));
     }

@@ -33,10 +33,23 @@ struct GateScenario {
   TimeNs stagger = Seconds(1.0);
   TimeNs until = Seconds(8.0);
   uint64_t seed = 1;
+  // Universe extensions (--suite=universe). Scores always cover the Astraea
+  // flows only, so cross traffic shapes the environment without polluting
+  // the utilization/Jain columns.
+  std::string trace_path;             // Mahimahi capture drives the link rate
+  bool ecn = false;                   // wrap the bottleneck in EcnMarkingQueue
+  uint64_t ecn_threshold_bytes = 30'000;
+  bool cross_traffic = false;         // NewReno competitor + mid-run UDP blast
 };
 
 // The golden trio (clean / lossy / red) as multi-flow fairness scenarios.
 std::vector<GateScenario> GoldenGateSuite();
+
+// The scenario-universe gate (astraea_promote --suite=universe): a
+// shallow-buffer ECN incast-style bottleneck, the bundled cellular trace
+// replay, and a contested link with a NewReno competitor plus a mid-run
+// unresponsive blast. `traces_dir` locates the bundled Mahimahi captures.
+std::vector<GateScenario> UniverseGateSuite(const std::string& traces_dir);
 
 struct ScenarioScore {
   double utilization = 0.0;   // aggregate goodput / link rate over the window

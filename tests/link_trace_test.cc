@@ -1,0 +1,144 @@
+// Parser-level tests for the Mahimahi link-trace format (src/sim/link_trace.h):
+// hostile-input rejection, canonicalization round trips, file I/O, and the
+// RateTrace conversion in both directions.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "src/sim/link_trace.h"
+#include "src/util/serialization.h"
+
+namespace astraea {
+namespace {
+
+LinkRateTrace Parse(const std::string& text) {
+  return ParseLinkRateTrace(text.data(), text.size());
+}
+
+TEST(LinkTraceParseTest, ParsesSimple) {
+  const LinkRateTrace t = Parse("0\n0\n3\n3\n3\n20\n");
+  EXPECT_EQ(t.opportunities_ms, (std::vector<int64_t>{0, 0, 3, 3, 3, 20}));
+}
+
+TEST(LinkTraceParseTest, AcceptsCommentsBlankLinesAndCrlf) {
+  const LinkRateTrace t = Parse("# capture\r\n\r\n5\r\n7\r\n# mid-file comment\n9\n\n");
+  EXPECT_EQ(t.opportunities_ms, (std::vector<int64_t>{5, 7, 9}));
+}
+
+TEST(LinkTraceParseTest, AcceptsMissingTrailingNewline) {
+  const LinkRateTrace t = Parse("1\n2\n3");
+  EXPECT_EQ(t.opportunities_ms, (std::vector<int64_t>{1, 2, 3}));
+}
+
+TEST(LinkTraceParseTest, RejectsGarbage) {
+  EXPECT_THROW(Parse("12monkeys\n"), SerializationError);
+  EXPECT_THROW(Parse("1.5\n"), SerializationError);
+  EXPECT_THROW(Parse("1 2\n"), SerializationError);
+}
+
+TEST(LinkTraceParseTest, RejectsNegative) {
+  EXPECT_THROW(Parse("-3\n"), SerializationError);
+}
+
+TEST(LinkTraceParseTest, RejectsDecreasing) {
+  EXPECT_THROW(Parse("5\n4\n"), SerializationError);
+}
+
+TEST(LinkTraceParseTest, AcceptsEqualTimestamps) {
+  EXPECT_EQ(Parse("5\n5\n").opportunities_ms, (std::vector<int64_t>{5, 5}));
+}
+
+TEST(LinkTraceParseTest, RejectsTimestampAboveBound) {
+  EXPECT_THROW(Parse(std::to_string(kMaxLinkTraceMs + 1) + "\n"), SerializationError);
+  // Exactly the bound is fine.
+  EXPECT_EQ(Parse(std::to_string(kMaxLinkTraceMs) + "\n").opportunities_ms.size(), 1u);
+  // Overflow-scale values must be caught mid-accumulation, not wrapped.
+  EXPECT_THROW(Parse("99999999999999999999999\n"), SerializationError);
+}
+
+TEST(LinkTraceParseTest, RejectsEmptyAndCommentOnly) {
+  EXPECT_THROW(Parse(""), SerializationError);
+  EXPECT_THROW(Parse("# nothing\n\n"), SerializationError);
+}
+
+TEST(LinkTraceParseTest, RejectsTooManyOpportunities) {
+  std::string huge;
+  huge.reserve((kMaxLinkTraceOpportunities + 1) * 2);
+  for (size_t i = 0; i <= kMaxLinkTraceOpportunities; ++i) {
+    huge += "0\n";
+  }
+  EXPECT_THROW(Parse(huge), SerializationError);
+}
+
+TEST(LinkTraceCanonicalTest, RoundTripIdentity) {
+  const LinkRateTrace t = Parse("# noise\r\n0\r\n0\n17\n17\n86399999\n");
+  const std::string canon = CanonicalLinkRateTrace(t);
+  EXPECT_EQ(Parse(canon), t);
+  // Canonicalization is a fixpoint.
+  EXPECT_EQ(CanonicalLinkRateTrace(Parse(canon)), canon);
+}
+
+TEST(LinkTraceFileTest, SaveLoadRoundTrip) {
+  const std::string path = "/tmp/astraea_link_trace_test.trace";
+  LinkRateTrace t;
+  t.opportunities_ms = {0, 1, 1, 5, 100};
+  SaveLinkRateTraceFile(t, path);
+  EXPECT_EQ(LoadLinkRateTraceFile(path), t);
+  std::filesystem::remove(path);
+}
+
+TEST(LinkTraceFileTest, MissingFileThrows) {
+  EXPECT_THROW(LoadLinkRateTraceFile("/nonexistent/foo.trace"), SerializationError);
+}
+
+TEST(LinkTraceFileTest, LoadErrorNamesTheFile) {
+  const std::string path = "/tmp/astraea_link_trace_bad.trace";
+  SaveLinkRateTraceFile(LinkRateTrace{{1}}, path);
+  {
+    std::ofstream out(path);
+    out << "garbage\n";
+  }
+  try {
+    LoadLinkRateTraceFile(path);
+    FAIL() << "expected SerializationError";
+  } catch (const SerializationError& e) {
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(LinkTraceRateTest, BucketsOpportunitiesIntoSlots) {
+  // 20 opportunities in slot [0,20)ms and none afterwards until ms 45.
+  LinkRateTrace t;
+  for (int i = 0; i < 20; ++i) {
+    t.opportunities_ms.push_back(i);
+  }
+  t.opportunities_ms.push_back(45);
+  const RateTrace r = ToRateTrace(t, 1500, Milliseconds(20));
+  // Slot 0: 20 pkts / 20ms = 12 Mbps.
+  EXPECT_NEAR(r.RateAt(Milliseconds(10)), Mbps(12), 1.0);
+  // Slot 1 is empty: floored at 1 Kbps, never zero (zero-rate interval).
+  EXPECT_DOUBLE_EQ(r.RateAt(Milliseconds(30)), Kbps(1.0));
+}
+
+TEST(LinkTraceRateTest, ExportReimportConservesCapacity) {
+  // The 1 ms credit walk conserves the rate integral: a uniform
+  // 1-packet-per-ms trace comes back with the same opportunity count (±1 for
+  // the trailing fractional credit) inside the same horizon.
+  LinkRateTrace t;
+  for (int i = 0; i < 100; ++i) {
+    t.opportunities_ms.push_back(i);
+  }
+  const RateTrace r = ToRateTrace(t, 1500, Milliseconds(20));
+  const LinkRateTrace back = FromRateTrace(r, Milliseconds(100), 1500);
+  EXPECT_NEAR(static_cast<double>(back.opportunities_ms.size()),
+              static_cast<double>(t.opportunities_ms.size()), 1.0);
+  EXPECT_GE(back.opportunities_ms.front(), 0);
+  EXPECT_LT(back.opportunities_ms.back(), 100);
+}
+
+}  // namespace
+}  // namespace astraea

@@ -102,6 +102,61 @@ TEST(PromotionGateTest, ReportSerializesToJson) {
   EXPECT_NE(json.find("\"utilization\""), std::string::npos);
 }
 
+// The universe suite (astraea_promote --suite=universe), trimmed to a
+// test-sized horizon. Scenario shapes — ECN bottleneck, trace replay, cross
+// traffic — are exactly the shipped suite's; only `until` shrinks.
+GateOptions UniverseGate() {
+  GateOptions options;
+  options.suite = UniverseGateSuite(std::string(ASTRAEA_SOURCE_DIR) + "/traces");
+  for (GateScenario& scenario : options.suite) {
+    scenario.until = Seconds(3.0);
+  }
+  return options;
+}
+
+TEST(UniverseGateTest, SuiteCoversTheThreeRegimes) {
+  const auto suite = UniverseGateSuite("/does/not/matter");
+  ASSERT_EQ(suite.size(), 3u);
+  EXPECT_EQ(suite[0].name, "shallow-ecn");
+  EXPECT_TRUE(suite[0].ecn);
+  EXPECT_EQ(suite[1].name, "cellular");
+  EXPECT_EQ(suite[1].trace_path, "/does/not/matter/cellular.trace");
+  EXPECT_EQ(suite[2].name, "contested");
+  EXPECT_TRUE(suite[2].cross_traffic);
+}
+
+TEST(UniverseGateTest, AcceptsBetterRejectsWorse) {
+  // The distilled policy must clearly beat the window-collapsing one on the
+  // trace and contested regimes; shallow-ecn can tie (even a crippled window
+  // refills a 10 ms-RTT pipe between decisions), so assert the verdict and a
+  // majority of wins rather than a clean sweep.
+  PromotionGate gate(UniverseGate());
+  const GateReport accept = gate.Compare(std::make_shared<DistilledPolicy>(),
+                                         std::make_shared<CrippledPolicy>());
+  EXPECT_TRUE(accept.accepted);
+  EXPECT_GE(accept.wins, 2) << accept.ToJson();
+  EXPECT_GT(accept.candidate_total, accept.incumbent_total);
+  const GateReport reject = gate.Compare(std::make_shared<CrippledPolicy>(),
+                                         std::make_shared<DistilledPolicy>());
+  EXPECT_FALSE(reject.accepted);
+  EXPECT_GE(reject.losses, 2);
+}
+
+TEST(UniverseGateTest, CrossTrafficShapesButDoesNotPolluteScores) {
+  // The contested scenario's competitor + blast must depress the Astraea
+  // flows' utilization relative to the same link without cross traffic —
+  // proof the cross traffic is real and the scoring window is Astraea-only.
+  PromotionGate gate(UniverseGate());
+  GateScenario contested = gate.options().suite[2];
+  ASSERT_TRUE(contested.cross_traffic);
+  GateScenario uncontested = contested;
+  uncontested.cross_traffic = false;
+  const auto policy = std::make_shared<DistilledPolicy>();
+  const ScenarioScore with = gate.Evaluate(contested, policy);
+  const ScenarioScore without = gate.Evaluate(uncontested, policy);
+  EXPECT_LT(with.utilization, without.utilization);
+}
+
 TEST(AtomicInstallTest, ReplacesTheTargetBytes) {
   const std::string candidate = "/tmp/astraea_install_candidate.bin";
   const std::string target = "/tmp/astraea_install_target.bin";

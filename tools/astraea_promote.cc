@@ -2,9 +2,13 @@
 //
 //   astraea_promote --candidate new.ckpt --incumbent models/astraea_policy.ckpt
 //                   [--install] [--json report.json]
+//                   [--suite=golden|universe] [--traces DIR]
 //
 // Scores the candidate against the incumbent on the golden scenario suite
 // (utilization, Jain fairness, p95 delay, loss — see src/train/promotion.h).
+// --suite=universe swaps in the scenario-universe gate (shallow-buffer ECN,
+// cellular trace replay, contested link; UniverseGateSuite) for candidates
+// that must also hold up outside the paper's dumbbells.
 // Without --install this is a dry run: the verdict is printed and nothing is
 // written. With --install, an accepted candidate atomically replaces the
 // incumbent file (tmp + fsync + rename), which is exactly the artifact
@@ -18,6 +22,10 @@
 
 #include "src/train/promotion.h"
 
+#ifndef ASTRAEA_SOURCE_DIR
+#define ASTRAEA_SOURCE_DIR "."
+#endif
+
 namespace astraea {
 namespace {
 
@@ -25,6 +33,8 @@ int Main(int argc, char** argv) {
   std::string candidate;
   std::string incumbent;
   std::string json_path;
+  std::string suite = "golden";
+  std::string traces = std::string(ASTRAEA_SOURCE_DIR) + "/traces";
   bool install = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -43,6 +53,12 @@ int Main(int argc, char** argv) {
       json_path = next();
     } else if (std::strcmp(argv[i], "--install") == 0) {
       install = true;
+    } else if (std::strcmp(argv[i], "--suite") == 0) {
+      suite = next();
+    } else if (std::strncmp(argv[i], "--suite=", 8) == 0) {
+      suite = argv[i] + 8;
+    } else if (std::strcmp(argv[i], "--traces") == 0) {
+      traces = next();
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return 1;
@@ -51,11 +67,18 @@ int Main(int argc, char** argv) {
   if (candidate.empty() || incumbent.empty()) {
     std::fprintf(stderr,
                  "usage: astraea_promote --candidate PATH --incumbent PATH"
-                 " [--install] [--json PATH]\n");
+                 " [--install] [--json PATH] [--suite=golden|universe] [--traces DIR]\n");
+    return 1;
+  }
+  GateOptions gate_options;
+  if (suite == "universe") {
+    gate_options.suite = UniverseGateSuite(traces);
+  } else if (suite != "golden") {
+    std::fprintf(stderr, "unknown suite '%s' (golden or universe)\n", suite.c_str());
     return 1;
   }
 
-  PromotionGate gate;
+  PromotionGate gate(std::move(gate_options));
   GateReport report;
   try {
     report = gate.CompareFiles(candidate, incumbent);

@@ -30,8 +30,13 @@
 
 #include "bench/harness/cli_scenario.h"
 #include "bench/harness/scenario.h"
+#include "bench/harness/scenario_universe.h"
 #include "src/core/policy.h"
 #include "src/sim/trace.h"
+
+#ifndef ASTRAEA_SOURCE_DIR
+#define ASTRAEA_SOURCE_DIR "."
+#endif
 
 namespace astraea {
 namespace {
@@ -62,6 +67,78 @@ constexpr GoldenScenario kScenarios[] = {
 // still tracked in ROADMAP.md.
 constexpr const char* kSchemes[] = {"newreno", "cubic", "vegas",  "bbr",  "copa",
                                     "vivace",  "aurora", "remy", "astraea"};
+
+// Universe scenario set (ROADMAP item 4): one golden per family, each with a
+// small per-family scheme subset (ECN-capable DCTCP only makes sense on the
+// incast bottleneck; the others use the paper's main comparands). The configs
+// are deliberately tiny versions of the bench defaults so the corpus stays
+// small, but exercise the same code paths: marking queue, trace replay,
+// Pareto churn + UDP blasts.
+struct UniverseGoldenScenario {
+  const char* name;
+  UniverseFamily family;
+  const char* schemes[3];
+};
+
+constexpr UniverseGoldenScenario kUniverseScenarios[] = {
+    {"incast", UniverseFamily::kIncast, {"cubic", "dctcp", "astraea"}},
+    {"tracecell", UniverseFamily::kTraceDriven, {"cubic", "bbr", "astraea"}},
+    {"adv", UniverseFamily::kAdversarial, {"cubic", "bbr", "astraea"}},
+};
+
+std::vector<TraceEvent> CaptureTrace(DumbbellScenario& scenario, TimeNs until, const char* tag) {
+  Tracer tracer("", Tracer::Format::kNone, 1 << 20);
+  scenario.network().SetTracer(&tracer);
+  scenario.Run(until);
+  if (tracer.recorded() > (1u << 20)) {
+    std::fprintf(stderr, "FATAL: %s overflowed the trace ring (%llu events)\n", tag,
+                 static_cast<unsigned long long>(tracer.recorded()));
+    std::exit(2);
+  }
+  return tracer.BufferedEvents();
+}
+
+std::vector<TraceEvent> RunUniverseGolden(const UniverseGoldenScenario& sc,
+                                          const std::string& scheme,
+                                          const std::string& traces_dir) {
+  SchemeOptions pinned;
+  pinned.astraea_policy = std::make_shared<DistilledPolicy>();
+  switch (sc.family) {
+    case UniverseFamily::kIncast: {
+      IncastConfig config;
+      config.fan_in = 8;
+      config.waves = 1;
+      config.request_bytes = 32 * 1024;
+      config.scheme = scheme;
+      config.ecn = true;
+      config.seed = 1;
+      auto scenario = BuildIncast(config, &pinned);
+      return CaptureTrace(*scenario, IncastHorizon(config), sc.name);
+    }
+    case UniverseFamily::kTraceDriven: {
+      TraceDrivenConfig config;
+      config.trace_path = traces_dir + "/cellular.trace";
+      config.scheme = scheme;
+      config.duration = Seconds(1.0);
+      config.seed = 1;
+      auto scenario = BuildTraceDriven(config, &pinned);
+      return CaptureTrace(*scenario, config.duration, sc.name);
+    }
+    case UniverseFamily::kAdversarial: {
+      AdversarialConfig config;
+      config.bandwidth = Mbps(20);
+      config.scheme = scheme;
+      config.duration = Seconds(2.0);
+      config.blast_period = Seconds(1.0);
+      config.blast_on = Milliseconds(300);
+      config.seed = 1;
+      auto scenario = BuildAdversarial(config, &pinned);
+      return CaptureTrace(*scenario, config.duration + Milliseconds(50), sc.name);
+    }
+  }
+  std::fprintf(stderr, "unreachable universe family\n");
+  std::exit(2);
+}
 
 std::vector<TraceEvent> RunGolden(const GoldenScenario& sc, const std::string& scheme) {
   ScenarioCliOptions opts;
@@ -163,6 +240,7 @@ struct Args {
   bool bless = false;
   bool list = false;
   std::string dir = "tests/goldens";
+  std::string traces = std::string(ASTRAEA_SOURCE_DIR) + "/traces";
   std::string scheme;    // empty = all
   std::string scenario;  // empty = all
 };
@@ -185,6 +263,8 @@ Args Parse(int argc, char** argv) {
       a.list = true;
     } else if (std::strcmp(argv[i], "--dir") == 0) {
       a.dir = next("--dir");
+    } else if (std::strcmp(argv[i], "--traces") == 0) {
+      a.traces = next("--traces");
     } else if (std::strcmp(argv[i], "--scheme") == 0) {
       a.scheme = next("--scheme");
     } else if (std::strcmp(argv[i], "--scenario") == 0) {
@@ -201,6 +281,38 @@ Args Parse(int argc, char** argv) {
   return a;
 }
 
+// Shared check/bless logic for one (scenario, scheme) cell. Returns false on
+// a --check mismatch.
+bool ProcessGolden(const Args& args, const std::string& tag, const std::string& path,
+                   const std::vector<TraceEvent>& fresh) {
+  std::vector<TraceEvent> golden;
+  bool have_golden = false;
+  try {
+    golden = ReadBinaryTrace(path);
+    have_golden = true;
+  } catch (const std::exception& e) {
+    if (args.check) {
+      std::printf("FAIL %-18s cannot read golden %s: %s\n", tag.c_str(), path.c_str(), e.what());
+      return false;
+    }
+  }
+
+  if (args.check) {
+    const bool ok = DiffSummary(tag.c_str(), golden, fresh);
+    std::printf("%s %s (%zu events)\n", ok ? "OK  " : "FAIL", tag.c_str(), fresh.size());
+    return ok;
+  }
+  // bless
+  if (have_golden && DiffSummary(tag.c_str(), golden, fresh)) {
+    std::printf("KEEP %s (unchanged, %zu events)\n", tag.c_str(), fresh.size());
+  } else {
+    WriteGolden(path, fresh);
+    std::printf("%s %s (%zu events) -> %s\n", have_golden ? "REGEN" : "NEW  ", tag.c_str(),
+                fresh.size(), path.c_str());
+  }
+  return true;
+}
+
 int Main(int argc, char** argv) {
   const Args args = Parse(argc, argv);
   if (args.list) {
@@ -208,11 +320,14 @@ int Main(int argc, char** argv) {
     for (const GoldenScenario& sc : kScenarios) {
       std::printf(" %s", sc.name);
     }
+    for (const UniverseGoldenScenario& sc : kUniverseScenarios) {
+      std::printf(" %s", sc.name);
+    }
     std::printf("\nschemes:  ");
     for (const char* s : kSchemes) {
       std::printf(" %s", s);
     }
-    std::printf("\n");
+    std::printf(" (universe scenarios use per-family subsets, incl. dctcp)\n");
     return 0;
   }
 
@@ -229,36 +344,26 @@ int Main(int argc, char** argv) {
       ++ran;
       const std::string path = GoldenPath(args.dir, sc, scheme);
       const std::vector<TraceEvent> fresh = RunGolden(sc, scheme);
-
-      std::vector<TraceEvent> golden;
-      bool have_golden = false;
-      try {
-        golden = ReadBinaryTrace(path);
-        have_golden = true;
-      } catch (const std::exception& e) {
-        if (args.check) {
-          std::printf("FAIL %s/%-8s cannot read golden %s: %s\n", sc.name, scheme, path.c_str(),
-                      e.what());
-          ++failures;
-          continue;
-        }
-      }
-
       const std::string tag = std::string(sc.name) + "/" + scheme;
-      if (args.check) {
-        const bool ok = DiffSummary(tag.c_str(), golden, fresh);
-        std::printf("%s %s (%zu events)\n", ok ? "OK  " : "FAIL", tag.c_str(), fresh.size());
-        if (!ok) {
-          ++failures;
-        }
-      } else {  // bless
-        if (have_golden && DiffSummary(tag.c_str(), golden, fresh)) {
-          std::printf("KEEP %s (unchanged, %zu events)\n", tag.c_str(), fresh.size());
-        } else {
-          WriteGolden(path, fresh);
-          std::printf("%s %s (%zu events) -> %s\n", have_golden ? "REGEN" : "NEW  ", tag.c_str(),
-                      fresh.size(), path.c_str());
-        }
+      if (!ProcessGolden(args, tag, path, fresh)) {
+        ++failures;
+      }
+    }
+  }
+  for (const UniverseGoldenScenario& sc : kUniverseScenarios) {
+    if (!args.scenario.empty() && args.scenario != sc.name) {
+      continue;
+    }
+    for (const char* scheme : sc.schemes) {
+      if (!args.scheme.empty() && args.scheme != scheme) {
+        continue;
+      }
+      ++ran;
+      const std::string path = args.dir + "/" + sc.name + "__" + scheme + ".trace";
+      const std::vector<TraceEvent> fresh = RunUniverseGolden(sc, scheme, args.traces);
+      const std::string tag = std::string(sc.name) + "/" + scheme;
+      if (!ProcessGolden(args, tag, path, fresh)) {
+        ++failures;
       }
     }
   }

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Regenerates the bundled Mahimahi-compatible link traces.
+
+The traces are checked in; this script exists so the captures are
+reproducible (fixed LCG, no library RNG) and documented. Format: one line
+per 1500-byte packet delivery opportunity, the integer millisecond at which
+it occurs, non-decreasing (see src/sim/link_trace.h and DESIGN.md §15).
+
+  python3 traces/gen_traces.py   # rewrites cellular.trace / satellite.trace
+"""
+
+import math
+import os
+
+MTU_BITS = 1500 * 8
+
+
+def lcg(seed):
+    """Deterministic uniform [0,1) stream (MMIX constants)."""
+    state = seed
+    while True:
+        state = (state * 6364136223846793005 + 1442695040888963407) % (1 << 64)
+        yield (state >> 11) / float(1 << 53)
+
+
+def emit(path, duration_ms, rate_mbps_at):
+    """Walks 1 ms slots accumulating fractional packet credit."""
+    lines = []
+    credit = 0.0
+    for t in range(duration_ms):
+        credit += rate_mbps_at(t) * 1e6 / 1000.0 / MTU_BITS
+        while credit >= 1.0:
+            lines.append("%d\n" % t)
+            credit -= 1.0
+    with open(path, "w") as f:
+        f.writelines(lines)
+    print("%s: %d ms, %d opportunities (mean %.1f Mbps)" %
+          (path, duration_ms, len(lines),
+           len(lines) * MTU_BITS / (duration_ms / 1000.0) / 1e6))
+
+
+def cellular(t, rng=lcg(0xCE11)):
+    """LTE-like capture: slow capacity swings, fast fading, deep fades."""
+    slow = 12.0 + 8.0 * math.sin(2.0 * math.pi * t / 7000.0)
+    fast = 4.0 * math.sin(2.0 * math.pi * t / 430.0)
+    jitter = 6.0 * (next(rng) - 0.5)
+    rate = slow + fast + jitter
+    # Occasional ~300 ms deep fades (handover / obstruction).
+    if (t // 300) % 23 == 11:
+        rate *= 0.15
+    return max(rate, 0.0)
+
+
+def satellite(t):
+    """GEO-like capture: ~42 Mbps with periodic rain-fade dips."""
+    rate = 42.0 + 2.0 * math.sin(2.0 * math.pi * t / 1900.0)
+    phase = t % 4000
+    if phase < 250:  # 250 ms fade every 4 s
+        rate *= 0.1
+    return rate
+
+
+def main():
+    here = os.path.dirname(os.path.abspath(__file__))
+    emit(os.path.join(here, "cellular.trace"), 20000, cellular)
+    emit(os.path.join(here, "satellite.trace"), 10000, satellite)
+
+
+if __name__ == "__main__":
+    main()
